@@ -1,0 +1,173 @@
+// Command convpairs finds the top-k converging pairs of an evolving graph
+// under a shortest-path budget — the library's end-user entry point.
+//
+// Usage:
+//
+//	convpairs -in data/Facebook.txt -selector MMSD -m 100 -k 20
+//	convpairs -in data/DBLP.txt -selector MaxAvg -m 50 -delta 3
+//	convpairs -in data/Actors.txt -exact -k 10          # unbudgeted baseline
+//
+// The input is a "u v t" edge-list file (see cmd/gendata); the snapshots are
+// the -f1 and -f2 fractions of the stream (defaults 0.8 and 1.0).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	convergence "repro"
+	"repro/internal/candidates"
+	"repro/internal/dataset"
+	"repro/internal/export"
+)
+
+func main() {
+	in := flag.String("in", "", "input edge-list file (required)")
+	selName := flag.String("selector", "MMSD", "candidate selector (see -list)")
+	modelPath := flag.String("model", "", "trained model JSON (from cmd/trainmodel); overrides -selector")
+	m := flag.Int("m", 100, "endpoint budget (2m shortest-path computations)")
+	l := flag.Int("l", 10, "landmark count for landmark-based selectors")
+	k := flag.Int("k", 20, "number of pairs to report")
+	delta := flag.Int("delta", 0, "report all pairs with distance decrease >= delta (overrides -k)")
+	f1 := flag.Float64("f1", 0.8, "first snapshot fraction of the edge stream")
+	f2 := flag.Float64("f2", 1.0, "second snapshot fraction of the edge stream")
+	seed := flag.Int64("seed", 1, "seed for randomized selectors")
+	exact := flag.Bool("exact", false, "run the unbudgeted all-pairs baseline instead")
+	list := flag.Bool("list", false, "list available selectors and exit")
+	explain := flag.Bool("explain", false, "trace each found pair's shortest path and mark the new edges behind it")
+	dotOut := flag.String("dot", "", "write a GraphViz DOT rendering of G_t2 with the found pairs highlighted")
+	jsonOut := flag.String("json", "", "write the run result as a JSON report")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "BFS parallelism")
+	flag.Parse()
+
+	if *list {
+		for _, name := range convergence.Selectors() {
+			fmt.Printf("%-8s %s\n", name, convergence.SelectorDescription(name))
+		}
+		return
+	}
+	if *in == "" {
+		fatal(fmt.Errorf("missing -in (use -list to see selectors)"))
+	}
+	ds, err := dataset.LoadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	pair, err := ds.Ev.Pair(*f1, *f2)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset %s: G_t1 %d edges, G_t2 %d edges over %d nodes\n",
+		ds.Name, pair.G1.NumEdges(), pair.G2.NumEdges(), pair.G1.NumNodes())
+
+	if *exact {
+		pairs, err := convergence.Exact(pair, *k, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exact top-%d converging pairs (unbudgeted baseline):\n", len(pairs))
+		printPairs(pairs)
+		return
+	}
+
+	var sel convergence.Selector
+	if *modelPath != "" {
+		var err error
+		sel, err = loadModelSelector(*modelPath)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		sel, err = convergence.NewSelector(*selName)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	opts := convergence.Options{
+		Selector: sel, M: *m, L: *l, Seed: *seed, Workers: *workers,
+	}
+	if *delta > 0 {
+		opts.MinDelta = int32(*delta)
+	} else {
+		opts.K = *k
+	}
+	res, err := convergence.TopK(pair, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("selector %s, budget: %s\n", res.SelectorName, res.Budget)
+	fmt.Printf("found %d converging pairs from %d candidate endpoints:\n",
+		len(res.Pairs), len(res.Candidates))
+	printPairs(res.Pairs)
+	if *explain {
+		for _, p := range res.Pairs {
+			exp, err := convergence.Explain(pair, p)
+			if err != nil {
+				fmt.Printf("  explain %v: %v\n", p, err)
+				continue
+			}
+			fmt.Println("  ", exp)
+		}
+	}
+
+	if *dotOut != "" {
+		if err := writeFileWith(*dotOut, func(w io.Writer) error {
+			return export.WriteDOT(w, pair.G2, export.DOTOptions{
+				Name: ds.Name, Pairs: res.Pairs, Candidates: res.Candidates,
+			})
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("DOT rendering written to %s\n", *dotOut)
+	}
+	if *jsonOut != "" {
+		if err := writeFileWith(*jsonOut, func(w io.Writer) error {
+			return export.WriteJSON(w, res.SelectorName, *m,
+				res.Budget.Total(), res.Budget.Limit, res.Candidates, res.Pairs)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("JSON report written to %s\n", *jsonOut)
+	}
+}
+
+// writeFileWith creates path and streams fn's output into it.
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// loadModelSelector loads a trainmodel JSON file, trying the classifier
+// format first and falling back to the regression format.
+func loadModelSelector(path string) (convergence.Selector, error) {
+	if m, err := candidates.LoadModelFile(path); err == nil {
+		return convergence.NewClassifierSelector("Classifier("+path+")", m), nil
+	}
+	m, err := candidates.LoadRegressionModelFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("not a classifier or regression model: %w", err)
+	}
+	return convergence.NewRegressionSelector("Regression("+path+")", m), nil
+}
+
+func printPairs(pairs []convergence.Pair) {
+	for i, p := range pairs {
+		fmt.Printf("%4d. (%6d, %6d)  d_t1=%-3d d_t2=%-3d Δ=%d\n", i+1, p.U, p.V, p.D1, p.D2, p.Delta)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "convpairs:", err)
+	os.Exit(1)
+}

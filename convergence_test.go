@@ -1,0 +1,158 @@
+package convergence
+
+import (
+	"testing"
+)
+
+// pathPair builds a path 0..n-1 in G1 and adds a chord {0, n-1} in G2.
+func pathPair(n int) SnapshotPair {
+	var stream []TimedEdge
+	for i := 0; i < n-1; i++ {
+		stream = append(stream, TimedEdge{U: i, V: i + 1, Time: int64(i)})
+	}
+	stream = append(stream, TimedEdge{U: 0, V: n - 1, Time: int64(n)})
+	ev, err := NewEvolving(stream)
+	if err != nil {
+		panic(err)
+	}
+	return SnapshotPair{G1: ev.SnapshotPrefix(n - 1), G2: ev.SnapshotFraction(1.0)}
+}
+
+func TestPublicTopK(t *testing.T) {
+	pair := pathPair(10)
+	res, err := TopK(pair, Options{
+		Selector: MustSelector("MaxAvg"),
+		M:        4,
+		K:        3,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Budget.Total() > 8 {
+		t.Fatalf("budget total %d > 2m", res.Budget.Total())
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("no pairs found; MaxAvg picks path ends which converge")
+	}
+	top := res.Pairs[0]
+	if top.U != 0 || top.V != 9 || top.Delta != 8 {
+		t.Fatalf("top pair = %v, want (0,9) Δ=8", top)
+	}
+}
+
+func TestPublicExactAndGroundTruth(t *testing.T) {
+	pair := pathPair(10)
+	pairs, err := Exact(pair, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].Delta != 8 {
+		t.Fatalf("exact top = %v", pairs)
+	}
+	gt, err := ComputeGroundTruth(pair, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.MaxDelta != 8 {
+		t.Fatalf("MaxDelta = %d", gt.MaxDelta)
+	}
+	if gt.Diameter1 != 9 || gt.Diameter2 != 5 {
+		t.Fatalf("diameters = %d, %d", gt.Diameter1, gt.Diameter2)
+	}
+}
+
+func TestPublicSelectors(t *testing.T) {
+	names := Selectors()
+	if len(names) < 12 {
+		t.Fatalf("only %d selectors", len(names))
+	}
+	for _, name := range names {
+		sel, err := NewSelector(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Name() != name {
+			t.Fatalf("%q reports %q", name, sel.Name())
+		}
+		if SelectorDescription(name) == "" {
+			t.Fatalf("no description for %q", name)
+		}
+	}
+	if _, err := NewSelector("bogus"); err == nil {
+		t.Fatal("unknown selector should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSelector should panic on unknown name")
+		}
+	}()
+	MustSelector("bogus")
+}
+
+func TestPublicCoverHelpers(t *testing.T) {
+	pairs := []Pair{{U: 0, V: 5}, {U: 0, V: 7}, {U: 2, V: 5}}
+	cov := GreedyCover(pairs)
+	if !IsCover(pairs, cov) {
+		t.Fatal("greedy cover does not cover")
+	}
+	nodes, covered := MaxCoverage(pairs, 1)
+	if len(nodes) != 1 || covered != 2 {
+		t.Fatalf("MaxCoverage(1) = %v, %d", nodes, covered)
+	}
+	if c := Coverage(pairs, []int{0}); c < 0.6 || c > 0.7 {
+		t.Fatalf("coverage = %v, want 2/3", c)
+	}
+	set := NodeSet([]int{3, 4})
+	if !set[3] || set[9] {
+		t.Fatal("NodeSet wrong")
+	}
+	pg := NewPairsGraph(pairs)
+	if pg.NumPairs() != 3 || pg.NumEndpoints() != 4 {
+		t.Fatalf("pairs graph %d/%d", pg.NumPairs(), pg.NumEndpoints())
+	}
+}
+
+func TestPublicClassifierFlow(t *testing.T) {
+	// A richer pair so training has positives: two paths that get chords.
+	var stream []TimedEdge
+	tstamp := int64(0)
+	add := func(u, v int) {
+		stream = append(stream, TimedEdge{U: u, V: v, Time: tstamp})
+		tstamp++
+	}
+	for i := 0; i < 19; i++ {
+		add(i, i+1)
+	}
+	for i := 20; i < 39; i++ {
+		add(i, i+1)
+	}
+	add(0, 19)
+	add(20, 39)
+	ev, err := NewEvolving(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := SnapshotPair{G1: ev.SnapshotPrefix(38), G2: ev.SnapshotFraction(1.0)}
+	gt, err := ComputeGroundTruth(pair, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	positives := map[int32]bool{}
+	for _, u := range GreedyCover(gt.PairsAtLeast(gt.MaxDelta - 1)) {
+		positives[u] = true
+	}
+	model, err := TrainClassifier(
+		[]TrainSample{{Pair: pair, Positives: positives}}, trainOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := NewClassifierSelector("L-Classifier", model)
+	res, err := TopK(pair, Options{Selector: sel, M: 15, L: 3, K: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Budget.Total() > 30 {
+		t.Fatalf("budget %d > 2m", res.Budget.Total())
+	}
+}

@@ -1,0 +1,23 @@
+package convergence
+
+import (
+	"repro/internal/cover"
+	"repro/internal/topk"
+)
+
+// coverGreedy adapts internal/cover.Greedy for the public facade.
+func coverGreedy(pairs []Pair) []int32 { return cover.Greedy(pairs) }
+
+// MaxCoverage runs the greedy budgeted max-coverage algorithm: at most
+// budget nodes chosen to cover as many pairs as possible, with the covered
+// count returned alongside (the paper's Problem 2 reference solution).
+func MaxCoverage(pairs []Pair, budget int) (nodes []int32, covered int) {
+	return cover.MaxCoverage(pairs, budget)
+}
+
+// IsCover reports whether nodes cover every pair.
+func IsCover(pairs []Pair, nodes []int32) bool { return cover.IsCover(pairs, nodes) }
+
+// NodeSet converts candidate node IDs into the set form used by coverage
+// helpers.
+func NodeSet(nodes []int) map[int32]bool { return topk.NodeSet(nodes) }

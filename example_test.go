@@ -1,0 +1,111 @@
+package convergence_test
+
+import (
+	"fmt"
+
+	convergence "repro"
+)
+
+// Example demonstrates the core workflow: build an evolving graph, take two
+// snapshots, and find the most-converged pairs on a budget.
+func Example() {
+	// A path 0-1-2-3-4-5 grows a shortcut {0,5}.
+	var stream []convergence.TimedEdge
+	for i := 0; i < 5; i++ {
+		stream = append(stream, convergence.TimedEdge{U: i, V: i + 1, Time: int64(i)})
+	}
+	stream = append(stream, convergence.TimedEdge{U: 0, V: 5, Time: 5})
+	ev, _ := convergence.NewEvolving(stream)
+
+	pair := convergence.SnapshotPair{
+		G1: ev.SnapshotPrefix(5), // before the shortcut
+		G2: ev.SnapshotFraction(1.0),
+	}
+	res, _ := convergence.TopK(pair, convergence.Options{
+		Selector: convergence.MustSelector("MaxAvg"),
+		M:        2,
+		K:        1,
+		Seed:     1,
+	})
+	p := res.Pairs[0]
+	fmt.Printf("pair (%d,%d) converged from %d to %d\n", p.U, p.V, p.D1, p.D2)
+	// Output: pair (0,5) converged from 5 to 1
+}
+
+// ExampleComputeGroundTruth shows the exact, unbudgeted baseline and the
+// δ-threshold way of choosing k.
+func ExampleComputeGroundTruth() {
+	var stream []convergence.TimedEdge
+	for i := 0; i < 7; i++ {
+		stream = append(stream, convergence.TimedEdge{U: i, V: i + 1, Time: int64(i)})
+	}
+	stream = append(stream, convergence.TimedEdge{U: 0, V: 7, Time: 7})
+	ev, _ := convergence.NewEvolving(stream)
+	pair, _ := ev.Pair(0.875, 1.0)
+
+	gt, _ := convergence.ComputeGroundTruth(pair, 1)
+	fmt.Printf("Δmax=%d, pairs with Δ>=Δmax: %d\n", gt.MaxDelta, gt.KForDelta(gt.MaxDelta))
+	// Output: Δmax=6, pairs with Δ>=Δmax: 1
+}
+
+// ExampleGreedyCover shows the vertex-cover view of candidate endpoints:
+// a few nodes cover all converging pairs.
+func ExampleGreedyCover() {
+	pairs := []convergence.Pair{
+		{U: 0, V: 5, Delta: 3},
+		{U: 0, V: 7, Delta: 3},
+		{U: 0, V: 9, Delta: 2},
+	}
+	cover := convergence.GreedyCover(pairs)
+	fmt.Printf("cover: %v covers all %d pairs: %v\n",
+		cover, len(pairs), convergence.IsCover(pairs, cover))
+	// Output: cover: [0] covers all 3 pairs: true
+}
+
+// ExampleCoverage shows the evaluation metric: the fraction of true pairs
+// recoverable from a candidate set.
+func ExampleCoverage() {
+	pairs := []convergence.Pair{{U: 1, V: 4}, {U: 2, V: 5}, {U: 3, V: 6}}
+	fmt.Printf("%.2f\n", convergence.Coverage(pairs, []int{4, 5}))
+	// Output: 0.67
+}
+
+// ExampleExplain traces the new edges responsible for a convergence.
+func ExampleExplain() {
+	var stream []convergence.TimedEdge
+	for i := 0; i < 5; i++ {
+		stream = append(stream, convergence.TimedEdge{U: i, V: i + 1, Time: int64(i)})
+	}
+	stream = append(stream, convergence.TimedEdge{U: 0, V: 5, Time: 5})
+	ev, _ := convergence.NewEvolving(stream)
+	pair := convergence.SnapshotPair{G1: ev.SnapshotPrefix(5), G2: ev.SnapshotFraction(1.0)}
+
+	top, _ := convergence.Exact(pair, 1, 1)
+	exp, _ := convergence.Explain(pair, top[0])
+	fmt.Println(exp)
+	// Output: (0,5) Δ=4 via 0 == 5  (== marks the 1 new edges)
+}
+
+// ExampleWeightedTopK runs the Dijkstra-based weighted variant.
+func ExampleWeightedTopK() {
+	// A heavy 4-segment road 0-1-2-3-4 (weight 5 each) gets a weight-1
+	// bypass between its ends.
+	mk := func(withBypass bool) *convergence.Weighted {
+		edges := []convergence.WeightedEdge{
+			{U: 0, V: 1, Weight: 5}, {U: 1, V: 2, Weight: 5},
+			{U: 2, V: 3, Weight: 5}, {U: 3, V: 4, Weight: 5},
+		}
+		if withBypass {
+			edges = append(edges, convergence.WeightedEdge{U: 0, V: 4, Weight: 1})
+		}
+		g, _ := convergence.NewWeighted(5, edges)
+		return g
+	}
+	pair := convergence.WeightedSnapshotPair{G1: mk(false), G2: mk(true)}
+	res, _ := convergence.WeightedTopK(pair, convergence.WeightedOptions{
+		Selector: "MaxAvg", M: 2, K: 1, Seed: 1,
+	})
+	p := res.Pairs[0]
+	fmt.Printf("(%d,%d) travel time %d -> %d\n", p.U, p.V, p.D1, p.D2)
+	// Output: (0,4) travel time 20 -> 1
+}

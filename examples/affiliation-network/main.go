@@ -1,0 +1,98 @@
+// Affiliation network: the bipartite setting of the paper's related work —
+// researchers join projects over time (an author–paper / user–group
+// affiliation stream). Projecting co-membership onto the researcher side
+// yields an evolving collaboration graph the converging-pairs pipeline
+// consumes directly, and the weighted projection makes "how often do they
+// collaborate" the distance.
+//
+//	go run ./examples/affiliation-network
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	convergence "repro"
+	"repro/internal/bipartite"
+)
+
+func main() {
+	// Simulate an affiliation stream: 60 projects staffed over time from a
+	// pool of researchers, with project teams drawn from two departments
+	// that slowly start collaborating.
+	rng := rand.New(rand.NewSource(99))
+	const researchers, projects = 300, 90
+	var events []bipartite.Membership
+	seen := map[[2]int]bool{}
+	tstamp := int64(0)
+	join := func(r, p int) {
+		if seen[[2]int{r, p}] {
+			return
+		}
+		seen[[2]int{r, p}] = true
+		events = append(events, bipartite.Membership{Left: r, Right: p, Time: tstamp})
+		tstamp++
+	}
+	for p := 0; p < projects; p++ {
+		// Early projects stay within one department (researcher ID halves);
+		// the last quarter of projects mix departments.
+		var pool func() int
+		switch {
+		case p >= projects*3/4:
+			pool = func() int { return rng.Intn(researchers) }
+		case p%2 == 0:
+			pool = func() int { return rng.Intn(researchers / 2) }
+		default:
+			pool = func() int { return researchers/2 + rng.Intn(researchers/2) }
+		}
+		team := 3 + rng.Intn(4)
+		for i := 0; i < team; i++ {
+			join(pool(), p)
+		}
+	}
+
+	stream, err := bipartite.NewStream(events)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("affiliation stream: %d researchers, %d projects, %d memberships\n",
+		stream.NumLeft(), stream.NumRight(), stream.NumEvents())
+
+	// Project to the researcher side (cap giant projects at 10 members).
+	ev, err := stream.Project(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pair, err := ev.Pair(0.75, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("projected collaboration graph: %d -> %d edges\n\n",
+		pair.G1.NumEdges(), pair.G2.NumEdges())
+
+	// The cross-department projects arrive late, so the top converging
+	// pairs should straddle the two departments.
+	res, err := convergence.TopK(pair, convergence.Options{
+		Selector: convergence.MustSelector("MMSD"),
+		M:        25, L: 5, K: 8, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("budget: %s\n", res.Budget)
+	cross := 0
+	for i, p := range res.Pairs {
+		deptU, deptV := int(p.U)/(researchers/2), int(p.V)/(researchers/2)
+		tag := "same department"
+		if deptU != deptV {
+			tag = "CROSS-DEPARTMENT"
+			cross++
+		}
+		fmt.Printf("%d. researchers %3d ~ %3d: distance %d -> %d  [%s]\n",
+			i+1, p.U, p.V, p.D1, p.D2, tag)
+	}
+	fmt.Printf("\n%d of %d top converging pairs straddle the departments —\n"+
+		"the late cross-department projects are exactly what converged.\n",
+		cross, len(res.Pairs))
+}

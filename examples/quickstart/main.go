@@ -1,0 +1,77 @@
+// Quickstart: find the pairs of nodes that converged the most between two
+// snapshots of a small evolving graph, on a budget of shortest-path
+// computations.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	convergence "repro"
+)
+
+func main() {
+	// An evolving graph: a ring road of 12 towns built one segment at a
+	// time, then two late "highway" chords that suddenly bring opposite
+	// towns close together.
+	var stream []convergence.TimedEdge
+	add := func(u, v int) {
+		stream = append(stream, convergence.TimedEdge{U: u, V: v, Time: int64(len(stream))})
+	}
+	for i := 0; i < 11; i++ {
+		add(i, i+1)
+	}
+	add(11, 0) // close the ring
+	add(0, 6)  // highway 1
+	add(3, 9)  // highway 2
+
+	ev, err := convergence.NewEvolving(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// G_t1 is the ring without highways; G_t2 the full graph.
+	pair := convergence.SnapshotPair{
+		G1: ev.SnapshotPrefix(12),
+		G2: ev.SnapshotFraction(1.0),
+	}
+
+	// Budget: m = 4 candidate endpoints, i.e. at most 8 BFS computations —
+	// versus 12 for the exact all-pairs baseline on this toy graph, and
+	// versus tens of thousands on a real one.
+	res, err := convergence.TopK(pair, convergence.Options{
+		Selector: convergence.MustSelector("MMSD"),
+		M:        4,
+		L:        2,
+		K:        5,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("selector: %s, budget spent: %s\n\n", res.SelectorName, res.Budget)
+	fmt.Println("top converging pairs (towns the highways brought together):")
+	for i, p := range res.Pairs {
+		fmt.Printf("%d. towns %2d and %2d: distance %d -> %d (Δ=%d)\n",
+			i+1, p.U, p.V, p.D1, p.D2, p.Delta)
+	}
+
+	// Why did the top pair converge? Trace the new edges behind it.
+	if len(res.Pairs) > 0 {
+		exp, err := convergence.Explain(pair, res.Pairs[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nexplanation: %s\n", exp)
+	}
+
+	// Compare with the exact, unbudgeted answer.
+	exact, err := convergence.Exact(pair, 5, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coverage of the exact top-%d: %.0f%%\n",
+		len(exact), 100*res.Coverage(exact))
+}

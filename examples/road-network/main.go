@@ -1,0 +1,95 @@
+// Road network: the weighted variant of the converging-pairs problem from
+// the paper's introduction — "the path we want to follow when moving from
+// one place to another in a traffic network". Road segments carry travel
+// times; upgrades shrink weights and bypasses add cheap edges, and we ask
+// which city pairs the construction season brought closest together.
+//
+//	go run ./examples/road-network
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	convergence "repro"
+)
+
+func main() {
+	const n = 400 // cities on a ring-and-spokes country
+	rng := rand.New(rand.NewSource(17))
+
+	// Before: a ring of slow highways plus random regional roads.
+	var before []convergence.WeightedEdge
+	for i := 0; i < n; i++ {
+		before = append(before, convergence.WeightedEdge{
+			U: i, V: (i + 1) % n, Weight: 5 + rng.Int31n(6),
+		})
+	}
+	for i := 0; i < n/2; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		before = append(before, convergence.WeightedEdge{U: u, V: v, Weight: 10 + rng.Int31n(10)})
+	}
+	g1, err := convergence.NewWeighted(n, before)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// After: the same network with 6 new motorways and 30 upgraded
+	// segments (weights only shrink, so distances only drop).
+	after := append([]convergence.WeightedEdge{}, before...)
+	for i := 0; i < 30; i++ {
+		j := rng.Intn(len(after))
+		if after[j].Weight > 2 {
+			after[j].Weight = 1 + after[j].Weight/3
+		}
+	}
+	for i := 0; i < 6; i++ {
+		u := rng.Intn(n)
+		v := (u + n/3 + rng.Intn(n/3)) % n
+		after = append(after, convergence.WeightedEdge{U: u, V: v, Weight: 2})
+	}
+	g2, err := convergence.NewWeighted(n, after)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pair := convergence.WeightedSnapshotPair{G1: g1, G2: g2}
+	fmt.Printf("road network: %d cities, %d -> %d segments\n\n", n, g1.NumEdges(), g2.NumEdges())
+
+	res, err := convergence.WeightedTopK(pair, convergence.WeightedOptions{
+		Selector: "MMSD", M: 30, L: 5, K: 8, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("budget: %s\n", res.Budget)
+	fmt.Println("city pairs the new motorways brought closest together:")
+	for i, p := range res.Pairs {
+		fmt.Printf("%d. city %3d ~ city %3d: travel time %3d -> %3d (saved %d)\n",
+			i+1, p.U, p.V, p.D1, p.D2, p.Delta)
+	}
+
+	// Validate against the exact weighted baseline.
+	gt, err := convergence.WeightedGroundTruth(pair, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := gt.PairsAtLeast(gt.MaxDelta - 2)
+	covered := 0
+	candSet := convergence.NodeSet(res.Candidates)
+	for _, p := range truth {
+		if candSet[p.U] || candSet[p.V] {
+			covered++
+		}
+	}
+	fmt.Printf("\nexact: Δmax=%d, %d pairs within 2 of it; budgeted run covered %d (%.0f%%)\n",
+		gt.MaxDelta, len(truth), covered, 100*float64(covered)/float64(max(len(truth), 1)))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,71 @@
+// Streaming watch: a long-running monitor over a growing network, built
+// from two pieces of the library — the windowed Watch API that reports
+// converging pairs per window, and the incremental LandmarkTracker that
+// keeps landmark distances fresh across the whole stream for the cost of
+// one BFS per landmark (instead of 2l per window).
+//
+//	go run ./examples/streaming-watch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	convergence "repro"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/landmark"
+)
+
+func main() {
+	ds, err := dataset.Generate("Actors", datagen.Config{Seed: 33, Scale: 0.12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev := ds.Ev
+	full := ev.SnapshotFraction(1.0)
+	fmt.Printf("co-appearance stream: %d actors, %d edges\n\n", full.NumNodes(), full.NumEdges())
+
+	// --- Windowed alerts: who converged in each of the last 4 windows? ---
+	const windows = 4
+	reports, err := convergence.Watch(ev, convergence.EvenWindows(0.6, windows),
+		convergence.MonitorConfig{
+			Selector: convergence.MustSelector("MMSD"),
+			M:        30, L: 5, MinDelta: 2, Seed: 9,
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rep := range reports {
+		fmt.Printf("window %.0f%%-%.0f%%: +%d edges, %d converging pairs (budget %s)\n",
+			100*rep.StartFrac, 100*rep.EndFrac, rep.NewEdges, len(rep.Pairs), rep.Budget)
+		for i, p := range rep.Pairs {
+			if i == 2 {
+				fmt.Printf("    ...and %d more\n", len(rep.Pairs)-2)
+				break
+			}
+			fmt.Printf("    actors %4d ~ %4d: %d -> %d\n", p.U, p.V, p.D1, p.D2)
+		}
+	}
+
+	// --- Incremental landmark maintenance across the same stream. ---
+	startPrefix := int(0.6 * float64(ev.NumEdges()))
+	g1 := ev.SnapshotPrefix(startPrefix)
+	set, err := landmark.Select(landmark.MaxMin, g1, 8, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracker, err := convergence.NewLandmarkTracker(ev, set.Nodes, startPrefix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tracker.AdvanceToFraction(1.0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstreaming SumDiff hot list (top 8 by landmark-distance drop since 60%%):\n")
+	for i, u := range tracker.Top(8) {
+		fmt.Printf("  %d. actor %d\n", i+1, u)
+	}
+	fmt.Printf("incremental maintenance saved ~%d full BFS runs over %d windows\n",
+		tracker.SSSPCostSaved(windows), windows)
+}

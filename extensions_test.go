@@ -1,0 +1,179 @@
+package convergence
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func ringStream(n int, chords ...Edge) []TimedEdge {
+	var stream []TimedEdge
+	for i := 0; i < n; i++ {
+		stream = append(stream, TimedEdge{U: i, V: (i + 1) % n, Time: int64(i)})
+	}
+	for _, c := range chords {
+		stream = append(stream, TimedEdge{U: c.U, V: c.V, Time: int64(len(stream))})
+	}
+	return stream
+}
+
+func TestPublicWatch(t *testing.T) {
+	ev, err := NewEvolving(ringStream(20, Edge{U: 0, V: 10}, Edge{U: 5, V: 15}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := Watch(ev, EvenWindows(0.8, 2), MonitorConfig{
+		Selector: MustSelector("MaxAvg"), M: 5, MinDelta: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	found := 0
+	for _, rep := range reports {
+		found += len(rep.Pairs)
+	}
+	if found == 0 {
+		t.Fatal("chord insertions should produce converging pairs")
+	}
+}
+
+func TestPublicDynamicBFSAndTracker(t *testing.T) {
+	ev, err := NewEvolving(ringStream(16, Edge{U: 0, V: 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := ev.SnapshotPrefix(16)
+	d, err := NewDynamicBFS(g1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.InsertEdge(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if d.Dist(8) != 1 {
+		t.Fatalf("dist(8) = %d", d.Dist(8))
+	}
+	tr, err := NewLandmarkTracker(ev, []int{0, 4}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AdvanceToFraction(1.0); err != nil {
+		t.Fatal(err)
+	}
+	top := tr.Top(3)
+	if len(top) != 3 {
+		t.Fatalf("top = %v", top)
+	}
+}
+
+func TestPublicWeighted(t *testing.T) {
+	g1, err := NewWeighted(6, []WeightedEdge{
+		{U: 0, V: 1, Weight: 3}, {U: 1, V: 2, Weight: 3}, {U: 2, V: 3, Weight: 3},
+		{U: 3, V: 4, Weight: 3}, {U: 4, V: 5, Weight: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewWeighted(6, []WeightedEdge{
+		{U: 0, V: 1, Weight: 3}, {U: 1, V: 2, Weight: 3}, {U: 2, V: 3, Weight: 3},
+		{U: 3, V: 4, Weight: 3}, {U: 4, V: 5, Weight: 3},
+		{U: 0, V: 5, Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := WeightedSnapshotPair{G1: g1, G2: g2}
+	gt, err := WeightedGroundTruth(pair, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.MaxDelta != 14 { // d1(0,5)=15, d2=1
+		t.Fatalf("MaxDelta = %d, want 14", gt.MaxDelta)
+	}
+	res, err := WeightedTopK(pair, WeightedOptions{Selector: "MaxAvg", M: 3, K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 || res.Pairs[0].Delta != 14 {
+		t.Fatalf("pairs = %v", res.Pairs)
+	}
+}
+
+func TestPublicEmbedding(t *testing.T) {
+	var stream []TimedEdge
+	for i := 0; i < 19; i++ {
+		stream = append(stream, TimedEdge{U: i, V: i + 1, Time: int64(i)})
+	}
+	ev, err := NewEvolving(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ev.SnapshotFraction(1.0)
+	e, err := EmbedGraph(g, []int{0, 19, 10}, nil, EmbedOptions{Dim: 3}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Estimate(0, 19) < e.Estimate(0, 2) {
+		t.Fatal("embedding ordering broken")
+	}
+	sel := NewEmbedSelector(EmbedOptions{Dim: 3}, 16)
+	if sel.Name() != "EmbedSum" {
+		t.Fatal("name")
+	}
+}
+
+func TestPublicRegression(t *testing.T) {
+	ev, err := NewEvolving(ringStream(30, Edge{U: 0, V: 15}, Edge{U: 7, V: 22}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := SnapshotPair{G1: ev.SnapshotPrefix(30), G2: ev.SnapshotFraction(1.0)}
+	gt, err := ComputeGroundTruth(pair, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := PairDegreeTargets(gt.PairsAtLeast(gt.MaxDelta - 1))
+	if len(targets) == 0 {
+		t.Fatal("no targets")
+	}
+	model, err := TrainRegression(
+		[]RegressionSample{{Pair: pair, Targets: targets}}, trainOpts(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := NewRegressionSelector("R-Classifier", model)
+	res, err := TopK(pair, Options{Selector: sel, M: 15, L: 3, K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Budget.Total() > 30 {
+		t.Fatalf("budget %d > 2m", res.Budget.Total())
+	}
+}
+
+func TestPublicExplain(t *testing.T) {
+	ev, err := NewEvolving(ringStream(12, Edge{U: 0, V: 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := SnapshotPair{G1: ev.SnapshotPrefix(12), G2: ev.SnapshotFraction(1.0)}
+	res, err := TopK(pair, Options{Selector: MustSelector("MaxAvg"), M: 4, K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("no pairs")
+	}
+	exp, err := Explain(pair, res.Pairs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.NewEdges) == 0 {
+		t.Fatalf("explanation without new edges: %v", exp)
+	}
+	if int32(len(exp.Path)-1) != res.Pairs[0].D2 {
+		t.Fatal("path length mismatch")
+	}
+}

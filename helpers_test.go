@@ -1,0 +1,9 @@
+package convergence
+
+import "repro/internal/candidates"
+
+// trainOpts builds classifier training options with l landmarks; shared by
+// root-package tests.
+func trainOpts(l int) candidates.TrainOptions {
+	return candidates.TrainOptions{L: l, Seed: 7, Workers: 2}
+}

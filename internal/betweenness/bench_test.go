@@ -1,0 +1,55 @@
+package betweenness
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func benchGraph(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		_ = b.AddEdge(i, rng.Intn(i))
+	}
+	for i := 0; i < 2*n; i++ {
+		_ = b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return b.Build()
+}
+
+// BenchmarkNodesExact quantifies why the paper avoids exact betweenness for
+// candidate generation: one full Brandes pass equals n SSSP computations.
+func BenchmarkNodesExact(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		g := benchGraph(n, 1)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = Nodes(g, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkNodesSampled shows the pivot-sampled estimator's cost advantage.
+func BenchmarkNodesSampled(b *testing.B) {
+	g := benchGraph(2000, 2)
+	for _, samples := range []int{32, 128} {
+		b.Run(fmt.Sprintf("samples=%d", samples), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < b.N; i++ {
+				_ = NodesSampled(g, samples, rng, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkEdgesExact times exact edge betweenness (IncBet's setup).
+func BenchmarkEdgesExact(b *testing.B) {
+	g := benchGraph(1000, 4)
+	for i := 0; i < b.N; i++ {
+		_ = Edges(g, 0)
+	}
+}

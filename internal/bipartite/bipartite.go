@@ -1,0 +1,162 @@
+// Package bipartite supports time-evolving bipartite graphs and their
+// one-mode projections. The paper's related work (its ref [21]) monitors
+// node proximity in bipartite evolving social graphs; the paper itself
+// handles general graphs. This package bridges the two settings: an
+// affiliation stream (e.g. actor–movie, author–paper, user–group) projects
+// onto a co-membership graph whose evolution feeds the converging-pairs
+// pipeline directly.
+package bipartite
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Membership is one timestamped affiliation event: left-side node Left
+// joins right-side node Right (actor joins movie, author joins paper).
+type Membership struct {
+	Left, Right int
+	Time        int64
+}
+
+// Stream is a validated, time-ordered affiliation stream.
+type Stream struct {
+	events   []Membership
+	numLeft  int
+	numRight int
+}
+
+// ErrBadMembership reports invalid affiliation input.
+var ErrBadMembership = errors.New("bipartite: invalid membership")
+
+// NewStream validates and wraps an affiliation stream: non-empty,
+// time-ordered, non-negative IDs, no duplicate (Left, Right) pairs.
+func NewStream(events []Membership) (*Stream, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("%w: empty stream", ErrBadMembership)
+	}
+	seen := make(map[[2]int]struct{}, len(events))
+	s := &Stream{events: events}
+	for i, e := range events {
+		if e.Left < 0 || e.Right < 0 {
+			return nil, fmt.Errorf("%w: events[%d] = (%d, %d)", ErrBadMembership, i, e.Left, e.Right)
+		}
+		if i > 0 && e.Time < events[i-1].Time {
+			return nil, fmt.Errorf("%w: events[%d] out of order", ErrBadMembership, i)
+		}
+		key := [2]int{e.Left, e.Right}
+		if _, dup := seen[key]; dup {
+			return nil, fmt.Errorf("%w: events[%d] duplicates (%d, %d)", ErrBadMembership, i, e.Left, e.Right)
+		}
+		seen[key] = struct{}{}
+		if e.Left >= s.numLeft {
+			s.numLeft = e.Left + 1
+		}
+		if e.Right >= s.numRight {
+			s.numRight = e.Right + 1
+		}
+	}
+	return s, nil
+}
+
+// NumLeft returns the left-side universe size (the projected nodes).
+func (s *Stream) NumLeft() int { return s.numLeft }
+
+// NumRight returns the right-side universe size (the affiliation groups).
+func (s *Stream) NumRight() int { return s.numRight }
+
+// NumEvents returns the number of affiliation events.
+func (s *Stream) NumEvents() int { return len(s.events) }
+
+// Project converts the affiliation stream into a one-mode evolving graph on
+// the left side: two left nodes become connected the first time they share
+// a right-side group. Edge times are the joining event's time, so snapshots
+// of the projection line up with snapshots of the affiliation stream.
+//
+// maxGroupSize guards against degenerate hub groups projecting to enormous
+// cliques (a standard projection safeguard): groups that grow beyond it
+// stop contributing new edges. Zero means no limit.
+func (s *Stream) Project(maxGroupSize int) (*graph.Evolving, error) {
+	members := make([][]int, s.numRight)
+	seen := make(map[graph.Edge]struct{})
+	var stream []graph.TimedEdge
+	for _, e := range s.events {
+		group := members[e.Right]
+		if maxGroupSize <= 0 || len(group) < maxGroupSize {
+			for _, other := range group {
+				if other == e.Left {
+					continue
+				}
+				c := graph.Edge{U: e.Left, V: other}.Canon()
+				if _, dup := seen[c]; dup {
+					continue
+				}
+				seen[c] = struct{}{}
+				stream = append(stream, graph.TimedEdge{U: c.U, V: c.V, Time: e.Time})
+			}
+		}
+		members[e.Right] = append(group, e.Left)
+	}
+	if len(stream) == 0 {
+		return nil, errors.New("bipartite: projection has no edges (no shared groups)")
+	}
+	return graph.NewEvolving(stream)
+}
+
+// WeightedProjection materializes the co-membership counts at a prefix of
+// the stream: weight(u, v) = number of shared groups. Returned as a
+// weighted graph where *smaller is closer* is achieved by inverting counts
+// into distances: weight = maxShared − shared + 1, so frequently
+// collaborating pairs sit nearest — the form Dijkstra-based pipelines need.
+func (s *Stream) WeightedProjection(prefix int) (*graph.Weighted, error) {
+	if prefix < 0 {
+		prefix = 0
+	}
+	if prefix > len(s.events) {
+		prefix = len(s.events)
+	}
+	members := make([][]int, s.numRight)
+	counts := make(map[graph.Edge]int32)
+	for _, e := range s.events[:prefix] {
+		for _, other := range members[e.Right] {
+			if other == e.Left {
+				continue
+			}
+			counts[graph.Edge{U: e.Left, V: other}.Canon()]++
+		}
+		members[e.Right] = append(members[e.Right], e.Left)
+	}
+	if len(counts) == 0 {
+		return nil, errors.New("bipartite: weighted projection has no edges")
+	}
+	var maxShared int32
+	for _, c := range counts {
+		if c > maxShared {
+			maxShared = c
+		}
+	}
+	edges := make([]graph.WeightedEdge, 0, len(counts))
+	for e, c := range counts {
+		edges = append(edges, graph.WeightedEdge{U: e.U, V: e.V, Weight: maxShared - c + 1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	return graph.NewWeighted(s.numLeft, edges)
+}
+
+// GroupSizes returns the affiliation-group size distribution at the end of
+// the stream (diagnostics for projection safety).
+func (s *Stream) GroupSizes() []int {
+	sizes := make([]int, s.numRight)
+	for _, e := range s.events {
+		sizes[e.Right]++
+	}
+	return sizes
+}

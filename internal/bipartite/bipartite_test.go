@@ -1,0 +1,178 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topk"
+)
+
+func TestNewStreamValidation(t *testing.T) {
+	if _, err := NewStream(nil); err == nil {
+		t.Error("empty stream should fail")
+	}
+	if _, err := NewStream([]Membership{{Left: -1, Right: 0}}); err == nil {
+		t.Error("negative id should fail")
+	}
+	if _, err := NewStream([]Membership{
+		{Left: 0, Right: 0, Time: 5}, {Left: 1, Right: 0, Time: 3},
+	}); err == nil {
+		t.Error("unsorted stream should fail")
+	}
+	if _, err := NewStream([]Membership{
+		{Left: 0, Right: 0}, {Left: 0, Right: 0, Time: 1},
+	}); err == nil {
+		t.Error("duplicate membership should fail")
+	}
+}
+
+func TestProjectBasic(t *testing.T) {
+	// Actors 0,1 share movie 0; actors 1,2 share movie 1.
+	s, err := NewStream([]Membership{
+		{Left: 0, Right: 0, Time: 0},
+		{Left: 1, Right: 0, Time: 1},
+		{Left: 1, Right: 1, Time: 2},
+		{Left: 2, Right: 1, Time: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumLeft() != 3 || s.NumRight() != 2 || s.NumEvents() != 4 {
+		t.Fatalf("sizes: %d %d %d", s.NumLeft(), s.NumRight(), s.NumEvents())
+	}
+	ev, err := s.Project(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ev.SnapshotFraction(1.0)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || g.HasEdge(0, 2) {
+		t.Fatalf("projection edges wrong: %v", g.Edges())
+	}
+	// Edge times follow the joining event.
+	stream := ev.Stream()
+	if stream[0].Time != 1 || stream[1].Time != 3 {
+		t.Fatalf("projection times = %v", stream)
+	}
+}
+
+func TestProjectMaxGroupSize(t *testing.T) {
+	// One huge group of 6 members: unlimited projection has C(6,2)=15
+	// edges; capped at 3 it stops contributing once the group has 3.
+	var events []Membership
+	for i := 0; i < 6; i++ {
+		events = append(events, Membership{Left: i, Right: 0, Time: int64(i)})
+	}
+	s, err := NewStream(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unlimited, err := s.Project(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unlimited.NumEdges() != 15 {
+		t.Fatalf("unlimited edges = %d", unlimited.NumEdges())
+	}
+	capped, err := s.Project(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Members 0,1,2 form C(3,2)=3 edges; later joiners add none.
+	if capped.NumEdges() != 3 {
+		t.Fatalf("capped edges = %d", capped.NumEdges())
+	}
+	sizes := s.GroupSizes()
+	if sizes[0] != 6 {
+		t.Fatalf("group sizes = %v", sizes)
+	}
+}
+
+func TestProjectNoSharedGroups(t *testing.T) {
+	s, err := NewStream([]Membership{
+		{Left: 0, Right: 0}, {Left: 1, Right: 1, Time: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Project(0); err == nil {
+		t.Fatal("projection without shared groups should fail")
+	}
+	if _, err := s.WeightedProjection(2); err == nil {
+		t.Fatal("weighted projection without edges should fail")
+	}
+}
+
+func TestWeightedProjection(t *testing.T) {
+	// Actors 0,1 share two movies; actors 1,2 share one.
+	s, err := NewStream([]Membership{
+		{Left: 0, Right: 0, Time: 0}, {Left: 1, Right: 0, Time: 1},
+		{Left: 0, Right: 1, Time: 2}, {Left: 1, Right: 1, Time: 3},
+		{Left: 1, Right: 2, Time: 4}, {Left: 2, Right: 2, Time: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg, err := s.WeightedProjection(s.NumEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared counts: (0,1)=2, (1,2)=1, maxShared=2: weights 1 and 2.
+	adj, ws := wg.Neighbors(1)
+	weightTo := map[int32]int32{}
+	for i, v := range adj {
+		weightTo[v] = ws[i]
+	}
+	if weightTo[0] != 1 || weightTo[2] != 2 {
+		t.Fatalf("weights = %v", weightTo)
+	}
+	// Prefix clamping.
+	if _, err := s.WeightedProjection(999); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the projection of any valid affiliation stream is a valid
+// evolving graph whose snapshots feed the converging-pairs pipeline.
+func TestProjectionPipelineProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nLeft, nRight := 5+rng.Intn(30), 3+rng.Intn(10)
+		seen := map[[2]int]bool{}
+		var events []Membership
+		for i := 0; i < 4*nLeft; i++ {
+			l, r := rng.Intn(nLeft), rng.Intn(nRight)
+			if seen[[2]int{l, r}] {
+				continue
+			}
+			seen[[2]int{l, r}] = true
+			events = append(events, Membership{Left: l, Right: r, Time: int64(len(events))})
+		}
+		if len(events) < 4 {
+			return true
+		}
+		s, err := NewStream(events)
+		if err != nil {
+			return false
+		}
+		ev, err := s.Project(0)
+		if err != nil {
+			return true // all-disjoint groups: nothing to project
+		}
+		pair, err := ev.Pair(0.7, 1.0)
+		if err != nil {
+			return false
+		}
+		if err := pair.Validate(); err != nil {
+			return false
+		}
+		gt, err := topk.Compute(pair, topk.Options{Workers: 2})
+		if err != nil {
+			return false
+		}
+		return gt.MaxDelta >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

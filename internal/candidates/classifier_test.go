@@ -1,0 +1,202 @@
+package candidates
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cover"
+	"repro/internal/graph"
+	"repro/internal/topk"
+)
+
+// trainSampleFor computes ground truth for a pair and labels the greedy
+// cover of the δ = Δmax - 1 pairs graph as positive.
+func trainSampleFor(t testing.TB, sp graph.SnapshotPair) TrainSample {
+	t.Helper()
+	gt, err := topk.Compute(sp, topk.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := gt.MaxDelta - 1
+	if delta < 1 {
+		delta = 1
+	}
+	pairs := gt.PairsAtLeast(delta)
+	positives := map[int32]bool{}
+	for _, u := range cover.Greedy(pairs) {
+		positives[u] = true
+	}
+	return TrainSample{Pair: sp, Positives: positives}
+}
+
+func TestTrainAndSelect(t *testing.T) {
+	trainPair := growingPair(t, 150, 21)
+	testPair := growingPair(t, 150, 22)
+
+	sample := trainSampleFor(t, trainPair)
+	if len(sample.Positives) == 0 {
+		t.Fatal("training pair produced no positives; pick another seed")
+	}
+	model, err := Train([]TrainSample{sample}, TrainOptions{L: 4, Workers: 2, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Global {
+		t.Fatal("local model marked global")
+	}
+	if len(model.LogReg.Weights) != NumNodeFeatures {
+		t.Fatalf("weights = %d, want %d", len(model.LogReg.Weights), NumNodeFeatures)
+	}
+
+	sel := Classifier("L-Classifier", model)
+	if sel.Name() != "L-Classifier" {
+		t.Fatal("name mismatch")
+	}
+	ctx := newCtx(testPair, 30, 4, 24)
+	got, err := sel.Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m - 3l candidates.
+	if len(got) != 30-12 {
+		t.Fatalf("got %d candidates, want 18", len(got))
+	}
+	// Setup cost 6l = 24 (Table 1).
+	if rep := ctx.Meter.Report(); rep.CandidateGen != 24 {
+		t.Fatalf("classifier charged %d, want 6l=24", rep.CandidateGen)
+	}
+	for _, u := range got {
+		if testPair.G1.Degree(u) == 0 {
+			t.Fatalf("candidate %d absent from G1", u)
+		}
+	}
+}
+
+func TestTrainGlobalModel(t *testing.T) {
+	s1 := trainSampleFor(t, growingPair(t, 120, 31))
+	s2 := trainSampleFor(t, growingPair(t, 120, 32))
+	model, err := Train([]TrainSample{s1, s2}, TrainOptions{Global: true, L: 3, Workers: 2, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.Global || len(model.LogReg.Weights) != NumGlobalFeatures {
+		t.Fatalf("global model wrong shape: global=%v width=%d", model.Global, len(model.LogReg.Weights))
+	}
+	sel := Classifier("G-Classifier", model)
+	ctx := newCtx(growingPair(t, 120, 34), 25, 3, 35)
+	got, err := sel.Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 25-9 {
+		t.Fatalf("got %d candidates, want 16", len(got))
+	}
+}
+
+func TestClassifierBudgetTooSmall(t *testing.T) {
+	model := &Model{LogReg: nil}
+	sel := Classifier("L-Classifier", model)
+	ctx := newCtx(growingPair(t, 60, 41), 5, 0, 42)
+	if _, err := sel.Select(ctx); err == nil {
+		t.Fatal("untrained model should fail")
+	}
+	trained, err := Train([]TrainSample{trainSampleFor(t, growingPair(t, 120, 43))},
+		TrainOptions{L: 10, Workers: 2, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx = newCtx(growingPair(t, 60, 45), 20, 10, 46) // m=20 <= 3l=30
+	_, err = Classifier("L-Classifier", trained).Select(ctx)
+	if !errors.Is(err, ErrBudgetTooSmall) {
+		t.Fatalf("err = %v, want ErrBudgetTooSmall", err)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, TrainOptions{}); err == nil {
+		t.Fatal("no samples should fail")
+	}
+	// All-negative labels cannot train.
+	sp := growingPair(t, 60, 51)
+	_, err := Train([]TrainSample{{Pair: sp, Positives: map[int32]bool{}}}, TrainOptions{L: 3, Seed: 52})
+	if err == nil {
+		t.Fatal("single-class training should fail")
+	}
+}
+
+// The classifier should learn to rank true cover nodes highly when trained
+// and tested on the same distribution (a smoke test of end-to-end learning).
+func TestClassifierLearnsCoverMembership(t *testing.T) {
+	trainPair := growingPair(t, 200, 61)
+	testPair := growingPair(t, 200, 62)
+	model, err := Train([]TrainSample{trainSampleFor(t, trainPair)},
+		TrainOptions{L: 5, Workers: 2, Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate: candidates from the classifier should cover a decent share
+	// of the test pair's top pairs — far above the random baseline.
+	gt, err := topk.Compute(testPair, topk.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := gt.MaxDelta - 1
+	if delta < 1 {
+		delta = 1
+	}
+	truth := gt.PairsAtLeast(delta)
+	if len(truth) == 0 {
+		t.Skip("test pair has no converging pairs at this seed")
+	}
+	m := 40
+	clfCands, err := Classifier("L-Classifier", model).Select(newCtx(testPair, m, 5, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rndCands, err := Random().Select(newCtx(testPair, m, 5, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clfCov := topk.Coverage(truth, topk.NodeSet(clfCands))
+	rndCov := topk.Coverage(truth, topk.NodeSet(rndCands))
+	if clfCov < rndCov {
+		t.Fatalf("classifier coverage %.2f below random %.2f", clfCov, rndCov)
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	model, err := Train([]TrainSample{trainSampleFor(t, growingPair(t, 150, 81))},
+		TrainOptions{L: 4, Workers: 2, Seed: 82})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := model.FeatureImportance()
+	if len(fw) != NumNodeFeatures {
+		t.Fatalf("weights = %d", len(fw))
+	}
+	for i := 1; i < len(fw); i++ {
+		absPrev, absCur := fw[i-1].Weight, fw[i].Weight
+		if absPrev < 0 {
+			absPrev = -absPrev
+		}
+		if absCur < 0 {
+			absCur = -absCur
+		}
+		if absPrev < absCur {
+			t.Fatal("importance not sorted by magnitude")
+		}
+	}
+	names := map[string]bool{}
+	for _, w := range fw {
+		names[w.Name] = true
+	}
+	if !names["L1_maxmin"] || !names["deg_t1"] {
+		t.Fatalf("feature names missing: %v", fw)
+	}
+	if (&Model{}).FeatureImportance() != nil {
+		t.Fatal("untrained importance should be nil")
+	}
+	if (&RegressionModel{}).FeatureImportance() != nil {
+		t.Fatal("untrained regression importance should be nil")
+	}
+}

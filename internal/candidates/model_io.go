@@ -1,0 +1,145 @@
+package candidates
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ml"
+)
+
+// modelFile is the on-disk JSON envelope for trained selector models, with
+// a kind tag so a classifier file cannot be loaded as a regression model.
+type modelFile struct {
+	Kind      string    `json:"kind"` // "logistic" or "ridge"
+	Version   int       `json:"version"`
+	Global    bool      `json:"global"`
+	L         int       `json:"landmarks"`
+	Weights   []float64 `json:"weights"`
+	Bias      float64   `json:"bias"`
+	ScalerMin []float64 `json:"scaler_min"`
+	ScalerMax []float64 `json:"scaler_max"`
+}
+
+const modelVersion = 1
+
+// ErrModelKind reports a model file of the wrong kind.
+var ErrModelKind = errors.New("candidates: wrong model kind")
+
+// Save writes the classifier model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	if m.LogReg == nil || m.Scaler == nil {
+		return errors.New("candidates: cannot save untrained model")
+	}
+	return json.NewEncoder(w).Encode(modelFile{
+		Kind: "logistic", Version: modelVersion,
+		Global: m.Global, L: m.L,
+		Weights: m.LogReg.Weights, Bias: m.LogReg.Bias,
+		ScalerMin: m.Scaler.Min, ScalerMax: m.Scaler.Max,
+	})
+}
+
+// SaveFile writes the classifier model to a path.
+func (m *Model) SaveFile(path string) error { return saveFile(path, m.Save) }
+
+// LoadModel reads a classifier model saved by Save.
+func LoadModel(r io.Reader) (*Model, error) {
+	mf, err := decodeModel(r, "logistic")
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		LogReg: &ml.LogisticRegression{Weights: mf.Weights, Bias: mf.Bias},
+		Scaler: &ml.Scaler{Min: mf.ScalerMin, Max: mf.ScalerMax},
+		Global: mf.Global,
+		L:      mf.L,
+	}, nil
+}
+
+// LoadModelFile reads a classifier model from a path.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}
+
+// Save writes the regression model as JSON.
+func (m *RegressionModel) Save(w io.Writer) error {
+	if m.LinReg == nil || m.Scaler == nil {
+		return errors.New("candidates: cannot save untrained model")
+	}
+	return json.NewEncoder(w).Encode(modelFile{
+		Kind: "ridge", Version: modelVersion,
+		Global: m.Global, L: m.L,
+		Weights: m.LinReg.Weights, Bias: m.LinReg.Bias,
+		ScalerMin: m.Scaler.Min, ScalerMax: m.Scaler.Max,
+	})
+}
+
+// SaveFile writes the regression model to a path.
+func (m *RegressionModel) SaveFile(path string) error { return saveFile(path, m.Save) }
+
+// LoadRegressionModel reads a regression model saved by Save.
+func LoadRegressionModel(r io.Reader) (*RegressionModel, error) {
+	mf, err := decodeModel(r, "ridge")
+	if err != nil {
+		return nil, err
+	}
+	return &RegressionModel{
+		LinReg: &ml.LinearRegression{Weights: mf.Weights, Bias: mf.Bias},
+		Scaler: &ml.Scaler{Min: mf.ScalerMin, Max: mf.ScalerMax},
+		Global: mf.Global,
+		L:      mf.L,
+	}, nil
+}
+
+// LoadRegressionModelFile reads a regression model from a path.
+func LoadRegressionModelFile(path string) (*RegressionModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadRegressionModel(f)
+}
+
+func decodeModel(r io.Reader, kind string) (*modelFile, error) {
+	var mf modelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("candidates: decode model: %w", err)
+	}
+	if mf.Kind != kind {
+		return nil, fmt.Errorf("%w: have %q, want %q", ErrModelKind, mf.Kind, kind)
+	}
+	if mf.Version != modelVersion {
+		return nil, fmt.Errorf("candidates: unsupported model version %d", mf.Version)
+	}
+	if len(mf.Weights) == 0 || len(mf.Weights) != len(mf.ScalerMin) || len(mf.ScalerMin) != len(mf.ScalerMax) {
+		return nil, errors.New("candidates: corrupt model file (shape mismatch)")
+	}
+	wantWidth := NumNodeFeatures
+	if mf.Global {
+		wantWidth = NumGlobalFeatures
+	}
+	if len(mf.Weights) != wantWidth {
+		return nil, fmt.Errorf("candidates: model has %d features, want %d", len(mf.Weights), wantWidth)
+	}
+	return &mf, nil
+}
+
+func saveFile(path string, save func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,147 @@
+package candidates
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/topk"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	trainPair := growingPair(t, 150, 91)
+	model, err := Train([]TrainSample{trainSampleFor(t, trainPair)},
+		TrainOptions{L: 4, Workers: 2, Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.L != model.L || loaded.Global != model.Global {
+		t.Fatal("metadata lost")
+	}
+	for i := range model.LogReg.Weights {
+		if loaded.LogReg.Weights[i] != model.LogReg.Weights[i] {
+			t.Fatal("weights changed")
+		}
+	}
+	// Loaded model selects the same candidates.
+	testPair := growingPair(t, 150, 93)
+	a, err := Classifier("L", model).Select(newCtx(testPair, 30, 4, 94))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Classifier("L", loaded).Select(newCtx(testPair, 30, 4, 94))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("candidate counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("loaded model selects differently")
+		}
+	}
+}
+
+func TestModelFileRoundTrip(t *testing.T) {
+	trainPair := growingPair(t, 120, 95)
+	model, err := Train([]TrainSample{trainSampleFor(t, trainPair)},
+		TrainOptions{L: 3, Workers: 2, Seed: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.json"
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModelFile(path + ".missing"); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestRegressionModelRoundTrip(t *testing.T) {
+	pair := growingPair(t, 120, 97)
+	gt, err := topk.Compute(pair, topk.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := PairDegreeTargets(gt.Pairs)
+	if len(targets) == 0 {
+		t.Skip("no pairs at this seed")
+	}
+	model, err := TrainRegression([]RegressionSample{{Pair: pair, Targets: targets}},
+		TrainOptions{L: 3, Workers: 2, Seed: 98})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRegressionModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.LinReg.Bias != model.LinReg.Bias {
+		t.Fatal("bias changed")
+	}
+	path := t.TempDir() + "/reg.json"
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRegressionModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelKindMismatch(t *testing.T) {
+	pair := growingPair(t, 120, 99)
+	model, err := Train([]TrainSample{trainSampleFor(t, pair)},
+		TrainOptions{L: 3, Workers: 2, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRegressionModel(&buf); !errors.Is(err, ErrModelKind) {
+		t.Fatalf("err = %v, want ErrModelKind", err)
+	}
+}
+
+func TestLoadModelCorrupt(t *testing.T) {
+	cases := map[string]string{
+		"garbage":     "not json",
+		"bad version": `{"kind":"logistic","version":99,"weights":[1],"scaler_min":[0],"scaler_max":[1]}`,
+		"shape":       `{"kind":"logistic","version":1,"weights":[1,2],"scaler_min":[0],"scaler_max":[1]}`,
+		"width":       `{"kind":"logistic","version":1,"weights":[1],"scaler_min":[0],"scaler_max":[1]}`,
+	}
+	for name, payload := range cases {
+		if _, err := LoadModel(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSaveUntrained(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Model{}).Save(&buf); err == nil {
+		t.Error("untrained classifier save should fail")
+	}
+	if err := (&RegressionModel{}).Save(&buf); err == nil {
+		t.Error("untrained regression save should fail")
+	}
+}

@@ -1,0 +1,83 @@
+package candidates
+
+import (
+	"fmt"
+	"sort"
+)
+
+// registry maps the paper's algorithm names (Table 4) to constructors for
+// the single-feature selectors. Classifier and Incidence selectors are not
+// here: the former need a trained Model, the latter live in
+// internal/incidence to keep the baseline code separate.
+var registry = map[string]func() Selector{
+	"Degree":  Degree,
+	"DegDiff": DegDiff,
+	"DegRel":  DegRel,
+	"MaxMin":  MaxMin,
+	"MaxAvg":  MaxAvg,
+	"SumDiff": SumDiff,
+	"MaxDiff": MaxDiff,
+	"MMSD":    MMSD,
+	"MMMD":    MMMD,
+	"MASD":    MASD,
+	"MAMD":    MAMD,
+	"Random":  Random,
+}
+
+// Descriptions reproduces the paper's Table 4: one line per selector
+// explaining its ranking rule.
+var Descriptions = map[string]string{
+	"Degree":  "Selects the m nodes with the largest deg_t1(u).",
+	"DegDiff": "Selects the m nodes with the largest deg_t2(u) - deg_t1(u).",
+	"DegRel":  "Selects the m nodes with the largest (deg_t2(u) - deg_t1(u)) / deg_t1(u).",
+	"MaxMin":  "Greedily selects nodes in G_t1 maximizing the minimum distance to the already-selected nodes.",
+	"MaxAvg":  "Greedily selects nodes in G_t1 maximizing the average distance to the already-selected nodes.",
+	"SumDiff": "Selects the nodes with the largest sum of distance decreases from a set of random landmarks.",
+	"MaxDiff": "Selects the nodes with the largest maximum distance decrease from a set of random landmarks.",
+	"MMSD":    "MaxMin-SumDiff: MaxMin landmark selection, SumDiff node ranking.",
+	"MMMD":    "MaxMin-MaxDiff: MaxMin landmark selection, MaxDiff node ranking.",
+	"MASD":    "MaxAvg-SumDiff: MaxAvg landmark selection, SumDiff node ranking.",
+	"MAMD":    "MaxAvg-MaxDiff: MaxAvg landmark selection, MaxDiff node ranking.",
+	"Random":  "Selects m uniformly random nodes of G_t1 (sanity baseline; not in the paper's table).",
+}
+
+// ByName constructs the named single-feature selector.
+func ByName(name string) (Selector, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("candidates: unknown selector %q (known: %v)", name, Names())
+	}
+	return ctor(), nil
+}
+
+// Names lists the registered selector names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PaperOrder lists the single-feature selectors in the row order of the
+// paper's Table 5.
+var PaperOrder = []string{
+	"Degree", "DegDiff", "DegRel",
+	"MaxMin", "MaxAvg",
+	"SumDiff", "MaxDiff",
+	"MMSD", "MMMD", "MASD", "MAMD",
+}
+
+// All constructs every selector in PaperOrder.
+func All() []Selector {
+	out := make([]Selector, 0, len(PaperOrder))
+	for _, name := range PaperOrder {
+		sel, err := ByName(name)
+		if err != nil {
+			panic(err) // PaperOrder and registry are maintained together
+		}
+		out = append(out, sel)
+	}
+	return out
+}

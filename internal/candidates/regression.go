@@ -1,0 +1,147 @@
+package candidates
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/ml"
+	"repro/internal/topk"
+)
+
+// RegressionModel is the regression-based candidate generator of the
+// paper's ref-[5] flavor: instead of classifying cover membership, a ridge
+// regression predicts each node's converging-pair participation (its G^p_k
+// degree) from the same vertex- and landmark-based attributes, and nodes are
+// ranked by the predicted value.
+type RegressionModel struct {
+	LinReg *ml.LinearRegression
+	Scaler *ml.Scaler
+	Global bool
+	L      int
+}
+
+// RegressionSample is one training pair with per-node regression targets
+// (zero for nodes absent from Targets).
+type RegressionSample struct {
+	Pair graph.SnapshotPair
+	// Targets maps node -> participation count in the training pair's
+	// top-k converging pairs (the G^p_k degree).
+	Targets map[int32]float64
+}
+
+// TrainRegression fits the regression model; see Train for the shared
+// conventions (unmetered offline training, degree-0 nodes excluded).
+func TrainRegression(samples []RegressionSample, opts TrainOptions) (*RegressionModel, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("candidates: no training samples")
+	}
+	l := opts.L
+	if l <= 0 {
+		l = DefaultLandmarks
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var x [][]float64
+	var y []float64
+	for i, s := range samples {
+		ctx := &Context{
+			Pair:    s.Pair,
+			M:       1,
+			L:       l,
+			RNG:     rng,
+			Workers: opts.Workers,
+		}
+		feats, err := BuildFeatures(ctx, opts.Global)
+		if err != nil {
+			return nil, fmt.Errorf("candidates: regression sample %d: %w", i, err)
+		}
+		for u := 0; u < s.Pair.G1.NumNodes(); u++ {
+			if s.Pair.G1.Degree(u) == 0 {
+				continue
+			}
+			x = append(x, feats[u])
+			y = append(y, s.Targets[int32(u)])
+		}
+	}
+	scaler, err := ml.FitScaler(x)
+	if err != nil {
+		return nil, fmt.Errorf("candidates: scaler: %w", err)
+	}
+	if _, err := scaler.ApplyAll(x); err != nil {
+		return nil, err
+	}
+	linreg, err := ml.FitLinear(x, y, 1e-4)
+	if err != nil {
+		return nil, fmt.Errorf("candidates: ridge regression: %w", err)
+	}
+	return &RegressionModel{LinReg: linreg, Scaler: scaler, Global: opts.Global, L: l}, nil
+}
+
+type regressionSelector struct {
+	name  string
+	model *RegressionModel
+}
+
+// Regression wraps a trained RegressionModel as a Selector. The standard
+// name in the experiment harness is "R-Classifier".
+func Regression(name string, model *RegressionModel) Selector {
+	return regressionSelector{name: name, model: model}
+}
+
+func (s regressionSelector) Name() string { return s.name }
+
+func (s regressionSelector) Select(ctx *Context) ([]int, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	if s.model == nil || s.model.LinReg == nil || s.model.Scaler == nil {
+		return nil, fmt.Errorf("candidates: %s has no trained model", s.name)
+	}
+	l := s.model.L
+	if l <= 0 {
+		l = DefaultLandmarks
+	}
+	setup := 3 * l
+	if ctx.M <= setup {
+		return nil, fmt.Errorf("%w: m=%d <= 3l=%d regression setup", ErrBudgetTooSmall, ctx.M, setup)
+	}
+	fctx := *ctx
+	fctx.L = l
+	feats, err := BuildFeatures(&fctx, s.model.Global)
+	if err != nil {
+		return nil, fmt.Errorf("candidates: %s features: %w", s.name, err)
+	}
+	ctx.D1Rows = fctx.D1Rows
+	ctx.D2Rows = fctx.D2Rows
+
+	g1 := ctx.Pair.G1
+	n := g1.NumNodes()
+	score := make([]float64, n)
+	exclude := make(map[int]bool)
+	for u := 0; u < n; u++ {
+		if g1.Degree(u) == 0 {
+			exclude[u] = true
+			continue
+		}
+		row := make([]float64, len(feats[u]))
+		copy(row, feats[u])
+		if _, err := s.model.Scaler.Apply(row); err != nil {
+			return nil, fmt.Errorf("candidates: %s scaling: %w", s.name, err)
+		}
+		score[u] = s.model.LinReg.Predict(row)
+	}
+	return landmark.TopByScore(score, ctx.M-setup, exclude), nil
+}
+
+// PairDegreeTargets converts a top-k pair set into regression targets:
+// each node's participation count (its G^p_k degree).
+func PairDegreeTargets(pairs []topk.Pair) map[int32]float64 {
+	out := map[int32]float64{}
+	for _, p := range pairs {
+		out[p.U]++
+		out[p.V]++
+	}
+	return out
+}

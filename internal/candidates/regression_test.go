@@ -1,0 +1,100 @@
+package candidates
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/topk"
+)
+
+func TestPairDegreeTargets(t *testing.T) {
+	pairs := []topk.Pair{{U: 0, V: 5}, {U: 0, V: 7}, {U: 5, V: 7}}
+	targets := PairDegreeTargets(pairs)
+	if targets[0] != 2 || targets[5] != 2 || targets[7] != 2 {
+		t.Fatalf("targets = %v", targets)
+	}
+	if len(targets) != 3 {
+		t.Fatalf("targets = %v", targets)
+	}
+}
+
+func TestTrainRegressionAndSelect(t *testing.T) {
+	trainPair := growingPair(t, 150, 71)
+	testPair := growingPair(t, 150, 72)
+
+	gt, err := topk.Compute(trainPair, topk.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := gt.MaxDelta - 1
+	if delta < 1 {
+		delta = 1
+	}
+	targets := PairDegreeTargets(gt.PairsAtLeast(delta))
+	if len(targets) == 0 {
+		t.Fatal("no targets at this seed")
+	}
+	model, err := TrainRegression(
+		[]RegressionSample{{Pair: trainPair, Targets: targets}},
+		TrainOptions{L: 4, Workers: 2, Seed: 73},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.LinReg.Weights) != NumNodeFeatures {
+		t.Fatalf("weights = %d", len(model.LinReg.Weights))
+	}
+	sel := Regression("R-Classifier", model)
+	if sel.Name() != "R-Classifier" {
+		t.Fatal("name")
+	}
+	ctx := newCtx(testPair, 30, 4, 74)
+	got, err := sel.Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 30-12 {
+		t.Fatalf("got %d candidates, want m-3l=18", len(got))
+	}
+	if rep := ctx.Meter.Report(); rep.CandidateGen != 24 {
+		t.Fatalf("charged %d, want 6l=24", rep.CandidateGen)
+	}
+	for _, u := range got {
+		if testPair.G1.Degree(u) == 0 {
+			t.Fatalf("candidate %d absent from G1", u)
+		}
+	}
+}
+
+func TestTrainRegressionValidation(t *testing.T) {
+	if _, err := TrainRegression(nil, TrainOptions{}); err == nil {
+		t.Fatal("no samples should fail")
+	}
+}
+
+func TestRegressionSelectorErrors(t *testing.T) {
+	sp := growingPair(t, 80, 75)
+	sel := Regression("R-Classifier", nil)
+	if _, err := sel.Select(newCtx(sp, 40, 4, 76)); err == nil {
+		t.Fatal("nil model should fail")
+	}
+	gt, err := topk.Compute(sp, topk.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := PairDegreeTargets(gt.Pairs)
+	if len(targets) == 0 {
+		t.Skip("no pairs at this seed")
+	}
+	model, err := TrainRegression(
+		[]RegressionSample{{Pair: sp, Targets: targets}},
+		TrainOptions{L: 10, Workers: 2, Seed: 77},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Regression("R-Classifier", model).Select(newCtx(sp, 20, 10, 78))
+	if !errors.Is(err, ErrBudgetTooSmall) {
+		t.Fatalf("err = %v, want ErrBudgetTooSmall", err)
+	}
+}

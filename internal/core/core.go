@@ -1,0 +1,259 @@
+// Package core implements the paper's Algorithm 1, the generic budgeted
+// top-k converging-pairs algorithm: select m candidate endpoints with a
+// pluggable selector, compute their single-source shortest paths on both
+// snapshots (reusing any rows the selector already paid for), take the
+// pairwise distance differences, and return the k pairs that converged the
+// most. Every shortest-path computation is charged to a budget meter, so a
+// run's total cost is provably at most 2m SSSPs.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/budget"
+	"repro/internal/candidates"
+	"repro/internal/graph"
+	"repro/internal/sssp"
+	"repro/internal/topk"
+)
+
+// Options configures one run of the generic top-k algorithm.
+type Options struct {
+	// Selector generates the candidate endpoints; required.
+	Selector candidates.Selector
+	// M is the endpoint budget (2M SSSP computations in total); required.
+	M int
+	// L is the landmark-set size for landmark-using selectors; 0 means the
+	// paper's default of 10.
+	L int
+	// K asks for the K pairs with the largest distance decrease. Exactly one
+	// of K and MinDelta must be set.
+	K int
+	// MinDelta asks for every discovered pair whose distance decreased by at
+	// least MinDelta (the paper's δ-threshold formulation).
+	MinDelta int32
+	// Seed drives random choices; ignored if RNG is set.
+	Seed int64
+	// RNG overrides the seeded RNG.
+	RNG *rand.Rand
+	// Workers bounds BFS parallelism; <=0 means GOMAXPROCS.
+	Workers int
+	// Meter overrides the default budget meter of 2M SSSPs. Useful for
+	// tests; normal callers leave it nil.
+	Meter *budget.Meter
+}
+
+// Result is the outcome of a budgeted top-k run.
+type Result struct {
+	// Pairs holds the discovered converging pairs in canonical order
+	// (Delta descending, then node IDs), cut to K if K was set.
+	Pairs []topk.Pair
+	// Candidates is the endpoint set M the selector produced.
+	Candidates []int
+	// Budget reports the SSSP spending split by phase (Table 1).
+	Budget budget.Report
+	// SelectorName records which algorithm generated the candidates.
+	SelectorName string
+}
+
+// CandidateSet returns the candidate endpoints as a set, the form the
+// coverage metric consumes.
+func (r *Result) CandidateSet() map[int32]bool { return topk.NodeSet(r.Candidates) }
+
+// Coverage returns the fraction of truePairs recoverable from this run's
+// candidate set — the paper's evaluation metric.
+func (r *Result) Coverage(truePairs []topk.Pair) float64 {
+	return topk.Coverage(truePairs, r.CandidateSet())
+}
+
+// ErrNoSelector reports Options without a selector.
+var ErrNoSelector = errors.New("core: no selector configured")
+
+// TopK runs Algorithm 1 on the snapshot pair.
+func TopK(pair graph.SnapshotPair, opts Options) (*Result, error) {
+	if opts.Selector == nil {
+		return nil, ErrNoSelector
+	}
+	if (opts.K > 0) == (opts.MinDelta > 0) {
+		return nil, fmt.Errorf("core: exactly one of K (%d) and MinDelta (%d) must be positive",
+			opts.K, opts.MinDelta)
+	}
+	if err := pair.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.M <= 0 {
+		return nil, fmt.Errorf("core: non-positive endpoint budget m=%d", opts.M)
+	}
+	rng := opts.RNG
+	if rng == nil {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
+	meter := opts.Meter
+	if meter == nil {
+		meter = budget.NewMeter(opts.M)
+	}
+	ctx := &candidates.Context{
+		Pair:    pair,
+		M:       opts.M,
+		L:       opts.L,
+		RNG:     rng,
+		Meter:   meter,
+		Workers: opts.Workers,
+	}
+	cands, err := opts.Selector.Select(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: candidate generation (%s): %w", opts.Selector.Name(), err)
+	}
+	if len(cands) > opts.M {
+		return nil, fmt.Errorf("core: selector %s returned %d candidates for budget m=%d",
+			opts.Selector.Name(), len(cands), opts.M)
+	}
+	// Defensive dedupe: a duplicated candidate would double-charge the
+	// budget and double-count its pairs.
+	seen := make(map[int]bool, len(cands))
+	uniq := cands[:0]
+	for _, u := range cands {
+		if u < 0 || u >= pair.G1.NumNodes() {
+			return nil, fmt.Errorf("core: selector %s returned out-of-range candidate %d",
+				opts.Selector.Name(), u)
+		}
+		if !seen[u] {
+			seen[u] = true
+			uniq = append(uniq, u)
+		}
+	}
+	cands = uniq
+	pairs, err := extractPairs(pair, ctx, cands, opts, meter)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Pairs:        pairs,
+		Candidates:   cands,
+		Budget:       meter.Report(),
+		SelectorName: opts.Selector.Name(),
+	}, nil
+}
+
+// extractPairs implements lines 2-5 of Algorithm 1: compute D1 and D2 rows
+// for the candidate set (reusing rows the selector cached), form the
+// pairwise deltas, and keep the top pairs.
+func extractPairs(pair graph.SnapshotPair, ctx *candidates.Context, cands []int, opts Options, meter *budget.Meter) ([]topk.Pair, error) {
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	g1, g2 := pair.G1, pair.G2
+	n := g1.NumNodes()
+
+	// Charge exactly the BFS computations the caches cannot cover.
+	toCharge := 0
+	for _, u := range cands {
+		if _, ok := ctx.D1Rows[u]; !ok {
+			toCharge++
+		}
+		if _, ok := ctx.D2Rows[u]; !ok {
+			toCharge++
+		}
+	}
+	if err := meter.Charge(budget.PhaseTopK, toCharge); err != nil {
+		return nil, fmt.Errorf("core: extraction phase: %w", err)
+	}
+
+	inM := make(map[int]bool, len(cands))
+	for _, u := range cands {
+		inM[u] = true
+	}
+
+	floor := opts.MinDelta
+	if floor <= 0 {
+		floor = 1
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	var mu sync.Mutex
+	var all []topk.Pair
+	next := make(chan int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d1buf := make([]int32, n)
+			d2buf := make([]int32, n)
+			var local []topk.Pair
+			for i := range next {
+				u := cands[i]
+				d1 := ctx.D1Rows[u]
+				if d1 == nil {
+					sssp.BFS(g1, u, d1buf)
+					d1 = d1buf
+				}
+				d2 := ctx.D2Rows[u]
+				if d2 == nil {
+					sssp.BFS(g2, u, d2buf)
+					d2 = d2buf
+				}
+				for v := 0; v < n; v++ {
+					if v == u || (inM[v] && v < u) {
+						continue // the pair is found from the smaller candidate
+					}
+					if d1[v] <= 0 {
+						continue
+					}
+					delta := d1[v] - d2[v]
+					if delta < floor {
+						continue
+					}
+					p := topk.Pair{U: int32(u), V: int32(v), D1: d1[v], D2: d2[v], Delta: delta}
+					if p.U > p.V {
+						p.U, p.V = p.V, p.U
+					}
+					local = append(local, p)
+				}
+			}
+			mu.Lock()
+			all = append(all, local...)
+			mu.Unlock()
+		}()
+	}
+	for i := range cands {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	topk.SortPairs(all)
+	if opts.K > 0 && len(all) > opts.K {
+		all = all[:opts.K]
+	}
+	return all, nil
+}
+
+// Exact computes the true top-k converging pairs without budget constraints
+// (the quadratic baseline the paper compares against). It is a thin wrapper
+// over the topk package, exposed here so the public API offers both the
+// budgeted algorithm and the exact one.
+func Exact(pair graph.SnapshotPair, k int, workers int) ([]topk.Pair, error) {
+	gt, err := topk.Compute(pair, topk.Options{Workers: workers, Slack: 1 << 30})
+	if err != nil {
+		return nil, err
+	}
+	if k > len(gt.Pairs) {
+		k = len(gt.Pairs)
+	}
+	return gt.Pairs[:k], nil
+}
+
+// SortCandidates orders a candidate slice ascending; a display helper.
+func SortCandidates(cands []int) { sort.Ints(cands) }

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sssp"
+	"repro/internal/topk"
+)
+
+// Explanation attributes a converging pair to the evolution that caused it:
+// one shortest path in G_t2 between the endpoints, split into the edges
+// that already existed in G_t1 and the new edges responsible for the
+// collapse. Applications act on this ("which new friendship / peering link
+// brought them together?"), and it doubles as a verification: the path
+// length must equal the pair's D2.
+type Explanation struct {
+	Pair topk.Pair
+	// Path is one shortest path in G_t2 from Pair.U to Pair.V (inclusive).
+	Path []int
+	// NewEdges are the path edges absent from G_t1 — the insertions that
+	// created the shortcut, in path order.
+	NewEdges []graph.Edge
+	// OldEdges are the path edges already present in G_t1, in path order.
+	OldEdges []graph.Edge
+}
+
+// Explain traces the shortest path behind a converging pair on the snapshot
+// pair it was found on. It validates that the pair's recorded distances
+// match the graphs, so stale results surface as errors rather than wrong
+// stories.
+func Explain(pair graph.SnapshotPair, p topk.Pair) (*Explanation, error) {
+	if err := pair.Validate(); err != nil {
+		return nil, err
+	}
+	n := pair.G1.NumNodes()
+	if int(p.U) >= n || int(p.V) >= n || p.U < 0 || p.U >= p.V {
+		return nil, fmt.Errorf("core: pair %v out of range or non-canonical", p)
+	}
+	path := sssp.Path(pair.G2, int(p.U), int(p.V))
+	if path == nil {
+		return nil, fmt.Errorf("core: pair %v is not connected in G_t2", p)
+	}
+	if int32(len(path)-1) != p.D2 {
+		return nil, fmt.Errorf("core: pair %v records d2=%d but G_t2 distance is %d (stale result?)",
+			p, p.D2, len(path)-1)
+	}
+	exp := &Explanation{Pair: p, Path: path}
+	for i := 1; i < len(path); i++ {
+		e := graph.Edge{U: path[i-1], V: path[i]}
+		if pair.G1.HasEdge(e.U, e.V) {
+			exp.OldEdges = append(exp.OldEdges, e)
+		} else {
+			exp.NewEdges = append(exp.NewEdges, e)
+		}
+	}
+	return exp, nil
+}
+
+// String renders the explanation as a one-line path with new edges marked.
+func (e *Explanation) String() string {
+	out := fmt.Sprintf("(%d,%d) Δ=%d via", e.Pair.U, e.Pair.V, e.Pair.Delta)
+	isNew := make(map[graph.Edge]bool, len(e.NewEdges))
+	for _, ne := range e.NewEdges {
+		isNew[ne.Canon()] = true
+	}
+	for i, v := range e.Path {
+		if i == 0 {
+			out += fmt.Sprintf(" %d", v)
+			continue
+		}
+		sep := "--"
+		if isNew[(graph.Edge{U: e.Path[i-1], V: v}).Canon()] {
+			sep = "==" // new edge
+		}
+		out += fmt.Sprintf(" %s %d", sep, v)
+	}
+	if len(e.NewEdges) > 0 {
+		out += fmt.Sprintf("  (== marks the %d new edges)", len(e.NewEdges))
+	}
+	return out
+}
+
+// EdgeImpact aggregates explanations: how many of the given converging
+// pairs route over each new edge.
+type EdgeImpact struct {
+	Edge  graph.Edge
+	Pairs int
+}
+
+// CriticalNewEdges explains every pair and ranks the new edges by how many
+// converging pairs route over them — the inverse view of the Incidence
+// baseline's "important edges": instead of guessing candidates from new
+// edges, it attributes discovered convergence back to the insertions that
+// caused it. Pairs that fail to explain (e.g. stale distances) are skipped.
+// Results are sorted by impact descending, then edge order; at most topN
+// are returned (0 = all).
+func CriticalNewEdges(pair graph.SnapshotPair, pairs []topk.Pair, topN int) []EdgeImpact {
+	counts := map[graph.Edge]int{}
+	for _, p := range pairs {
+		exp, err := Explain(pair, p)
+		if err != nil {
+			continue
+		}
+		for _, e := range exp.NewEdges {
+			counts[e.Canon()]++
+		}
+	}
+	out := make([]EdgeImpact, 0, len(counts))
+	for e, c := range counts {
+		out = append(out, EdgeImpact{Edge: e, Pairs: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pairs != out[j].Pairs {
+			return out[i].Pairs > out[j].Pairs
+		}
+		if out[i].Edge.U != out[j].Edge.U {
+			return out[i].Edge.U < out[j].Edge.U
+		}
+		return out[i].Edge.V < out[j].Edge.V
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}

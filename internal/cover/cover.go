@@ -1,0 +1,193 @@
+// Package cover solves the vertex-cover and budgeted max-coverage problems
+// on the pairs graph G^p_k. The paper formalizes good candidate endpoints as
+// a vertex cover of G^p_k (Problem 2: with budget m, maximize the number of
+// covered pairs), uses the greedy log-approximation as the reference
+// solution ("greedy-cover"), and trains its classifiers with greedy-cover
+// membership as the positive class.
+package cover
+
+import (
+	"sort"
+
+	"repro/internal/topk"
+)
+
+// Greedy computes a vertex cover of the pairs graph with the classic greedy
+// algorithm: repeatedly pick the node covering the most uncovered pairs.
+// Ties break toward the smaller node ID for determinism. The result covers
+// every pair and has the well-known logarithmic approximation ratio.
+func Greedy(pairs []topk.Pair) []int32 {
+	cover, _ := MaxCoverage(pairs, len(pairs)) // k nodes always suffice
+	return cover
+}
+
+// MaxCoverage runs the greedy algorithm for the budgeted max-coverage
+// variant: select at most budget nodes maximizing the number of covered
+// pairs. It returns the selected nodes in pick order and the number of pairs
+// they cover. Selection stops early once everything is covered.
+func MaxCoverage(pairs []topk.Pair, budget int) (nodes []int32, covered int) {
+	if budget <= 0 || len(pairs) == 0 {
+		return nil, 0
+	}
+	// Adjacency from node -> indices of incident pairs.
+	incident := make(map[int32][]int)
+	for i, p := range pairs {
+		incident[p.U] = append(incident[p.U], i)
+		incident[p.V] = append(incident[p.V], i)
+	}
+	gain := make(map[int32]int, len(incident))
+	for u, inc := range incident {
+		gain[u] = len(inc)
+	}
+	done := make([]bool, len(pairs))
+	for len(nodes) < budget && covered < len(pairs) {
+		best, bestGain := int32(-1), 0
+		for u, g := range gain {
+			if g > bestGain || (g == bestGain && g > 0 && (best == -1 || u < best)) {
+				best, bestGain = u, g
+			}
+		}
+		if bestGain == 0 {
+			break
+		}
+		nodes = append(nodes, best)
+		for _, i := range incident[best] {
+			if done[i] {
+				continue
+			}
+			done[i] = true
+			covered++
+			p := pairs[i]
+			gain[p.U]--
+			gain[p.V]--
+		}
+		delete(gain, best)
+	}
+	return nodes, covered
+}
+
+// Matching computes a vertex cover via a maximal matching: both endpoints of
+// every matched pair enter the cover, a classic 2-approximation of the
+// minimum vertex cover. Provided as an ablation alternative to Greedy.
+func Matching(pairs []topk.Pair) []int32 {
+	matched := make(map[int32]bool)
+	var cover []int32
+	for _, p := range pairs {
+		if matched[p.U] || matched[p.V] {
+			continue
+		}
+		matched[p.U], matched[p.V] = true, true
+		cover = append(cover, p.U, p.V)
+	}
+	sort.Slice(cover, func(i, j int) bool { return cover[i] < cover[j] })
+	return cover
+}
+
+// DegreeOrdered returns a cover built by scanning endpoints in descending
+// G^p_k-degree order and adding any node incident to a still-uncovered pair.
+// A third ablation strategy for the classifier's positive class.
+func DegreeOrdered(pairs []topk.Pair) []int32 {
+	pg := topk.NewPairsGraph(pairs)
+	endpoints := pg.Endpoints()
+	sort.Slice(endpoints, func(i, j int) bool {
+		di, dj := pg.Degree(endpoints[i]), pg.Degree(endpoints[j])
+		if di != dj {
+			return di > dj
+		}
+		return endpoints[i] < endpoints[j]
+	})
+	covered := make([]bool, len(pairs))
+	incident := make(map[int32][]int)
+	for i, p := range pairs {
+		incident[p.U] = append(incident[p.U], i)
+		incident[p.V] = append(incident[p.V], i)
+	}
+	var cover []int32
+	remaining := len(pairs)
+	for _, u := range endpoints {
+		if remaining == 0 {
+			break
+		}
+		useful := false
+		for _, i := range incident[u] {
+			if !covered[i] {
+				useful = true
+				break
+			}
+		}
+		if !useful {
+			continue
+		}
+		cover = append(cover, u)
+		for _, i := range incident[u] {
+			if !covered[i] {
+				covered[i] = true
+				remaining--
+			}
+		}
+	}
+	return cover
+}
+
+// IsCover reports whether nodes cover every pair.
+func IsCover(pairs []topk.Pair, nodes []int32) bool {
+	set := make(map[int32]bool, len(nodes))
+	for _, u := range nodes {
+		set[u] = true
+	}
+	for _, p := range pairs {
+		if !set[p.U] && !set[p.V] {
+			return false
+		}
+	}
+	return true
+}
+
+// Exact computes a minimum vertex cover by branch and bound on the pair
+// list. Exponential in the worst case; intended for tests and tiny graphs
+// (it refuses inputs with more than 30 distinct endpoints by returning nil).
+func Exact(pairs []topk.Pair) []int32 {
+	ids := topk.NewPairsGraph(pairs).Endpoints()
+	if len(ids) > 30 {
+		return nil
+	}
+	if len(pairs) == 0 {
+		return []int32{}
+	}
+	index := make(map[int32]int, len(ids))
+	for i, u := range ids {
+		index[u] = i
+	}
+	type edge struct{ a, b int }
+	edges := make([]edge, len(pairs))
+	for i, p := range pairs {
+		edges[i] = edge{index[p.U], index[p.V]}
+	}
+	best := uint32(1<<len(ids)) - 1 // all nodes
+	bestCount := len(ids)
+	var rec func(i int, chosen uint32, count int)
+	rec = func(i int, chosen uint32, count int) {
+		if count >= bestCount {
+			return
+		}
+		if i == len(edges) {
+			best, bestCount = chosen, count
+			return
+		}
+		e := edges[i]
+		if chosen&(1<<e.a) != 0 || chosen&(1<<e.b) != 0 {
+			rec(i+1, chosen, count)
+			return
+		}
+		rec(i+1, chosen|1<<e.a, count+1)
+		rec(i+1, chosen|1<<e.b, count+1)
+	}
+	rec(0, 0, 0)
+	var cover []int32
+	for i, u := range ids {
+		if best&(1<<i) != 0 {
+			cover = append(cover, u)
+		}
+	}
+	return cover
+}

@@ -1,0 +1,31 @@
+package cover_test
+
+import (
+	"fmt"
+
+	"repro/internal/cover"
+	"repro/internal/topk"
+)
+
+// Example shows the greedy vertex cover that defines good candidate
+// endpoints: a hub covering many pairs is picked first.
+func Example() {
+	pairs := []topk.Pair{
+		{U: 3, V: 10}, {U: 3, V: 11}, {U: 3, V: 12}, // hub 3
+		{U: 7, V: 20}, // an isolated pair
+	}
+	fmt.Println(cover.Greedy(pairs))
+	// Output: [3 7]
+}
+
+// ExampleMaxCoverage shows the budgeted variant (Problem 2): with one node
+// allowed, the hub wins and covers three of the four pairs.
+func ExampleMaxCoverage() {
+	pairs := []topk.Pair{
+		{U: 3, V: 10}, {U: 3, V: 11}, {U: 3, V: 12},
+		{U: 7, V: 20},
+	}
+	nodes, covered := cover.MaxCoverage(pairs, 1)
+	fmt.Println(nodes, covered)
+	// Output: [3] 3
+}

@@ -1,0 +1,74 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bipartite"
+)
+
+// ActorsAffiliation generates the Actors workload in its native bipartite
+// form — the actor–movie affiliation stream the co-appearance graph is a
+// projection of. The same casting process as Actors drives it (movies
+// arrive over time, casts mix debutants with preferentially picked
+// veterans), so Project(0) on the result reproduces an Actors-like
+// evolving co-appearance graph while keeping the movie side available for
+// bipartite analyses (the related-work [21] setting).
+func ActorsAffiliation(cfg Config) (*bipartite.Stream, error) {
+	const paperNodes = 10900
+	target := int(float64(paperNodes) * cfg.scale())
+	if target < 20 {
+		return nil, fmt.Errorf("datagen: ActorsAffiliation scale %v too small (%d actors)", cfg.scale(), target)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var events []bipartite.Membership
+	var tstamp int64
+	pick := &prefPicker{}
+	actors := 0
+	newActor := func() int {
+		u := actors
+		actors++
+		pick.addNode(u)
+		return u
+	}
+	movies := 0
+	join := func(actor, movie int) {
+		events = append(events, bipartite.Membership{Left: actor, Right: movie, Time: tstamp})
+		tstamp++
+	}
+
+	// Seed movie so preferential picks have a pool.
+	m0 := movies
+	movies++
+	for i := 0; i < 3; i++ {
+		a := newActor()
+		join(a, m0)
+		pick.addNode(a) // extra weight for the founding cast
+	}
+
+	for actors < target {
+		movie := movies
+		movies++
+		castSize := 2
+		for castSize < 8 && rng.Float64() < 0.42 {
+			castSize++
+		}
+		inCast := map[int]bool{}
+		for len(inCast) < castSize {
+			var a int
+			if rng.Float64() < 0.33 {
+				a = newActor()
+			} else {
+				a = pick.pick(rng)
+			}
+			if inCast[a] {
+				continue
+			}
+			inCast[a] = true
+			join(a, movie)
+			pick.addNode(a) // appearing in a movie raises future casting odds
+		}
+	}
+	return bipartite.NewStream(events)
+}

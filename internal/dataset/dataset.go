@@ -1,0 +1,189 @@
+// Package dataset wraps an evolving graph with the snapshot conventions of
+// the paper's evaluation (Section 5.1): the test pair is (80%, 100%) of the
+// edge stream, classifier training uses (60%, 70%), and per-dataset
+// characteristics reproduce Table 2. It also provides a plain-text edge-list
+// format so generated datasets can be saved and reloaded by the CLIs.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/topk"
+)
+
+// Snapshot fractions used across the evaluation.
+const (
+	TrainFrac1 = 0.6
+	TrainFrac2 = 0.7
+	TestFrac1  = 0.8
+	TestFrac2  = 1.0
+)
+
+// Dataset is a named evolving graph.
+type Dataset struct {
+	Name string
+	Ev   *graph.Evolving
+}
+
+// Generate builds one of the four synthetic paper datasets.
+func Generate(name string, cfg datagen.Config) (*Dataset, error) {
+	ev, err := datagen.ByName(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: name, Ev: ev}, nil
+}
+
+// GenerateAll builds all four datasets with the same config.
+func GenerateAll(cfg datagen.Config) ([]*Dataset, error) {
+	out := make([]*Dataset, 0, len(datagen.Names))
+	for _, name := range datagen.Names {
+		ds, err := Generate(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds)
+	}
+	return out, nil
+}
+
+// TestPair returns the evaluation snapshot pair (80% / 100%).
+func (d *Dataset) TestPair() graph.SnapshotPair {
+	pair, err := d.Ev.Pair(TestFrac1, TestFrac2)
+	if err != nil {
+		// The fractions are compile-time constants with TestFrac1 < TestFrac2.
+		panic(err)
+	}
+	return pair
+}
+
+// TrainPair returns the classifier-training snapshot pair (60% / 70%).
+func (d *Dataset) TrainPair() graph.SnapshotPair {
+	pair, err := d.Ev.Pair(TrainFrac1, TrainFrac2)
+	if err != nil {
+		panic(err)
+	}
+	return pair
+}
+
+// Characteristics are the Table 2 columns for one dataset.
+type Characteristics struct {
+	Name string
+	// Nodes1/Nodes2 count nodes with at least one edge in each snapshot.
+	Nodes1, Nodes2 int
+	// Edges1/Edges2 are the snapshot edge counts.
+	Edges1, Edges2 int
+	// Diameter1/Diameter2 are exact diameters (largest finite distance).
+	Diameter1, Diameter2 int32
+	// MaxDelta is Δmax, the largest shortest-path decrease.
+	MaxDelta int32
+	// NotConnected counts the nodes of G_t1 outside its largest connected
+	// component (present nodes only).
+	NotConnected int
+}
+
+// Characteristics computes the Table 2 row of the dataset's test pair. The
+// ground truth gt must come from topk.Compute on the same pair (callers
+// usually have it already; passing it avoids a second all-pairs sweep).
+func (d *Dataset) Characteristics(pair graph.SnapshotPair, gt *topk.GroundTruth) Characteristics {
+	c := Characteristics{
+		Name:      d.Name,
+		Edges1:    pair.G1.NumEdges(),
+		Edges2:    pair.G2.NumEdges(),
+		Diameter1: gt.Diameter1,
+		Diameter2: gt.Diameter2,
+		MaxDelta:  gt.MaxDelta,
+	}
+	for u := 0; u < pair.G1.NumNodes(); u++ {
+		if pair.G1.Degree(u) > 0 {
+			c.Nodes1++
+		}
+		if pair.G2.Degree(u) > 0 {
+			c.Nodes2++
+		}
+	}
+	comp, _ := graph.LargestComponent(pair.G1)
+	c.NotConnected = c.Nodes1 - len(comp)
+	return c
+}
+
+// Save writes the dataset as "u v t" lines preceded by a name header.
+func (d *Dataset) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# dataset %s\n", d.Name); err != nil {
+		return err
+	}
+	for _, te := range d.Ev.Stream() {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", te.U, te.V, te.Time); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the dataset to the given path.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a dataset written by Save. Lines starting with '#' other than
+// the name header are ignored; a missing header yields the fallback name.
+func Load(r io.Reader, fallbackName string) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	name := fallbackName
+	var stream []graph.TimedEdge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if len(line) == 0 {
+			continue
+		}
+		if line[0] == '#' {
+			var n string
+			if _, err := fmt.Sscanf(line, "# dataset %s", &n); err == nil {
+				name = n
+			}
+			continue
+		}
+		var u, v int
+		var tm int64
+		if _, err := fmt.Sscanf(line, "%d %d %d", &u, &v, &tm); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %v", lineNo, err)
+		}
+		stream = append(stream, graph.TimedEdge{U: u, V: v, Time: tm})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	ev, err := graph.NewEvolving(stream)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Name: name, Ev: ev}, nil
+}
+
+// LoadFile reads a dataset from the given path, using the path as the
+// fallback name.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, path)
+}

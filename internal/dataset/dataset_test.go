@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/topk"
+)
+
+func tinyDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate("Facebook", datagen.Config{Seed: 9, Scale: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestGenerateAll(t *testing.T) {
+	all, err := GenerateAll(datagen.Config{Seed: 1, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("got %d datasets", len(all))
+	}
+	names := map[string]bool{}
+	for _, ds := range all {
+		names[ds.Name] = true
+	}
+	for _, want := range datagen.Names {
+		if !names[want] {
+			t.Fatalf("missing dataset %s", want)
+		}
+	}
+}
+
+func TestSnapshotPairs(t *testing.T) {
+	ds := tinyDataset(t)
+	test := ds.TestPair()
+	train := ds.TrainPair()
+	if err := test.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := train.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if train.G2.NumEdges() >= test.G1.NumEdges() {
+		t.Fatalf("train G2 (%d edges) should precede test G1 (%d edges)",
+			train.G2.NumEdges(), test.G1.NumEdges())
+	}
+	if test.G2.NumEdges() != ds.Ev.NumEdges() {
+		t.Fatal("test G2 should be the full graph")
+	}
+}
+
+func TestCharacteristics(t *testing.T) {
+	ds := tinyDataset(t)
+	pair := ds.TestPair()
+	gt, err := topk.Compute(pair, topk.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ds.Characteristics(pair, gt)
+	if c.Name != ds.Name {
+		t.Fatal("name not propagated")
+	}
+	if c.Nodes1 <= 0 || c.Nodes2 < c.Nodes1 {
+		t.Fatalf("node counts: %d, %d", c.Nodes1, c.Nodes2)
+	}
+	if c.Edges1 != pair.G1.NumEdges() || c.Edges2 != pair.G2.NumEdges() {
+		t.Fatal("edge counts wrong")
+	}
+	// The diameter may shrink (new shortcuts) or grow (new peripheral
+	// nodes), so only sanity-check the range.
+	if c.Diameter1 < 1 || c.Diameter2 < 1 {
+		t.Fatalf("degenerate diameters: %d, %d", c.Diameter1, c.Diameter2)
+	}
+	if c.NotConnected < 0 || c.NotConnected >= c.Nodes1 {
+		t.Fatalf("NotConnected = %d", c.NotConnected)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := tinyDataset(t)
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, "fallback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != ds.Name {
+		t.Fatalf("name = %q, want %q", loaded.Name, ds.Name)
+	}
+	if loaded.Ev.NumEdges() != ds.Ev.NumEdges() || loaded.Ev.NumNodes() != ds.Ev.NumNodes() {
+		t.Fatal("round trip changed sizes")
+	}
+	a, b := ds.Ev.Stream(), loaded.Ev.Stream()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream diverges at %d", i)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ds := tinyDataset(t)
+	path := t.TempDir() + "/fb.txt"
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Ev.NumEdges() != ds.Ev.NumEdges() {
+		t.Fatal("file round trip changed edge count")
+	}
+	if _, err := LoadFile(t.TempDir() + "/missing.txt"); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("not numbers\n"), "x"); err == nil {
+		t.Fatal("garbage line should fail")
+	}
+	if _, err := Load(strings.NewReader(""), "x"); err == nil {
+		t.Fatal("empty stream should fail")
+	}
+	// Comments and blanks are fine.
+	in := "# a comment\n\n0 1 0\n1 2 1\n"
+	ds, err := Load(strings.NewReader(in), "fallback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "fallback" || ds.Ev.NumEdges() != 2 {
+		t.Fatalf("ds = %q, %d edges", ds.Name, ds.Ev.NumEdges())
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("nope", datagen.Config{}); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+}

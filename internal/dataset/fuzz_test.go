@@ -1,0 +1,44 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad exercises the edge-list parser with arbitrary input: it must
+// never panic, and anything it accepts must round-trip through Save/Load.
+func FuzzLoad(f *testing.F) {
+	f.Add("0 1 0\n1 2 1\n")
+	f.Add("# dataset X\n0 1 0\n")
+	f.Add("")
+	f.Add("a b c\n")
+	f.Add("0 0 0\n")
+	f.Add("1 2 5\n3 4 2\n") // unsorted times
+	f.Add("-1 2 0\n")
+	f.Add("999999999999999999999 1 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := Load(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := ds.Save(&buf); err != nil {
+			t.Fatalf("accepted dataset failed to save: %v", err)
+		}
+		again, err := Load(&buf, "fuzz2")
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.Ev.NumEdges() != ds.Ev.NumEdges() || again.Ev.NumNodes() != ds.Ev.NumNodes() {
+			t.Fatalf("round trip changed shape: %d/%d -> %d/%d",
+				ds.Ev.NumNodes(), ds.Ev.NumEdges(), again.Ev.NumNodes(), again.Ev.NumEdges())
+		}
+		a, b := ds.Ev.Stream(), again.Ev.Stream()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round trip changed stream at %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,203 @@
+package dynsssp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+func pathGraph(n int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{U: i, V: i + 1})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func TestNewValidation(t *testing.T) {
+	g := pathGraph(4)
+	if _, err := New(g, -1); err == nil {
+		t.Error("negative source should fail")
+	}
+	if _, err := New(g, 4); err == nil {
+		t.Error("out-of-range source should fail")
+	}
+}
+
+func TestInsertEdgeShortcut(t *testing.T) {
+	g := pathGraph(8)
+	d, err := New(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dist(7) != 7 {
+		t.Fatalf("initial dist = %d", d.Dist(7))
+	}
+	changed, err := d.InsertEdge(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes 4..7 improve: d(6): 6->1, d(5): 5->2, d(7): 7->2, d(4): 4->3.
+	if changed != 4 {
+		t.Fatalf("changed = %d, want 4", changed)
+	}
+	want := []int32{0, 1, 2, 3, 3, 2, 1, 2}
+	if !reflect.DeepEqual(d.Distances(), want) {
+		t.Fatalf("dist = %v, want %v", d.Distances(), want)
+	}
+}
+
+func TestInsertEdgeNoImprovement(t *testing.T) {
+	g := pathGraph(5)
+	d, err := New(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := d.InsertEdge(0, 1) // duplicate
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 0 {
+		t.Fatalf("duplicate edge changed %d distances", changed)
+	}
+	changed, err = d.InsertEdge(2, 2) // self-loop
+	if err != nil || changed != 0 {
+		t.Fatalf("self-loop: %d, %v", changed, err)
+	}
+	if _, err := d.InsertEdge(-1, 2); err == nil {
+		t.Fatal("negative node should fail")
+	}
+}
+
+func TestInsertConnectsComponent(t *testing.T) {
+	g := graph.FromEdges(6, []graph.Edge{{U: 0, V: 1}, {U: 3, V: 4}, {U: 4, V: 5}})
+	d, err := New(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dist(4) != sssp.Unreachable {
+		t.Fatal("4 should start unreachable")
+	}
+	if _, err := d.InsertEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 1, sssp.Unreachable, 2, 3, 4}
+	if !reflect.DeepEqual(d.Distances(), want) {
+		t.Fatalf("dist = %v, want %v", d.Distances(), want)
+	}
+}
+
+func TestEnsureNodeGrowth(t *testing.T) {
+	g := pathGraph(3)
+	d, err := New(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.InsertEdge(2, 9); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumNodes() != 10 {
+		t.Fatalf("NumNodes = %d, want 10", d.NumNodes())
+	}
+	if d.Dist(9) != 3 {
+		t.Fatalf("dist(9) = %d, want 3", d.Dist(9))
+	}
+	for v := 3; v < 9; v++ {
+		if d.Dist(v) != sssp.Unreachable {
+			t.Fatalf("dist(%d) = %d, want unreachable", v, d.Dist(v))
+		}
+	}
+}
+
+// Property: after any random insertion sequence, the maintained vector
+// equals a fresh BFS on the final graph, and every insertion's relaxation
+// touches no more nodes than a full BFS would.
+func TestIncrementalMatchesRecompute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		b := graph.NewBuilder(n)
+		for i := 1; i < n/2; i++ {
+			_ = b.AddEdge(i, rng.Intn(i))
+		}
+		g := b.Build()
+		src := rng.Intn(n / 2)
+		d, err := New(g, src)
+		if err != nil {
+			return false
+		}
+		// Mirror builder for the reference recomputation.
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if _, err := d.InsertEdge(u, v); err != nil {
+				return false
+			}
+			_ = b.AddEdge(u, v)
+		}
+		want := sssp.Distances(b.Build(), src)
+		got := d.Distances()
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyStreamAndStats(t *testing.T) {
+	g := pathGraph(10)
+	d, err := New(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := d.ApplyStream([]graph.TimedEdge{
+		{U: 0, V: 9, Time: 1},
+		{U: 0, V: 5, Time: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == 0 {
+		t.Fatal("stream should change distances")
+	}
+	ins, touched := d.Stats()
+	if ins != 2 || touched == 0 {
+		t.Fatalf("stats = %d, %d", ins, touched)
+	}
+}
+
+func TestDeltaSince(t *testing.T) {
+	g := pathGraph(8)
+	d, err := New(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := append([]int32(nil), d.Distances()...)
+	if _, err := d.InsertEdge(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int32, 8)
+	if err := d.DeltaSince(baseline, out); err != nil {
+		t.Fatal(err)
+	}
+	// d2(4) = 3 via 0-6-5-4 (Δ=1), d2(5) = 2 via 0-6-5 (Δ=3),
+	// d2(6) = 1 (Δ=5), d2(7) = 2 via 0-6-7 (Δ=5).
+	want := []int32{0, 0, 0, 0, 1, 3, 5, 5}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("delta = %v, want %v", out, want)
+	}
+	if err := d.DeltaSince(baseline, make([]int32, 3)); err == nil {
+		t.Fatal("short out buffer should fail")
+	}
+	if err := d.DeltaSince(make([]int32, 99), out); err == nil {
+		t.Fatal("oversized baseline should fail")
+	}
+}

@@ -1,0 +1,173 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/candidates"
+	"repro/internal/graph"
+	"repro/internal/topk"
+)
+
+func pathGraph(n int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{U: i, V: i + 1})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func gridGraph(side int) *graph.Graph {
+	b := graph.NewBuilder(side * side)
+	id := func(r, c int) int { return r*side + c }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if c+1 < side {
+				_ = b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < side {
+				_ = b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestEmbedValidation(t *testing.T) {
+	g := pathGraph(5)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Embed(g, []int{0}, nil, Options{}, rng); err == nil {
+		t.Error("single landmark should fail")
+	}
+	if _, err := Embed(g, []int{0, 4}, nil, Options{}, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := Embed(g, []int{0, 4}, [][]int32{{0}}, Options{}, rng); err == nil {
+		t.Error("row count mismatch should fail")
+	}
+}
+
+func TestEmbedPathAccuracy(t *testing.T) {
+	// A path embeds perfectly in 1+ dimensions; expect low error.
+	g := pathGraph(20)
+	rng := rand.New(rand.NewSource(2))
+	e, err := Embed(g, []int{0, 19, 10}, nil, Options{Dim: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mae := e.MeanAbsoluteError(g, []int{0, 5, 10, 19})
+	if mae > 1.0 {
+		t.Fatalf("path MAE = %v, want <= 1", mae)
+	}
+	// Monotonicity spot check: far pairs estimate farther than near pairs.
+	if e.Estimate(0, 19) < e.Estimate(0, 3) {
+		t.Fatalf("estimate(0,19)=%v < estimate(0,3)=%v",
+			e.Estimate(0, 19), e.Estimate(0, 3))
+	}
+}
+
+func TestEmbedGridAccuracy(t *testing.T) {
+	g := gridGraph(8) // 64 nodes, diameter 14
+	rng := rand.New(rand.NewSource(3))
+	e, err := Embed(g, []int{0, 7, 56, 63, 27}, nil, Options{Dim: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mae := e.MeanAbsoluteError(g, []int{0, 27, 63})
+	// Grid distances are L1-ish; a Euclidean embedding distorts but should
+	// stay within ~30% of the diameter on average.
+	if mae > 4.0 {
+		t.Fatalf("grid MAE = %v, want <= 4", mae)
+	}
+}
+
+func TestEmbedDisconnected(t *testing.T) {
+	g := graph.FromEdges(6, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
+	rng := rand.New(rand.NewSource(4))
+	e, err := Embed(g, []int{0, 2}, nil, Options{Dim: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Reached[3] || e.Reached[5] {
+		t.Fatal("other component should be unreached")
+	}
+	if !math.IsInf(e.Estimate(0, 3), 1) {
+		t.Fatal("estimate to unreached node should be +Inf")
+	}
+	out := make([]float64, 2)
+	e.EstimateToMany(0, []int{1, 3}, out)
+	if math.IsInf(out[0], 1) || !math.IsInf(out[1], 1) {
+		t.Fatalf("EstimateToMany = %v", out)
+	}
+}
+
+func snapshotWithChord(n int) graph.SnapshotPair {
+	g1 := pathGraph(n)
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		_ = b.AddEdge(i, i+1)
+	}
+	_ = b.AddEdge(0, n-1)
+	return graph.SnapshotPair{G1: g1, G2: b.Build()}
+}
+
+func TestSelectorFindsChordEndpoints(t *testing.T) {
+	sp := snapshotWithChord(30)
+	sel := NewSelector(Options{Dim: 3}, 20)
+	if sel.Name() != "EmbedSum" {
+		t.Fatal("name")
+	}
+	ctx := &candidates.Context{
+		Pair: sp, M: 8, L: 3,
+		RNG:   rand.New(rand.NewSource(5)),
+		Meter: budget.NewMeter(8), Workers: 2,
+	}
+	cands, err := sel.Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 8 {
+		t.Fatalf("got %d candidates, want m=8", len(cands))
+	}
+	// Budget: 2l on candidate generation, like the hybrids.
+	if rep := ctx.Meter.Report(); rep.CandidateGen != 6 {
+		t.Fatalf("charged %d, want 2l=6", rep.CandidateGen)
+	}
+	// The chord endpoints' region must be represented: coverage of the top
+	// pair (0, 29).
+	set := topk.NodeSet(cands)
+	top := topk.Pair{U: 0, V: 29}
+	if !set[top.U] && !set[top.V] {
+		t.Fatalf("candidates %v miss both chord endpoints", cands)
+	}
+	// Anchor rows must be cached on both snapshots.
+	cached := 0
+	for u := range ctx.D1Rows {
+		if ctx.D2Rows[u] != nil {
+			cached++
+		}
+	}
+	if cached < 3 {
+		t.Fatalf("only %d anchor rows cached", cached)
+	}
+}
+
+func TestSelectorDeadZone(t *testing.T) {
+	sp := snapshotWithChord(20)
+	sel := NewSelector(Options{}, 10)
+	ctx := &candidates.Context{
+		Pair: sp, M: 2, L: 5,
+		RNG:   rand.New(rand.NewSource(6)),
+		Meter: budget.NewMeter(2),
+	}
+	if _, err := sel.Select(ctx); err == nil {
+		t.Fatal("m <= l should fail with dead zone")
+	}
+	ctx.RNG = nil
+	ctx.M = 20
+	if _, err := sel.Select(ctx); err == nil {
+		t.Fatal("nil RNG should fail")
+	}
+}

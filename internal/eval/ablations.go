@@ -1,0 +1,257 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/candidates"
+	"repro/internal/cover"
+	"repro/internal/embed"
+	"repro/internal/landmark"
+	"repro/internal/monitor"
+	"repro/internal/topk"
+)
+
+// AblationResult is a generic label -> value table per dataset.
+type AblationResult struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+func (r *AblationResult) String() string {
+	t := newTable(r.Title, r.Columns...)
+	for _, row := range r.Rows {
+		t.addRow(row...)
+	}
+	return t.String()
+}
+
+// AblationLandmarkCount varies the landmark-set size for MMSD across all
+// datasets (δ = Δmax-1). The paper fixes l = 10 and reports that larger
+// values did not help; this ablation makes that claim checkable.
+func (s *Suite) AblationLandmarkCount(ls []int) (*AblationResult, error) {
+	if len(ls) == 0 {
+		ls = []int{5, 10, 25, 50}
+	}
+	res := &AblationResult{
+		Title:   fmt.Sprintf("Ablation — MMSD coverage %% vs landmark count (m=%d)", s.Config.m()),
+		Columns: []string{"Dataset"},
+	}
+	for _, l := range ls {
+		res.Columns = append(res.Columns, fmt.Sprintf("l=%d", l))
+	}
+	for _, ds := range s.Datasets {
+		gt, err := s.TestTruth(ds.Name)
+		if err != nil {
+			return nil, err
+		}
+		delta := middleDelta(gt)
+		truth := gt.PairsAtLeast(delta)
+		row := []string{ds.Name}
+		for _, l := range ls {
+			saved := s.Config.L
+			s.Config.L = l
+			cands, err := s.SelectCandidates(ds.Name, candidates.MMSD(), s.Config.m())
+			s.Config.L = saved
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(topk.Coverage(truth, topk.NodeSet(cands))))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AblationCoverStrategy compares the vertex-cover heuristics that can serve
+// as the classifier's positive class: size of the cover each produces on
+// the δ = Δmax-1 pairs graph.
+func (s *Suite) AblationCoverStrategy() (*AblationResult, error) {
+	res := &AblationResult{
+		Title:   "Ablation — vertex cover size by strategy (δ = Δmax-1)",
+		Columns: []string{"Dataset", "pairs", "greedy", "matching", "degree-ordered"},
+	}
+	for _, ds := range s.Datasets {
+		gt, err := s.TestTruth(ds.Name)
+		if err != nil {
+			return nil, err
+		}
+		pairs := gt.PairsAtLeast(middleDelta(gt))
+		g := cover.Greedy(pairs)
+		m := cover.Matching(pairs)
+		d := cover.DegreeOrdered(pairs)
+		res.Rows = append(res.Rows, []string{
+			ds.Name, fmt.Sprint(len(pairs)),
+			fmt.Sprint(len(g)), fmt.Sprint(len(m)), fmt.Sprint(len(d)),
+		})
+	}
+	return res, nil
+}
+
+// AblationLandmarkStrategy compares landmark-selection strategies under the
+// same SumDiff ranking — the design decision behind the hybrid algorithms.
+func (s *Suite) AblationLandmarkStrategy() (*AblationResult, error) {
+	strategies := []landmark.Strategy{
+		landmark.Random, landmark.MaxMin, landmark.MaxAvg, landmark.HighDegree,
+	}
+	res := &AblationResult{
+		Title:   fmt.Sprintf("Ablation — SumDiff coverage %% by landmark strategy (m=%d, l=%d)", s.Config.m(), s.Config.l()),
+		Columns: []string{"Dataset"},
+	}
+	for _, st := range strategies {
+		res.Columns = append(res.Columns, st.String())
+	}
+	l, m := s.Config.l(), s.Config.m()
+	for _, ds := range s.Datasets {
+		gt, err := s.TestTruth(ds.Name)
+		if err != nil {
+			return nil, err
+		}
+		truth := gt.PairsAtLeast(middleDelta(gt))
+		pair := s.testPairs[ds.Name]
+		row := []string{ds.Name}
+		for _, st := range strategies {
+			set, err := landmark.Select(st, pair.G1, l, s.randFor(int64(st)), nil)
+			if err != nil {
+				return nil, err
+			}
+			norms, err := landmark.ComputeNorms(set, pair, nil, s.Config.Workers)
+			if err != nil {
+				return nil, err
+			}
+			cands := landmark.TopByScore(norms.L1, m-l, nil)
+			cands = append(cands, set.Nodes...)
+			row = append(row, pct(topk.Coverage(truth, topk.NodeSet(cands))))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// ExtensionsTable measures the library's beyond-the-paper selectors —
+// the Orion-style embedding selector (the paper's stated future work) and
+// the regression-based ranker (its ref-[5] direction) — against MMSD and
+// the classifiers, at the suite budget with δ = Δmax-1.
+func (s *Suite) ExtensionsTable() (*AblationResult, error) {
+	global, err := s.TrainGlobalClassifier()
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{
+		Title: fmt.Sprintf("Extensions — coverage %% of future-work selectors (m=%d, δ=Δmax-1)", 4*s.Config.m()),
+		Columns: []string{"Dataset", "MMSD", "EmbedSum", "R-Classifier",
+			"L-Classifier", "G-Classifier"},
+	}
+	for _, ds := range s.Datasets {
+		gt, err := s.TestTruth(ds.Name)
+		if err != nil {
+			return nil, err
+		}
+		truth := gt.PairsAtLeast(middleDelta(gt))
+		localModel, err := s.TrainLocalClassifier(ds.Name)
+		if err != nil {
+			return nil, err
+		}
+		regModel, err := s.trainRegression(ds.Name)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{ds.Name}
+		for _, sel := range []candidates.Selector{
+			candidates.MMSD(),
+			embed.NewSelector(embed.Options{}, 64),
+			candidates.Regression("R-Classifier", regModel),
+			candidates.Classifier("L-Classifier", localModel),
+			candidates.Classifier("G-Classifier", global),
+		} {
+			cands, err := s.SelectCandidates(ds.Name, sel, 4*s.Config.m())
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(topk.Coverage(truth, topk.NodeSet(cands))))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// trainRegression builds the regression model for a dataset's training pair
+// with G^p_k-degree targets.
+func (s *Suite) trainRegression(name string) (*candidates.RegressionModel, error) {
+	gt, err := s.TrainTruth(name)
+	if err != nil {
+		return nil, err
+	}
+	targets := candidates.PairDegreeTargets(gt.PairsAtLeast(middleDelta(gt)))
+	return candidates.TrainRegression(
+		[]candidates.RegressionSample{{Pair: s.trainPairs[name], Targets: targets}},
+		candidates.TrainOptions{L: s.Config.l(), Workers: s.Config.Workers, Seed: s.Config.Seed + 107},
+	)
+}
+
+// StreamingTable compares per-window landmark recomputation against the
+// incremental LandmarkTracker: SSSP cost and agreement of the SumDiff
+// ranking over the final window.
+func (s *Suite) StreamingTable(windows int) (*AblationResult, error) {
+	if windows < 2 {
+		windows = 4
+	}
+	l := s.Config.l()
+	res := &AblationResult{
+		Title:   fmt.Sprintf("Streaming — incremental landmark maintenance vs recompute (%d windows, l=%d)", windows, l),
+		Columns: []string{"Dataset", "recompute SSSPs", "incremental SSSPs", "top-20 agreement %"},
+	}
+	for _, ds := range s.Datasets {
+		ev := ds.Ev
+		fractions := monitor.EvenWindows(0.6, windows)
+		startPrefix := int(fractions[0] * float64(ev.NumEdges()))
+		g1 := ev.SnapshotPrefix(startPrefix)
+		set, err := landmark.Select(landmark.MaxMin, g1, l, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		tracker, err := monitor.NewLandmarkTracker(ev, set.Nodes, startPrefix)
+		if err != nil {
+			return nil, err
+		}
+		// Walk the windows, checkpointing at each boundary; the final
+		// window's ranking is compared against offline SumDiff.
+		for i := 1; i < len(fractions); i++ {
+			if i == len(fractions)-1 {
+				tracker.Checkpoint()
+			}
+			if err := tracker.AdvanceToFraction(fractions[i]); err != nil {
+				return nil, err
+			}
+		}
+		streamTop := tracker.Top(20)
+
+		lastPair, err := ev.Pair(fractions[len(fractions)-2], 1.0)
+		if err != nil {
+			return nil, err
+		}
+		lastSet := landmark.Set{Strategy: set.Strategy, Nodes: set.Nodes}
+		norms, err := landmark.ComputeNorms(lastSet, lastPair, nil, s.Config.Workers)
+		if err != nil {
+			return nil, err
+		}
+		offlineTop := landmark.TopByScore(norms.L1, 20, nil)
+		inStream := map[int]bool{}
+		for _, u := range streamTop {
+			inStream[u] = true
+		}
+		agree := 0
+		for _, u := range offlineTop {
+			if inStream[u] {
+				agree++
+			}
+		}
+		res.Rows = append(res.Rows, []string{
+			ds.Name,
+			fmt.Sprint(windows * 2 * l),
+			fmt.Sprint(l),
+			pct(float64(agree) / 20),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,256 @@
+package eval
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationLandmarkCount(t *testing.T) {
+	s := tinySuite(t)
+	res, err := s.AblationLandmarkCount([]int{3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 || len(res.Columns) != 3 {
+		t.Fatalf("shape %dx%d", len(res.Rows), len(res.Columns))
+	}
+	// The temporary L override must be restored.
+	if s.Config.L != 5 {
+		t.Fatalf("suite L mutated to %d", s.Config.L)
+	}
+	_ = res.String()
+}
+
+func TestAblationCoverStrategy(t *testing.T) {
+	s := tinySuite(t)
+	res, err := s.AblationCoverStrategy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		pairs := atoi(t, row[1])
+		greedy := atoi(t, row[2])
+		matching := atoi(t, row[3])
+		degOrd := atoi(t, row[4])
+		if pairs > 0 && (greedy == 0 || matching == 0 || degOrd == 0) {
+			t.Fatalf("empty cover for %v", row)
+		}
+		// Greedy should not be larger than the 2-approx matching cover.
+		if greedy > matching {
+			t.Fatalf("greedy %d > matching %d for %s", greedy, matching, row[0])
+		}
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestAblationLandmarkStrategy(t *testing.T) {
+	s := tinySuite(t)
+	res, err := s.AblationLandmarkStrategy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 5 {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if !strings.Contains(res.String(), "maxmin") {
+		t.Fatal("missing strategy column")
+	}
+}
+
+func TestExtensionsTable(t *testing.T) {
+	s := tinySuite(t)
+	res, err := s.ExtensionsTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row) != 6 {
+			t.Fatalf("row = %v", row)
+		}
+	}
+	_ = res.String()
+}
+
+func TestStreamingTable(t *testing.T) {
+	s := tinySuite(t)
+	res, err := s.StreamingTable(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		recompute := atoi(t, row[1])
+		incremental := atoi(t, row[2])
+		if incremental >= recompute {
+			t.Fatalf("incremental %d not cheaper than recompute %d", incremental, recompute)
+		}
+		// The streaming ranking must agree substantially with the offline
+		// one (they compute the same quantity).
+		agreement := row[3]
+		if agreement == "0.0" {
+			t.Fatalf("zero agreement for %s", row[0])
+		}
+	}
+}
+
+func TestOracleTable(t *testing.T) {
+	s := tinySuite(t)
+	res, err := s.OracleTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		queries := atoi(t, row[3])
+		sssps := atoi(t, row[5])
+		// The cost argument: the oracle scan does orders of magnitude more
+		// work units than the budgeted algorithm's SSSP count.
+		if queries < 100*sssps {
+			t.Fatalf("%s: queries %d not >> sssps %d", row[0], queries, sssps)
+		}
+	}
+	_ = res.String()
+}
+
+func TestOracleAccuracy(t *testing.T) {
+	s := tinySuite(t)
+	res, err := s.OracleAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestExpansionTable(t *testing.T) {
+	s := tinySuite(t)
+	res, err := s.ExpansionTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		incA := atoi(t, row[1])
+		expA := atoi(t, row[4])
+		if expA < incA {
+			t.Fatalf("%s: expansion shrank the active set %d -> %d", row[0], incA, expA)
+		}
+		if atoi(t, row[5]) < atoi(t, row[2]) {
+			t.Fatalf("%s: expansion cheaper than one round", row[0])
+		}
+	}
+}
+
+func TestWeightedTable(t *testing.T) {
+	s := tinySuite(t)
+	res, err := s.WeightedTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if atoi(t, row[2]) > 2*s.Config.M {
+			t.Fatalf("%s overspent: %s SSSPs", row[0], row[2])
+		}
+	}
+}
+
+func TestCSVAndChartOutputs(t *testing.T) {
+	s := tinySuite(t)
+	figs, err := s.Figure1([]int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := figs[0].WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // header + 2 budgets
+		t.Fatalf("csv lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "m,SumDiff") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	chart := figs[0].Chart()
+	if !strings.Contains(chart, "MMSD") || !strings.Contains(chart, "m=8") {
+		t.Fatalf("chart:\n%s", chart)
+	}
+
+	t5, err := s.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := t5.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "algorithm,") {
+		t.Fatal("table5 csv header missing")
+	}
+
+	st, err := s.StructureTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := st.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") != 5 { // header + 4 datasets
+		t.Fatalf("structure csv:\n%s", buf.String())
+	}
+}
+
+func TestTrainPairAccessor(t *testing.T) {
+	s := tinySuite(t)
+	train := s.TrainPair("Facebook")
+	test := s.TestPair("Facebook")
+	if train.G2.NumEdges() >= test.G1.NumEdges() {
+		t.Fatal("training window should precede the test window")
+	}
+}
+
+func TestSnapshotSweep(t *testing.T) {
+	s := tinySuite(t)
+	res, err := s.SnapshotSweep([]float64{0.7, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 { // 4 datasets x 2 fractions
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Note: Δmax is NOT monotone in the window length — a pair can be
+	// disconnected in the earlier snapshot (excluded from that problem
+	// instance) yet connected at a large distance later. Only sanity-check
+	// the values.
+	for i := 0; i+1 < len(res.Rows); i += 2 {
+		if res.Rows[i][0] != res.Rows[i+1][0] {
+			t.Fatalf("row pairing broken: %v %v", res.Rows[i], res.Rows[i+1])
+		}
+	}
+	for _, row := range res.Rows {
+		if atoi(t, row[2]) < 0 || atoi(t, row[3]) < 0 {
+			t.Fatalf("negative stats: %v", row)
+		}
+	}
+}

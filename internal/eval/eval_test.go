@@ -1,0 +1,326 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/candidates"
+)
+
+// tinySuite builds a fast suite over all four datasets.
+func tinySuite(t testing.TB) *Suite {
+	t.Helper()
+	s, err := NewSuite(SuiteConfig{Scale: 0.04, Seed: 42, Workers: 4, M: 20, L: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSuiteBasics(t *testing.T) {
+	s := tinySuite(t)
+	if len(s.Datasets) != 4 {
+		t.Fatalf("datasets = %d", len(s.Datasets))
+	}
+	if _, err := s.Dataset("Facebook"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Dataset("nope"); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+	gt, err := s.TestTruth("Facebook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt2, err := s.TestTruth("Facebook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt != gt2 {
+		t.Fatal("ground truth not cached")
+	}
+	if _, err := s.TestTruth("nope"); err == nil {
+		t.Fatal("unknown truth should fail")
+	}
+	deltas := Deltas(gt)
+	if len(deltas) == 0 || deltas[0] != gt.MaxDelta {
+		t.Fatalf("deltas = %v for Δmax=%d", deltas, gt.MaxDelta)
+	}
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i] != deltas[i-1]-1 {
+			t.Fatalf("deltas not consecutive: %v", deltas)
+		}
+	}
+}
+
+func TestCoverageMeasurement(t *testing.T) {
+	s := tinySuite(t)
+	gt, err := s.TestTruth("InternetLinks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := candidates.ByName("MMSD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := s.Coverage("InternetLinks", sel, 20, gt.MaxDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Err != nil {
+		t.Fatalf("selector error: %v", cr.Err)
+	}
+	if cr.Coverage < 0 || cr.Coverage > 1 {
+		t.Fatalf("coverage = %v", cr.Coverage)
+	}
+	if cr.Budget.Total() > 2*20 {
+		t.Fatalf("coverage run overspent: %v", cr.Budget)
+	}
+	// The dead zone: m below landmark count yields Err and zero coverage.
+	dead, err := s.Coverage("InternetLinks", mustSel(t, "SumDiff"), 3, gt.MaxDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dead.Err == nil || dead.Coverage != 0 {
+		t.Fatalf("dead zone: %+v", dead)
+	}
+}
+
+func mustSel(t testing.TB, name string) candidates.Selector {
+	t.Helper()
+	sel, err := candidates.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+func TestTable1(t *testing.T) {
+	s := tinySuite(t)
+	res, err := s.Table1("Facebook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(candidates.PaperOrder) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Total > 2*res.M {
+			t.Fatalf("%s total %d > 2m", row.Approach, row.Total)
+		}
+	}
+	if !strings.Contains(res.String(), "Table 1") {
+		t.Fatal("missing title")
+	}
+	if _, err := s.Table1("nope"); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	s := tinySuite(t)
+	res, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	out := res.String()
+	for _, name := range []string{"Actors", "InternetLinks", "Facebook", "DBLP"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing %s in:\n%s", name, out)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	s := tinySuite(t)
+	res, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range res.Rows {
+		if row.MaxCover > row.Endpoints {
+			t.Fatalf("cover %d > endpoints %d", row.MaxCover, row.Endpoints)
+		}
+		if row.Endpoints > 2*row.K {
+			t.Fatalf("endpoints %d > 2k=%d", row.Endpoints, 2*row.K)
+		}
+		if row.K > 0 && row.MaxCover == 0 {
+			t.Fatalf("pairs with empty cover: %+v", row)
+		}
+	}
+	_ = res.String()
+}
+
+func TestTable4(t *testing.T) {
+	out := Table4()
+	for _, name := range append(append([]string{}, candidates.PaperOrder...), "IncDeg", "IncBet") {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table 4 missing %s", name)
+		}
+	}
+}
+
+func TestTable5(t *testing.T) {
+	s := tinySuite(t)
+	res, err := s.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selectors) != len(candidates.PaperOrder)+2 {
+		t.Fatalf("selectors = %d", len(res.Selectors))
+	}
+	if len(res.Columns) == 0 {
+		t.Fatal("no columns")
+	}
+	for sel, covs := range res.Cells {
+		if len(covs) != len(res.Columns) {
+			t.Fatalf("%s has %d cells for %d columns", sel, len(covs), len(res.Columns))
+		}
+		for _, c := range covs {
+			if c < 0 || c > 1 {
+				t.Fatalf("%s coverage %v", sel, c)
+			}
+		}
+	}
+	out := res.String()
+	if !strings.Contains(out, "*") {
+		t.Fatal("no best markers")
+	}
+}
+
+func TestTable6(t *testing.T) {
+	s := tinySuite(t)
+	res, err := s.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.ActiveFraction <= 0 || row.ActiveFraction > 1 {
+			t.Fatalf("%s active fraction %v", row.Dataset, row.ActiveFraction)
+		}
+		// The unbudgeted algorithm must dwarf the budget (the paper's point)
+		// and achieve high coverage at Δmax.
+		if len(row.Coverages) == 0 {
+			t.Fatalf("%s has no coverage cells", row.Dataset)
+		}
+		if row.SSSPCount != 2*row.ActiveSize {
+			t.Fatalf("%s SSSP count %d != 2|A|", row.Dataset, row.SSSPCount)
+		}
+	}
+	_ = res.String()
+}
+
+func TestFigure1(t *testing.T) {
+	s := tinySuite(t)
+	budgets := []int{3, 8, 15, 30}
+	figs, err := s.Figure1(budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("figures = %d", len(figs))
+	}
+	for _, fig := range figs {
+		if len(fig.Series) != len(figure1Selectors) {
+			t.Fatalf("series = %d", len(fig.Series))
+		}
+		for _, series := range fig.Series {
+			if len(series.Values) != len(budgets) {
+				t.Fatalf("values = %d", len(series.Values))
+			}
+			// Below the landmark count (m=3 < l=5) the pure landmark
+			// methods must show the dead zone.
+			if series.Label == "SumDiff" || series.Label == "MaxDiff" {
+				if series.Values[0] != 0 {
+					t.Fatalf("%s at m=3 = %v, want dead zone 0", series.Label, series.Values[0])
+				}
+			}
+		}
+		_ = fig.String()
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	s := tinySuite(t)
+	inPairs, inCover, err := s.Figure2("Facebook", []int{8, 15, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []*FigureResult{inPairs, inCover} {
+		for _, series := range fig.Series {
+			for _, v := range series.Values {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s value %v", series.Label, v)
+				}
+			}
+		}
+		_ = fig.String()
+	}
+	if _, _, err := s.Figure2("nope", nil); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	s := tinySuite(t)
+	figs, err := s.Figure3([]int{20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("figures = %d", len(figs))
+	}
+	for _, fig := range figs {
+		if len(fig.Series) != 3 {
+			t.Fatalf("series = %d, want best + 2 classifiers", len(fig.Series))
+		}
+		if !strings.HasPrefix(fig.Series[0].Label, "Best(") {
+			t.Fatalf("first series = %s", fig.Series[0].Label)
+		}
+		_ = fig.String()
+	}
+}
+
+func TestCoverQuality(t *testing.T) {
+	s := tinySuite(t)
+	gt, err := s.TestTruth("DBLP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.CoverQuality("DBLP", gt.MaxDelta, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 1 {
+		t.Fatalf("unlimited cover quality = %v, want 1", q)
+	}
+	q1, err := s.CoverQuality("DBLP", gt.MaxDelta, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 > q {
+		t.Fatal("quality not monotone in budget")
+	}
+}
+
+func TestDefaultBudgetSweep(t *testing.T) {
+	s := tinySuite(t)
+	sweep := s.DefaultBudgetSweep()
+	if len(sweep) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i] <= sweep[i-1] {
+			t.Fatalf("sweep not strictly ascending: %v", sweep)
+		}
+	}
+}

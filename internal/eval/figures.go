@@ -1,0 +1,333 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/candidates"
+	"repro/internal/cover"
+	"repro/internal/topk"
+	"repro/internal/viz"
+)
+
+// DefaultBudgetSweep returns the budget values the figure experiments sweep
+// by default: from below the landmark dead zone up to 4x the suite budget.
+func (s *Suite) DefaultBudgetSweep() []int {
+	l, m := s.Config.l(), s.Config.m()
+	sweep := []int{l / 2, l, 3 * l / 2, 2 * l, 3 * l, 4 * l}
+	for v := m; v <= 4*m; v += m / 2 {
+		sweep = append(sweep, v)
+	}
+	// Dedupe and sort-insert preserving ascending order.
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range sweep {
+		if v > 0 && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Series is one curve of a figure: coverage (or another fraction) per
+// budget value.
+type Series struct {
+	Label  string
+	Values []float64 // parallel to the figure's budget sweep
+}
+
+// FigureResult is a generic per-dataset family of curves over a budget
+// sweep.
+type FigureResult struct {
+	Title   string
+	Dataset string
+	Delta   int32
+	K       int
+	Budgets []int
+	Series  []Series
+}
+
+func (r *FigureResult) String() string {
+	header := []string{"m"}
+	for _, s := range r.Series {
+		header = append(header, s.Label)
+	}
+	t := newTable(fmt.Sprintf("%s — dataset=%s δ=%d k=%d (values in %%)",
+		r.Title, r.Dataset, r.Delta, r.K), header...)
+	for i, m := range r.Budgets {
+		row := []string{fmt.Sprint(m)}
+		for _, s := range r.Series {
+			row = append(row, pct(s.Values[i]))
+		}
+		t.addRow(row...)
+	}
+	return t.String()
+}
+
+// Chart renders the figure as terminal sparklines (one row per series).
+func (r *FigureResult) Chart() string {
+	series := map[string][]float64{}
+	var order []string
+	for _, s := range r.Series {
+		series[s.Label] = s.Values
+		order = append(order, s.Label)
+	}
+	title := fmt.Sprintf("%s — %s δ=%d", r.Title, r.Dataset, r.Delta)
+	return viz.Chart(title, r.Budgets, series, order)
+}
+
+// figure1Selectors are the landmark-based and hybrid algorithms Figure 1
+// compares.
+var figure1Selectors = []string{"SumDiff", "MaxDiff", "MMSD", "MMMD", "MASD", "MAMD"}
+
+// Figure1 sweeps the budget for the landmark-based and hybrid algorithms on
+// every dataset (δ = Δmax-1, the paper's middle threshold). Pure landmark
+// methods show the dead zone below m = l; hybrids do not.
+func (s *Suite) Figure1(budgets []int) ([]*FigureResult, error) {
+	if len(budgets) == 0 {
+		budgets = s.DefaultBudgetSweep()
+	}
+	var out []*FigureResult
+	for _, ds := range s.Datasets {
+		gt, err := s.TestTruth(ds.Name)
+		if err != nil {
+			return nil, err
+		}
+		delta := middleDelta(gt)
+		fig := &FigureResult{
+			Title:   "Figure 1 — Coverage vs budget (landmark & hybrid algorithms)",
+			Dataset: ds.Name,
+			Delta:   delta,
+			K:       gt.KForDelta(delta),
+			Budgets: budgets,
+		}
+		for _, selName := range figure1Selectors {
+			sel, err := candidates.ByName(selName)
+			if err != nil {
+				return nil, err
+			}
+			series := Series{Label: selName}
+			for _, m := range budgets {
+				cr, err := s.Coverage(ds.Name, sel, m, delta)
+				if err != nil {
+					return nil, err
+				}
+				series.Values = append(series.Values, cr.Coverage)
+			}
+			fig.Series = append(fig.Series, series)
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}
+
+// middleDelta picks δ = Δmax-1 when available, else Δmax.
+func middleDelta(gt *topk.GroundTruth) int32 {
+	ds := Deltas(gt)
+	if len(ds) >= 2 {
+		return ds[1]
+	}
+	return ds[0]
+}
+
+// Figure2 examines candidate quality on one dataset (the paper uses
+// Facebook, δ = Δmax-1): for each landmark/hybrid selector and budget, the
+// percentage of its candidates that are (a) endpoints of G^p_k and (b)
+// members of the greedy cover.
+func (s *Suite) Figure2(name string, budgets []int) (inPairs, inCover *FigureResult, err error) {
+	if len(budgets) == 0 {
+		budgets = s.DefaultBudgetSweep()
+	}
+	gt, err := s.TestTruth(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	delta := middleDelta(gt)
+	pairs := gt.PairsAtLeast(delta)
+	pg := topk.NewPairsGraph(pairs)
+	endpoints := map[int32]bool{}
+	for _, u := range pg.Endpoints() {
+		endpoints[u] = true
+	}
+	greedy, err := s.GreedyCover(name, delta)
+	if err != nil {
+		return nil, nil, err
+	}
+	coverSet := map[int32]bool{}
+	for _, u := range greedy {
+		coverSet[u] = true
+	}
+	inPairs = &FigureResult{
+		Title: "Figure 2a — % of candidates that are G^p_k endpoints", Dataset: name,
+		Delta: delta, K: len(pairs), Budgets: budgets,
+	}
+	inCover = &FigureResult{
+		Title: "Figure 2b — % of candidates in the greedy cover", Dataset: name,
+		Delta: delta, K: len(pairs), Budgets: budgets,
+	}
+	for _, selName := range figure1Selectors {
+		sel, err := candidates.ByName(selName)
+		if err != nil {
+			return nil, nil, err
+		}
+		sp, sc := Series{Label: selName}, Series{Label: selName}
+		for _, m := range budgets {
+			cr, err := s.Coverage(name, sel, m, delta)
+			if err != nil {
+				return nil, nil, err
+			}
+			var hitP, hitC int
+			for _, u := range cr.Candidates {
+				if endpoints[int32(u)] {
+					hitP++
+				}
+				if coverSet[int32(u)] {
+					hitC++
+				}
+			}
+			if len(cr.Candidates) == 0 {
+				sp.Values = append(sp.Values, 0)
+				sc.Values = append(sc.Values, 0)
+			} else {
+				sp.Values = append(sp.Values, float64(hitP)/float64(len(cr.Candidates)))
+				sc.Values = append(sc.Values, float64(hitC)/float64(len(cr.Candidates)))
+			}
+		}
+		inPairs.Series = append(inPairs.Series, sp)
+		inCover.Series = append(inCover.Series, sc)
+	}
+	return inPairs, inCover, nil
+}
+
+// TrainLocalClassifier trains the paper's L-Classifier for one dataset on
+// its (60%, 70%) snapshot pair, with the greedy cover of the training pairs
+// graph (at the training pair's own δ = Δmax-1) as the positive class.
+func (s *Suite) TrainLocalClassifier(name string) (*candidates.Model, error) {
+	sample, err := s.trainSample(name)
+	if err != nil {
+		return nil, err
+	}
+	return candidates.Train([]candidates.TrainSample{sample}, candidates.TrainOptions{
+		L: s.Config.l(), Workers: s.Config.Workers, Seed: s.Config.Seed + 101,
+	})
+}
+
+// TrainGlobalClassifier trains the paper's G-Classifier on the training
+// pairs of every dataset in the suite, with the dataset-level features
+// (density, max degree) appended.
+func (s *Suite) TrainGlobalClassifier() (*candidates.Model, error) {
+	var samples []candidates.TrainSample
+	for _, ds := range s.Datasets {
+		sample, err := s.trainSample(ds.Name)
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, sample)
+	}
+	return candidates.Train(samples, candidates.TrainOptions{
+		Global: true, L: s.Config.l(), Workers: s.Config.Workers, Seed: s.Config.Seed + 103,
+	})
+}
+
+func (s *Suite) trainSample(name string) (candidates.TrainSample, error) {
+	gt, err := s.TrainTruth(name)
+	if err != nil {
+		return candidates.TrainSample{}, err
+	}
+	delta := middleDelta(gt)
+	positives := map[int32]bool{}
+	for _, u := range cover.Greedy(gt.PairsAtLeast(delta)) {
+		positives[u] = true
+	}
+	return candidates.TrainSample{Pair: s.trainPairs[name], Positives: positives}, nil
+}
+
+// Figure3 compares the local and global classifiers against the best
+// single-feature algorithm of each dataset over a budget sweep
+// (δ = Δmax-1 on the test pair). The best algorithm is chosen per dataset by
+// its coverage at the suite budget, mirroring the paper's per-dataset
+// winner.
+func (s *Suite) Figure3(budgets []int) ([]*FigureResult, error) {
+	if len(budgets) == 0 {
+		budgets = s.DefaultBudgetSweep()
+	}
+	global, err := s.TrainGlobalClassifier()
+	if err != nil {
+		return nil, err
+	}
+	var out []*FigureResult
+	for _, ds := range s.Datasets {
+		gt, err := s.TestTruth(ds.Name)
+		if err != nil {
+			return nil, err
+		}
+		delta := middleDelta(gt)
+
+		bestName, err := s.bestSingleFeature(ds.Name, delta)
+		if err != nil {
+			return nil, err
+		}
+		best, err := candidates.ByName(bestName)
+		if err != nil {
+			return nil, err
+		}
+		localModel, err := s.TrainLocalClassifier(ds.Name)
+		if err != nil {
+			return nil, err
+		}
+		selectors := []candidates.Selector{
+			best,
+			candidates.Classifier("L-Classifier", localModel),
+			candidates.Classifier("G-Classifier", global),
+		}
+		fig := &FigureResult{
+			Title:   fmt.Sprintf("Figure 3 — Classifiers vs best algorithm (%s)", bestName),
+			Dataset: ds.Name,
+			Delta:   delta,
+			K:       gt.KForDelta(delta),
+			Budgets: budgets,
+		}
+		for _, sel := range selectors {
+			label := sel.Name()
+			if label == bestName {
+				label = "Best(" + bestName + ")"
+			}
+			series := Series{Label: label}
+			for _, m := range budgets {
+				cr, err := s.Coverage(ds.Name, sel, m, delta)
+				if err != nil {
+					return nil, err
+				}
+				series.Values = append(series.Values, cr.Coverage)
+			}
+			fig.Series = append(fig.Series, series)
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}
+
+// bestSingleFeature returns the single-feature selector with the highest
+// coverage at the suite budget for the given dataset and threshold.
+func (s *Suite) bestSingleFeature(name string, delta int32) (string, error) {
+	bestName, bestCov := "", -1.0
+	for _, selName := range candidates.PaperOrder {
+		sel, err := candidates.ByName(selName)
+		if err != nil {
+			return "", err
+		}
+		cr, err := s.Coverage(name, sel, s.Config.m(), delta)
+		if err != nil {
+			return "", err
+		}
+		if cr.Coverage > bestCov {
+			bestName, bestCov = selName, cr.Coverage
+		}
+	}
+	return bestName, nil
+}

@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/candidates"
+	"repro/internal/incidence"
+	"repro/internal/topk"
+)
+
+// TestPaperShapes pins the paper's comparative claims as a regression test:
+// if a refactor breaks an algorithm, the orderings the paper reports — and
+// EXPERIMENTS.md records — fail here. Run on a mid-size suite so the
+// orderings are stable, averaged over the δ = Δmax-1 column of each
+// dataset.
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-size suite")
+	}
+	s, err := NewSuite(SuiteConfig{Scale: 0.08, Seed: 42, Workers: 0, M: 30, L: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average coverage per selector across datasets at δ = Δmax-1.
+	avg := map[string]float64{}
+	selNames := append([]string{}, candidates.PaperOrder...)
+	for _, ds := range s.Datasets {
+		gt, err := s.TestTruth(ds.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := middleDelta(gt)
+		truth := gt.PairsAtLeast(delta)
+		for _, name := range selNames {
+			sel, err := candidates.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cands, err := s.SelectCandidates(ds.Name, sel, s.Config.m())
+			if err != nil {
+				t.Fatal(err)
+			}
+			avg[name] += topk.Coverage(truth, topk.NodeSet(cands)) / float64(len(s.Datasets))
+		}
+	}
+	t.Logf("average coverages: %v", avg)
+
+	// Claim 1 (Table 5): Degree is the worst selector.
+	for _, name := range selNames {
+		if name == "Degree" {
+			continue
+		}
+		if avg["Degree"] > avg[name]+0.10 {
+			t.Errorf("Degree (%.2f) should not beat %s (%.2f)", avg["Degree"], name, avg[name])
+		}
+	}
+	// Claim 2: SumDiff beats MaxDiff on average.
+	if avg["SumDiff"] <= avg["MaxDiff"] {
+		t.Errorf("SumDiff (%.2f) should beat MaxDiff (%.2f)", avg["SumDiff"], avg["MaxDiff"])
+	}
+	// Claim 3: the SD hybrids beat their MD counterparts.
+	if avg["MMSD"] <= avg["MMMD"] {
+		t.Errorf("MMSD (%.2f) should beat MMMD (%.2f)", avg["MMSD"], avg["MMMD"])
+	}
+	if avg["MASD"] <= avg["MAMD"] {
+		t.Errorf("MASD (%.2f) should beat MAMD (%.2f)", avg["MASD"], avg["MAMD"])
+	}
+	// Claim 4: the best hybrid beats every centrality selector decisively.
+	bestHybrid := avg["MMSD"]
+	if avg["MASD"] > bestHybrid {
+		bestHybrid = avg["MASD"]
+	}
+	for _, name := range []string{"Degree", "DegDiff", "DegRel"} {
+		if bestHybrid <= avg[name] {
+			t.Errorf("best hybrid (%.2f) should beat %s (%.2f)", bestHybrid, name, avg[name])
+		}
+	}
+	// Claim 5 (Table 6): unbudgeted Incidence has near-total coverage but
+	// needs an active set far larger than the budget. Evaluated at
+	// δ = Δmax-1 (Δmax alone can be a single pair whose endpoints received
+	// no new edge, making the 0-or-1 score brittle).
+	for _, ds := range s.Datasets {
+		gt, err := s.TestTruth(ds.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := gt.PairsAtLeast(middleDelta(gt))
+		full, err := incidence.Full(s.TestPair(ds.Name), 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cov := topk.Coverage(truth, topk.NodeSet(full.Active))
+		if cov < 0.80 {
+			t.Errorf("%s: unbudgeted Incidence coverage %.2f at δ=Δmax-1", ds.Name, cov)
+		}
+		if len(full.Active) < 3*s.Config.m() {
+			t.Errorf("%s: active set %d not much larger than budget %d",
+				ds.Name, len(full.Active), s.Config.m())
+		}
+	}
+	// Claim 6 (Figure 1): pure landmark selectors have the dead zone below
+	// m = l; hybrids already produce candidates there.
+	deadM := s.Config.l() - 2
+	for _, ds := range s.Datasets {
+		cands, err := s.SelectCandidates(ds.Name, mustSel(t, "SumDiff"), deadM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) != 0 {
+			t.Errorf("%s: SumDiff at m<l returned %d candidates", ds.Name, len(cands))
+		}
+		cands, err = s.SelectCandidates(ds.Name, mustSel(t, "MMSD"), deadM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) == 0 {
+			t.Errorf("%s: MMSD at m<l returned no candidates", ds.Name)
+		}
+	}
+}

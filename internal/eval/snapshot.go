@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/candidates"
+	"repro/internal/graph"
+	"repro/internal/topk"
+)
+
+// SnapshotSweep varies how much evolution separates the snapshots: for each
+// first-snapshot fraction f ∈ {0.6, 0.7, 0.8, 0.9} (against the full graph
+// as G_t2), it reports Δmax, the top-pair count at δ = Δmax-1, and MMSD's
+// coverage at the suite budget. The paper fixes f = 0.8; this sweep shows
+// how the problem hardens as the window grows (more and deeper converging
+// pairs) and how robust the best selector is to the choice. Note that
+// Δmax is not monotone in the window length: pairs disconnected at an
+// early snapshot are excluded from that instance even though they connect
+// (at a large, collapsing distance) later.
+func (s *Suite) SnapshotSweep(fractions []float64) (*AblationResult, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0.6, 0.7, 0.8, 0.9}
+	}
+	res := &AblationResult{
+		Title:   fmt.Sprintf("Snapshot sweep — G_t1 fraction vs problem shape and MMSD coverage (m=%d)", s.Config.m()),
+		Columns: []string{"Dataset", "f1", "Δmax", "k(δ=Δmax-1)", "MMSD coverage %"},
+	}
+	for _, ds := range s.Datasets {
+		for _, f1 := range fractions {
+			pair, err := ds.Ev.Pair(f1, 1.0)
+			if err != nil {
+				return nil, err
+			}
+			gt, err := topk.Compute(pair, topk.Options{Workers: s.Config.Workers})
+			if err != nil {
+				return nil, err
+			}
+			delta := middleDelta(gt)
+			truth := gt.PairsAtLeast(delta)
+			cov, err := coverageOnPair(s, pair, candidates.MMSD(), s.Config.m(), truth)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, []string{
+				ds.Name,
+				fmt.Sprintf("%.1f", f1),
+				fmt.Sprint(gt.MaxDelta),
+				fmt.Sprint(len(truth)),
+				pct(cov),
+			})
+		}
+	}
+	return res, nil
+}
+
+// coverageOnPair runs a selector on an arbitrary snapshot pair (not the
+// suite's cached test pair) and scores it against the given truth.
+func coverageOnPair(s *Suite, pair graph.SnapshotPair, sel candidates.Selector, m int, truth []topk.Pair) (float64, error) {
+	ctx := &candidates.Context{
+		Pair:    pair,
+		M:       m,
+		L:       s.Config.l(),
+		RNG:     s.randFor(int64(m) * 31),
+		Workers: s.Config.Workers,
+	}
+	cands, err := sel.Select(ctx)
+	if err != nil {
+		return 0, nil // dead zone counts as zero coverage
+	}
+	return topk.Coverage(truth, topk.NodeSet(cands)), nil
+}

@@ -1,0 +1,260 @@
+// Package eval is the experiment harness: it generates the four synthetic
+// datasets, computes exact ground truth once per dataset, and regenerates
+// every table and figure of the paper's evaluation section (Tables 1-6,
+// Figures 1-3) plus the ablations DESIGN.md calls out. Each experiment
+// returns a structured result with a String() that prints the same rows or
+// series the paper reports.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/budget"
+	"repro/internal/candidates"
+	"repro/internal/cover"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/topk"
+)
+
+// SuiteConfig configures a Suite.
+type SuiteConfig struct {
+	// Scale is the dataset size relative to the paper (0 means 0.25, which
+	// keeps exact all-pairs ground truth laptop-cheap).
+	Scale float64
+	// Seed drives generation and all randomized selectors.
+	Seed int64
+	// Workers bounds BFS parallelism; <=0 means GOMAXPROCS.
+	Workers int
+	// M is the endpoint budget of budgeted experiments (0 means 50, the
+	// same ~0.5-2.5% node fraction the paper's m=100 represents at full
+	// size).
+	M int
+	// L is the landmark count (0 means the paper's 10).
+	L int
+	// Datasets restricts the suite to a subset of datagen.Names (nil = all).
+	Datasets []string
+}
+
+func (c SuiteConfig) scale() float64 {
+	if c.Scale <= 0 {
+		return 0.25
+	}
+	return c.Scale
+}
+
+func (c SuiteConfig) m() int {
+	if c.M <= 0 {
+		return 50
+	}
+	return c.M
+}
+
+func (c SuiteConfig) l() int {
+	if c.L <= 0 {
+		return candidates.DefaultLandmarks
+	}
+	return c.L
+}
+
+// Suite holds the generated datasets together with lazily computed, cached
+// ground truths for the test and training snapshot pairs.
+type Suite struct {
+	Config   SuiteConfig
+	Datasets []*dataset.Dataset
+
+	mu          sync.Mutex
+	testTruth   map[string]*topk.GroundTruth
+	trainTruth  map[string]*topk.GroundTruth
+	testPairs   map[string]graph.SnapshotPair
+	trainPairs  map[string]graph.SnapshotPair
+	greedyCover map[string]map[int32][]int32 // dataset -> δ -> cover
+}
+
+// NewSuite generates the datasets and prepares the caches. Ground truth is
+// not computed until an experiment needs it.
+func NewSuite(cfg SuiteConfig) (*Suite, error) {
+	names := cfg.Datasets
+	if len(names) == 0 {
+		names = datagen.Names
+	}
+	s := &Suite{
+		Config:      cfg,
+		testTruth:   map[string]*topk.GroundTruth{},
+		trainTruth:  map[string]*topk.GroundTruth{},
+		testPairs:   map[string]graph.SnapshotPair{},
+		trainPairs:  map[string]graph.SnapshotPair{},
+		greedyCover: map[string]map[int32][]int32{},
+	}
+	for _, name := range names {
+		ds, err := dataset.Generate(name, datagen.Config{Seed: cfg.Seed, Scale: cfg.scale()})
+		if err != nil {
+			return nil, err
+		}
+		s.Datasets = append(s.Datasets, ds)
+		s.testPairs[name] = ds.TestPair()
+		s.trainPairs[name] = ds.TrainPair()
+	}
+	return s, nil
+}
+
+// Dataset returns the named dataset.
+func (s *Suite) Dataset(name string) (*dataset.Dataset, error) {
+	for _, ds := range s.Datasets {
+		if ds.Name == name {
+			return ds, nil
+		}
+	}
+	return nil, fmt.Errorf("eval: dataset %q not in suite", name)
+}
+
+// TestPair returns the (80%, 100%) snapshot pair of the named dataset.
+func (s *Suite) TestPair(name string) graph.SnapshotPair { return s.testPairs[name] }
+
+// TrainPair returns the (60%, 70%) snapshot pair of the named dataset.
+func (s *Suite) TrainPair(name string) graph.SnapshotPair { return s.trainPairs[name] }
+
+// TestTruth returns (computing and caching on first use) the exact ground
+// truth of the dataset's test pair.
+func (s *Suite) TestTruth(name string) (*topk.GroundTruth, error) {
+	return s.truth(name, s.testPairs, s.testTruth)
+}
+
+// TrainTruth returns the cached ground truth of the training pair.
+func (s *Suite) TrainTruth(name string) (*topk.GroundTruth, error) {
+	return s.truth(name, s.trainPairs, s.trainTruth)
+}
+
+func (s *Suite) truth(name string, pairs map[string]graph.SnapshotPair, cache map[string]*topk.GroundTruth) (*topk.GroundTruth, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if gt, ok := cache[name]; ok {
+		return gt, nil
+	}
+	pair, ok := pairs[name]
+	if !ok {
+		return nil, fmt.Errorf("eval: dataset %q not in suite", name)
+	}
+	gt, err := topk.Compute(pair, topk.Options{Workers: s.Config.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("eval: ground truth for %s: %w", name, err)
+	}
+	cache[name] = gt
+	return gt, nil
+}
+
+// Deltas returns the paper's three evaluation thresholds for a dataset:
+// δ ∈ {Δmax, Δmax-1, Δmax-2}, clamped at 1.
+func Deltas(gt *topk.GroundTruth) []int32 {
+	var out []int32
+	for i := int32(0); i < 3; i++ {
+		d := gt.MaxDelta - i
+		if d < 1 {
+			break
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 {
+		out = []int32{1}
+	}
+	return out
+}
+
+// GreedyCover returns (cached) the greedy vertex cover of the dataset's
+// G^p_k at threshold δ on the test pair.
+func (s *Suite) GreedyCover(name string, delta int32) ([]int32, error) {
+	s.mu.Lock()
+	covers := s.greedyCover[name]
+	if covers == nil {
+		covers = map[int32][]int32{}
+		s.greedyCover[name] = covers
+	}
+	if c, ok := covers[delta]; ok {
+		s.mu.Unlock()
+		return c, nil
+	}
+	s.mu.Unlock()
+	gt, err := s.TestTruth(name)
+	if err != nil {
+		return nil, err
+	}
+	c := cover.Greedy(gt.PairsAtLeast(delta))
+	s.mu.Lock()
+	covers[delta] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// CoverageResult is one selector's coverage measurement.
+type CoverageResult struct {
+	Selector   string
+	Dataset    string
+	Delta      int32
+	K          int
+	M          int
+	Coverage   float64
+	Candidates []int
+	Budget     budget.Report
+	// Err records a selector that could not run at this budget (e.g. the
+	// landmark dead zone m <= l); Coverage is then 0.
+	Err error
+}
+
+// Coverage measures the fraction of the top-k pairs (δ threshold) covered by
+// the selector's candidate set at budget m. The selector only generates
+// candidates here; coverage is a property of the candidate set, so the
+// extraction SSSPs are accounted (they are part of the budget) but not
+// executed.
+func (s *Suite) Coverage(name string, sel candidates.Selector, m int, delta int32) (CoverageResult, error) {
+	gt, err := s.TestTruth(name)
+	if err != nil {
+		return CoverageResult{}, err
+	}
+	truth := gt.PairsAtLeast(delta)
+	res := CoverageResult{
+		Selector: sel.Name(),
+		Dataset:  name,
+		Delta:    delta,
+		K:        len(truth),
+		M:        m,
+	}
+	cands, report, err := s.selectWithBudget(name, sel, m)
+	res.Budget = report
+	if err != nil {
+		res.Err = err
+		return res, nil // dead zones and exhaustion are data, not failures
+	}
+	res.Candidates = cands
+	res.Coverage = topk.Coverage(truth, topk.NodeSet(cands))
+	return res, nil
+}
+
+// SelectCandidates runs a selector at budget m with the suite's settings and
+// returns its candidate set. Selector setup errors (e.g. the landmark dead
+// zone) yield an empty candidate set, mirroring Coverage's treatment.
+func (s *Suite) SelectCandidates(name string, sel candidates.Selector, m int) ([]int, error) {
+	if _, ok := s.testPairs[name]; !ok {
+		return nil, fmt.Errorf("eval: dataset %q not in suite", name)
+	}
+	cands, _, err := s.selectWithBudget(name, sel, m)
+	if err != nil {
+		return nil, nil // dead zone: no candidates
+	}
+	return cands, nil
+}
+
+func (s *Suite) selectWithBudget(name string, sel candidates.Selector, m int) ([]int, budget.Report, error) {
+	ctx := &candidates.Context{
+		Pair:    s.testPairs[name],
+		M:       m,
+		L:       s.Config.l(),
+		RNG:     rand.New(rand.NewSource(s.Config.Seed + int64(m)*1009)),
+		Meter:   budget.NewMeter(m),
+		Workers: s.Config.Workers,
+	}
+	cands, err := sel.Select(ctx)
+	return cands, ctx.Meter.Report(), err
+}

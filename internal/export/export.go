@@ -1,0 +1,137 @@
+// Package export renders snapshots, converging pairs, and candidate sets in
+// interchange formats: GraphViz DOT for visual inspection and a simple
+// JSON report for downstream tooling. Exported graphs highlight the
+// converging pairs (dashed red) and candidate endpoints (filled), which
+// makes small case studies — like the examples' ring roads — directly
+// plottable with `dot -Tsvg`.
+package export
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/topk"
+)
+
+// DOTOptions controls the GraphViz rendering.
+type DOTOptions struct {
+	// Name is the graph name in the DOT header ("G" if empty).
+	Name string
+	// Pairs are drawn as dashed highlighted edges (they need not exist in
+	// the graph — converging pairs usually don't).
+	Pairs []topk.Pair
+	// Candidates are rendered as filled nodes.
+	Candidates []int
+	// MaxNodes truncates the output for huge graphs (0 = 2000); only nodes
+	// below the cutoff ID are emitted, with a trailing comment noting the
+	// truncation.
+	MaxNodes int
+	// IncludeIsolated keeps degree-0 nodes (dropped by default).
+	IncludeIsolated bool
+}
+
+// WriteDOT renders g as an undirected GraphViz graph.
+func WriteDOT(w io.Writer, g *graph.Graph, opts DOTOptions) error {
+	bw := bufio.NewWriter(w)
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 2000
+	}
+	fmt.Fprintf(bw, "graph %q {\n", name)
+	fmt.Fprintf(bw, "  node [shape=circle fontsize=10];\n")
+
+	cand := make(map[int]bool, len(opts.Candidates))
+	for _, u := range opts.Candidates {
+		cand[u] = true
+	}
+	limit := g.NumNodes()
+	truncated := false
+	if limit > maxNodes {
+		limit = maxNodes
+		truncated = true
+	}
+	for u := 0; u < limit; u++ {
+		if g.Degree(u) == 0 && !opts.IncludeIsolated && !cand[u] {
+			continue
+		}
+		if cand[u] {
+			fmt.Fprintf(bw, "  %d [style=filled fillcolor=lightblue];\n", u)
+		} else {
+			fmt.Fprintf(bw, "  %d;\n", u)
+		}
+	}
+	for u := 0; u < limit; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u && int(v) < limit {
+				fmt.Fprintf(bw, "  %d -- %d;\n", u, v)
+			}
+		}
+	}
+	for _, p := range opts.Pairs {
+		if int(p.U) >= limit || int(p.V) >= limit {
+			continue
+		}
+		fmt.Fprintf(bw, "  %d -- %d [style=dashed color=red label=\"Δ=%d\"];\n", p.U, p.V, p.Delta)
+	}
+	if truncated {
+		fmt.Fprintf(bw, "  // truncated to %d of %d nodes\n", maxNodes, g.NumNodes())
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+// Report is a machine-readable summary of one budgeted run.
+type Report struct {
+	Selector   string       `json:"selector"`
+	M          int          `json:"m"`
+	SSSPSpent  int          `json:"sssp_spent"`
+	SSSPLimit  int          `json:"sssp_limit"`
+	Candidates []int        `json:"candidates"`
+	Pairs      []PairRecord `json:"pairs"`
+}
+
+// PairRecord is one converging pair in the JSON report.
+type PairRecord struct {
+	U     int32 `json:"u"`
+	V     int32 `json:"v"`
+	D1    int32 `json:"d1"`
+	D2    int32 `json:"d2"`
+	Delta int32 `json:"delta"`
+}
+
+// WriteJSON emits a run report as indented JSON.
+func WriteJSON(w io.Writer, selector string, m int, spent, limit int, candidates []int, pairs []topk.Pair) error {
+	sorted := append([]int(nil), candidates...)
+	sort.Ints(sorted)
+	rep := Report{
+		Selector:   selector,
+		M:          m,
+		SSSPSpent:  spent,
+		SSSPLimit:  limit,
+		Candidates: sorted,
+		Pairs:      make([]PairRecord, len(pairs)),
+	}
+	for i, p := range pairs {
+		rep.Pairs[i] = PairRecord{U: p.U, V: p.V, D1: p.D1, D2: p.D2, Delta: p.Delta}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadJSON parses a report written by WriteJSON.
+func ReadJSON(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("export: decode report: %w", err)
+	}
+	return &rep, nil
+}

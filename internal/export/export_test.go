@@ -1,0 +1,93 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topk"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	var buf bytes.Buffer
+	err := WriteDOT(&buf, g, DOTOptions{
+		Name:       "test",
+		Pairs:      []topk.Pair{{U: 0, V: 3, Delta: 2}},
+		Candidates: []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`graph "test" {`,
+		"0 [style=filled fillcolor=lightblue];",
+		"0 -- 1;",
+		"2 -- 3;",
+		`0 -- 3 [style=dashed color=red label="Δ=2"];`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Isolated node 4 is dropped by default.
+	if strings.Contains(out, "  4;") {
+		t.Fatal("isolated node should be dropped")
+	}
+	buf.Reset()
+	if err := WriteDOT(&buf, g, DOTOptions{IncludeIsolated: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "  4;") {
+		t.Fatal("isolated node should be kept with IncludeIsolated")
+	}
+}
+
+func TestWriteDOTTruncates(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for i := 0; i < 9; i++ {
+		_ = b.AddEdge(i, i+1)
+	}
+	g := b.Build()
+	var buf bytes.Buffer
+	err := WriteDOT(&buf, g, DOTOptions{
+		MaxNodes: 4,
+		Pairs:    []topk.Pair{{U: 0, V: 9, Delta: 1}}, // beyond the cutoff
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "truncated to 4 of 10") {
+		t.Fatal("missing truncation note")
+	}
+	if strings.Contains(out, "5 -- 6") || strings.Contains(out, "0 -- 9") {
+		t.Fatal("edges beyond the cutoff leaked")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	pairs := []topk.Pair{{U: 1, V: 9, D1: 5, D2: 1, Delta: 4}}
+	if err := WriteJSON(&buf, "MMSD", 50, 98, 100, []int{9, 1}, pairs); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Selector != "MMSD" || rep.M != 50 || rep.SSSPSpent != 98 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Candidates) != 2 || rep.Candidates[0] != 1 {
+		t.Fatalf("candidates = %v (should be sorted)", rep.Candidates)
+	}
+	if rep.Pairs[0].Delta != 4 {
+		t.Fatalf("pairs = %v", rep.Pairs)
+	}
+	if _, err := ReadJSON(strings.NewReader("nope")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}

@@ -1,0 +1,66 @@
+package graph
+
+// Components labels each node with a connected-component ID in [0, count) and
+// returns the label slice together with the number of components. Isolated
+// nodes form singleton components.
+func Components(g *Graph) (labels []int32, count int) {
+	n := g.NumNodes()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]int32, 0, n)
+	var next int32
+	for s := 0; s < n; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		labels[s] = next
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range g.Neighbors(int(u)) {
+				if labels[v] < 0 {
+					labels[v] = next
+					queue = append(queue, v)
+				}
+			}
+		}
+		next++
+	}
+	return labels, int(next)
+}
+
+// LargestComponent returns the nodes of the largest connected component,
+// sorted ascending, together with the component count of the whole graph.
+func LargestComponent(g *Graph) (nodes []int, components int) {
+	labels, count := Components(g)
+	if count == 0 {
+		return nil, 0
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	nodes = make([]int, 0, sizes[best])
+	for u, l := range labels {
+		if int(l) == best {
+			nodes = append(nodes, u)
+		}
+	}
+	return nodes, count
+}
+
+// SameComponent returns a predicate telling whether two nodes are connected
+// in g, backed by one Components pass.
+func SameComponent(g *Graph) func(u, v int) bool {
+	labels, _ := Components(g)
+	return func(u, v int) bool { return labels[u] == labels[v] }
+}

@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func lineStream(n int) []TimedEdge {
+	stream := make([]TimedEdge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		stream = append(stream, TimedEdge{U: i, V: i + 1, Time: int64(i)})
+	}
+	return stream
+}
+
+func TestNewEvolvingValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		stream []TimedEdge
+		errIs  error
+	}{
+		{"empty", nil, ErrEmptyStream},
+		{"negative", []TimedEdge{{U: -1, V: 0}}, ErrNodeRange},
+		{"unsorted", []TimedEdge{{U: 0, V: 1, Time: 5}, {U: 1, V: 2, Time: 3}}, ErrUnsorted},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewEvolving(tc.stream)
+			if !errors.Is(err, tc.errIs) {
+				t.Fatalf("err = %v, want %v", err, tc.errIs)
+			}
+		})
+	}
+	if _, err := NewEvolving([]TimedEdge{{U: 2, V: 2}}); err == nil {
+		t.Error("self-loop stream should be rejected")
+	}
+	if _, err := NewEvolving([]TimedEdge{{U: 0, V: 1}, {U: 1, V: 0, Time: 1}}); err == nil {
+		t.Error("duplicate edge stream should be rejected")
+	}
+}
+
+func TestSnapshotPrefix(t *testing.T) {
+	ev, err := NewEvolving(lineStream(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.NumNodes() != 6 || ev.NumEdges() != 5 {
+		t.Fatalf("got %d nodes %d edges", ev.NumNodes(), ev.NumEdges())
+	}
+	g := ev.SnapshotPrefix(3)
+	if g.NumNodes() != 6 {
+		t.Errorf("snapshot universe = %d, want full universe 6", g.NumNodes())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("snapshot edges = %d, want 3", g.NumEdges())
+	}
+	if g.Degree(5) != 0 {
+		t.Errorf("node 5 should be isolated at prefix 3")
+	}
+	if full := ev.SnapshotPrefix(999); full.NumEdges() != 5 {
+		t.Errorf("clamped prefix edges = %d, want 5", full.NumEdges())
+	}
+	if none := ev.SnapshotPrefix(-1); none.NumEdges() != 0 {
+		t.Errorf("negative prefix edges = %d, want 0", none.NumEdges())
+	}
+}
+
+func TestSnapshotFractionAndTime(t *testing.T) {
+	ev, err := NewEvolving(lineStream(11)) // 10 edges at times 0..9
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := ev.SnapshotFraction(0.8); g.NumEdges() != 8 {
+		t.Errorf("80%% snapshot edges = %d, want 8", g.NumEdges())
+	}
+	if g := ev.SnapshotFraction(2.0); g.NumEdges() != 10 {
+		t.Errorf("clamped fraction edges = %d, want 10", g.NumEdges())
+	}
+	if g := ev.SnapshotFraction(-0.5); g.NumEdges() != 0 {
+		t.Errorf("clamped fraction edges = %d, want 0", g.NumEdges())
+	}
+	if g := ev.SnapshotAtTime(4); g.NumEdges() != 5 {
+		t.Errorf("time-4 snapshot edges = %d, want 5 (times 0..4)", g.NumEdges())
+	}
+	if g := ev.SnapshotAtTime(-1); g.NumEdges() != 0 {
+		t.Errorf("time -1 snapshot edges = %d, want 0", g.NumEdges())
+	}
+}
+
+func TestPairAndValidate(t *testing.T) {
+	ev, err := NewEvolving(lineStream(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := ev.Pair(0.8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("valid pair rejected: %v", err)
+	}
+	if _, err := ev.Pair(1.0, 0.8); err == nil {
+		t.Error("reversed fractions should be rejected")
+	}
+	if err := (SnapshotPair{}).Validate(); err == nil {
+		t.Error("nil graphs should be rejected")
+	}
+	// Deletion (G2 missing a G1 edge) must be rejected.
+	bad := SnapshotPair{
+		G1: FromEdges(3, []Edge{{0, 1}, {1, 2}}),
+		G2: FromEdges(3, []Edge{{0, 1}, {0, 2}}),
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("edge deletion should be rejected")
+	}
+	mismatch := SnapshotPair{G1: FromEdges(3, nil), G2: FromEdges(4, nil)}
+	if err := mismatch.Validate(); err == nil {
+		t.Error("differing universes should be rejected")
+	}
+}
+
+func TestNewEdges(t *testing.T) {
+	sp := SnapshotPair{
+		G1: FromEdges(4, []Edge{{0, 1}}),
+		G2: FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}}),
+	}
+	got := sp.NewEdges()
+	if len(got) != 2 {
+		t.Fatalf("NewEdges = %v, want 2 edges", got)
+	}
+	for _, e := range got {
+		if sp.G1.HasEdge(e.U, e.V) {
+			t.Errorf("edge %v already in G1", e)
+		}
+		if !sp.G2.HasEdge(e.U, e.V) {
+			t.Errorf("edge %v not in G2", e)
+		}
+	}
+}
+
+// Property: for any random monotone stream and any pair of prefixes
+// a <= b, the later snapshot is a supergraph of the earlier one.
+func TestSnapshotMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		seen := map[Edge]struct{}{}
+		var stream []TimedEdge
+		for i := 0; len(stream) < 2*n && i < 10*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := Edge{u, v}.Canon()
+			if _, dup := seen[c]; dup {
+				continue
+			}
+			seen[c] = struct{}{}
+			stream = append(stream, TimedEdge{U: u, V: v, Time: int64(len(stream))})
+		}
+		if len(stream) == 0 {
+			return true
+		}
+		ev, err := NewEvolving(stream)
+		if err != nil {
+			return false
+		}
+		a := rng.Intn(len(stream) + 1)
+		b := a + rng.Intn(len(stream)+1-a)
+		ga, gb := ev.SnapshotPrefix(a), ev.SnapshotPrefix(b)
+		return gb.IsSupergraphOf(ga) && ga.NumNodes() == gb.NumNodes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

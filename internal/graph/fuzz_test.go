@@ -1,0 +1,58 @@
+package graph
+
+import "testing"
+
+// FuzzBuilder feeds arbitrary byte-derived edges into the builder: no
+// panic, and the built graph keeps its structural invariants.
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0})
+	f.Add([]byte{})
+	f.Add([]byte{255, 255, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := NewBuilder(0)
+		for i := 0; i+1 < len(data); i += 2 {
+			if err := b.AddEdge(int(data[i]), int(data[i+1])); err != nil {
+				t.Fatalf("non-negative edge rejected: %v", err)
+			}
+		}
+		g := b.Build()
+		degSum := 0
+		for u := 0; u < g.NumNodes(); u++ {
+			degSum += g.Degree(u)
+			for _, v := range g.Neighbors(u) {
+				if int(v) == u {
+					t.Fatal("self-loop survived")
+				}
+				if !g.HasEdge(int(v), u) {
+					t.Fatal("asymmetric adjacency")
+				}
+			}
+		}
+		if degSum != 2*g.NumEdges() {
+			t.Fatalf("degree sum %d != 2|E| %d", degSum, 2*g.NumEdges())
+		}
+	})
+}
+
+// FuzzEvolving validates the stream checker: arbitrary timed edges must
+// either be rejected or produce monotone snapshots.
+func FuzzEvolving(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 1, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var stream []TimedEdge
+		for i := 0; i+2 < len(data); i += 3 {
+			stream = append(stream, TimedEdge{
+				U: int(data[i]), V: int(data[i+1]), Time: int64(data[i+2]),
+			})
+		}
+		ev, err := NewEvolving(stream)
+		if err != nil {
+			return
+		}
+		half := ev.SnapshotPrefix(ev.NumEdges() / 2)
+		full := ev.SnapshotPrefix(ev.NumEdges())
+		if !full.IsSupergraphOf(half) {
+			t.Fatal("snapshot monotonicity violated")
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewWeightedBasics(t *testing.T) {
+	g, err := NewWeighted(4, []WeightedEdge{
+		{U: 0, V: 1, Weight: 2},
+		{U: 1, V: 2, Weight: 3},
+		{U: 2, V: 2, Weight: 9}, // self-loop dropped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 2 {
+		t.Fatalf("%d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatalf("degrees %d %d", g.Degree(1), g.Degree(3))
+	}
+	adj, ws := g.Neighbors(1)
+	if len(adj) != 2 || adj[0] != 0 || ws[0] != 2 || adj[1] != 2 || ws[1] != 3 {
+		t.Fatalf("neighbors(1) = %v %v (must be sorted with parallel weights)", adj, ws)
+	}
+}
+
+func TestNewWeightedErrors(t *testing.T) {
+	if _, err := NewWeighted(2, []WeightedEdge{{U: -1, V: 0, Weight: 1}}); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewWeighted(2, []WeightedEdge{{U: 0, V: 1, Weight: -2}}); !errors.Is(err, ErrNegativeWeight) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewWeightedGrowsAndDedupes(t *testing.T) {
+	g, err := NewWeighted(1, []WeightedEdge{
+		{U: 0, V: 5, Weight: 7},
+		{U: 5, V: 0, Weight: 3}, // duplicate: min weight wins
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 6 || g.NumEdges() != 1 {
+		t.Fatalf("%d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	_, ws := g.Neighbors(0)
+	if ws[0] != 3 {
+		t.Fatalf("weight = %d, want min 3", ws[0])
+	}
+}
+
+func TestFromUnweighted(t *testing.T) {
+	g := FromEdges(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	wg := FromUnweighted(g)
+	if wg.NumNodes() != 3 || wg.NumEdges() != 2 {
+		t.Fatalf("%d nodes %d edges", wg.NumNodes(), wg.NumEdges())
+	}
+	_, ws := wg.Neighbors(1)
+	for _, w := range ws {
+		if w != 1 {
+			t.Fatalf("unit weight = %d", w)
+		}
+	}
+}
+
+func TestStreamAndBuilderAccessors(t *testing.T) {
+	ev, err := NewEvolving([]TimedEdge{{U: 0, V: 1, Time: 3}, {U: 1, V: 2, Time: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ev.Stream()
+	if len(st) != 2 || st[0].Time != 3 {
+		t.Fatalf("stream = %v", st)
+	}
+	b := NewBuilder(2)
+	if b.NumEdges() != 0 {
+		t.Fatal("fresh builder has edges")
+	}
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(1, 0)
+	if b.NumEdges() != 1 {
+		t.Fatalf("builder edges = %d", b.NumEdges())
+	}
+}

@@ -1,0 +1,205 @@
+package incidence
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/candidates"
+	"repro/internal/graph"
+	"repro/internal/topk"
+)
+
+func growingPair(t testing.TB, n int, seed int64) graph.SnapshotPair {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[graph.Edge]struct{}{}
+	var stream []graph.TimedEdge
+	add := func(u, v int) {
+		if u == v {
+			return
+		}
+		c := graph.Edge{U: u, V: v}.Canon()
+		if _, dup := seen[c]; dup {
+			return
+		}
+		seen[c] = struct{}{}
+		stream = append(stream, graph.TimedEdge{U: u, V: v, Time: int64(len(stream))})
+	}
+	for i := 1; i < n; i++ {
+		add(i, rng.Intn(i))
+		if i > 2 && rng.Intn(3) == 0 {
+			add(i, rng.Intn(i))
+		}
+	}
+	ev, err := graph.NewEvolving(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := ev.Pair(0.8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestActiveNodes(t *testing.T) {
+	g1 := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	g2 := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}})
+	sp := graph.SnapshotPair{G1: g1, G2: g2}
+	got := ActiveNodes(sp)
+	// New edges: {2,3} and {3,4}; nodes 3 and 4 have degree 0 in G1, so only
+	// node 2 is active.
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("active = %v, want [2]", got)
+	}
+}
+
+func TestFullFindsAllCoveredPairs(t *testing.T) {
+	sp := growingPair(t, 120, 1)
+	res, err := Full(sp, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SSSPCount != 2*len(res.Active) {
+		t.Fatalf("SSSPCount = %d, want %d", res.SSSPCount, 2*len(res.Active))
+	}
+	// Cross-check: every true converging pair with an active endpoint must
+	// be found.
+	gt, err := topk.Compute(sp, topk.Options{Workers: 2, Slack: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	activeSet := topk.NodeSet(res.Active)
+	found := map[topk.Pair]bool{}
+	for _, p := range res.Pairs {
+		found[p] = true
+	}
+	for _, p := range topk.CoveredBy(gt.Pairs, activeSet) {
+		if !found[p] {
+			t.Fatalf("pair %v covered by active set but not found", p)
+		}
+	}
+	for _, p := range res.Pairs {
+		if !activeSet[p.U] && !activeSet[p.V] {
+			t.Fatalf("pair %v found without an active endpoint", p)
+		}
+	}
+	cost := CostOf(res, sp)
+	if cost.ActiveSize != len(res.Active) || cost.ActiveFraction <= 0 || cost.ActiveFraction > 1 {
+		t.Fatalf("cost = %+v", cost)
+	}
+}
+
+func TestFullValidatesPair(t *testing.T) {
+	bad := graph.SnapshotPair{
+		G1: graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}}),
+		G2: graph.FromEdges(2, nil),
+	}
+	if _, err := Full(bad, 1, 1); err == nil {
+		t.Fatal("invalid pair should fail")
+	}
+	if _, err := SelectiveExpansion(bad, ExpansionOptions{}); err == nil {
+		t.Fatal("invalid pair should fail")
+	}
+}
+
+func TestFullNoNewEdges(t *testing.T) {
+	e := []graph.Edge{{U: 0, V: 1}}
+	sp := graph.SnapshotPair{G1: graph.FromEdges(2, e), G2: graph.FromEdges(2, e)}
+	res, err := Full(sp, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Active) != 0 || len(res.Pairs) != 0 || res.SSSPCount != 0 {
+		t.Fatalf("static pair result = %+v", res)
+	}
+}
+
+func TestSelectiveExpansionGrowsCoverage(t *testing.T) {
+	sp := growingPair(t, 120, 2)
+	full, err := Full(sp, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := SelectiveExpansion(sp, ExpansionOptions{MinDelta: 1, MaxRounds: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Pairs) < len(full.Pairs) {
+		t.Fatalf("expansion found %d pairs < plain incidence %d", len(exp.Pairs), len(full.Pairs))
+	}
+	if len(exp.Active) < len(full.Active) {
+		t.Fatal("expansion shrank the active set")
+	}
+	if exp.SSSPCount < full.SSSPCount {
+		t.Fatal("expansion cannot be cheaper than one round")
+	}
+	if exp.Rounds < 1 || exp.Rounds > 3 {
+		t.Fatalf("rounds = %d", exp.Rounds)
+	}
+}
+
+func TestIncDegSelector(t *testing.T) {
+	sp := growingPair(t, 120, 3)
+	sel := IncDeg()
+	if sel.Name() != "IncDeg" {
+		t.Fatal("name")
+	}
+	ctx := &candidates.Context{Pair: sp, M: 10, Meter: budget.NewMeter(10), Workers: 2}
+	got, err := sel.Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) > 10 {
+		t.Fatalf("got %d candidates", len(got))
+	}
+	activeSet := topk.NodeSet(ActiveNodes(sp))
+	for _, u := range got {
+		if !activeSet[int32(u)] {
+			t.Fatalf("candidate %d not active", u)
+		}
+	}
+	// Candidates sorted by degree gain descending.
+	gain := func(u int) int { return sp.G2.Degree(u) - sp.G1.Degree(u) }
+	for i := 1; i < len(got); i++ {
+		if gain(got[i-1]) < gain(got[i]) {
+			t.Fatal("IncDeg order violated")
+		}
+	}
+	// Selection itself spends no SSSPs.
+	if rep := ctx.Meter.Report(); rep.CandidateGen != 0 {
+		t.Fatalf("IncDeg charged %d SSSPs", rep.CandidateGen)
+	}
+}
+
+func TestIncBetSelector(t *testing.T) {
+	sp := growingPair(t, 80, 4)
+	sel := IncBet()
+	if sel.Name() != "IncBet" {
+		t.Fatal("name")
+	}
+	ctx := &candidates.Context{Pair: sp, M: 8, Meter: budget.NewMeter(8), Workers: 2}
+	got, err := sel.Select(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) > 8 {
+		t.Fatalf("got %d candidates", len(got))
+	}
+	activeSet := topk.NodeSet(ActiveNodes(sp))
+	for _, u := range got {
+		if !activeSet[int32(u)] {
+			t.Fatalf("candidate %d not active", u)
+		}
+	}
+}
+
+func TestBudgetedString(t *testing.T) {
+	sp := growingPair(t, 80, 5)
+	s := Budgeted(sp, 10)
+	if !strings.Contains(s, "m=10") || !strings.Contains(s, "|A|=") {
+		t.Fatalf("Budgeted = %q", s)
+	}
+}

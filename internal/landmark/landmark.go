@@ -1,0 +1,265 @@
+// Package landmark implements landmark selection and landmark-based distance
+// change estimation. A landmark set L gives every node u a delta vector
+// Λ(u)[i] = d_t1(u, w_i) − d_t2(u, w_i); its L1 and L∞ norms are the paper's
+// SumDiff and MaxDiff ranking scores, and dispersion-selected landmark sets
+// (MaxMin / MaxAvg) power the hybrid algorithms.
+//
+// Budget discipline follows the paper's Table 1: every BFS performed here is
+// charged to the caller's budget meter in the candidate-generation phase —
+// l BFS per snapshot for the landmark rows, with dispersion selection's G_t1
+// rows cached and reused so hybrids pay 2l total, not 3l.
+package landmark
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/budget"
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+// Strategy selects how landmarks are picked from G_t1.
+type Strategy int
+
+const (
+	// Random samples landmarks uniformly from the largest component.
+	Random Strategy = iota
+	// MaxMin greedily maximizes the minimum distance to selected landmarks,
+	// spreading landmarks to cover the graph's clusters.
+	MaxMin
+	// MaxAvg greedily maximizes the average distance to selected landmarks,
+	// favoring peripheral nodes.
+	MaxAvg
+	// HighDegree picks the highest-degree nodes (a cheap centrality-flavored
+	// baseline, used in ablations).
+	HighDegree
+)
+
+// String returns the strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case Random:
+		return "random"
+	case MaxMin:
+		return "maxmin"
+	case MaxAvg:
+		return "maxavg"
+	case HighDegree:
+		return "highdegree"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// ErrNoLandmarks reports a selection request that cannot produce landmarks.
+var ErrNoLandmarks = errors.New("landmark: no landmarks selectable")
+
+// Set is a selected landmark set. For dispersion strategies, D1 caches the
+// BFS rows on G_t1 computed during selection (row i is distances from
+// Nodes[i]); reusing them halves the landmark budget of hybrids.
+type Set struct {
+	Strategy Strategy
+	Nodes    []int
+	D1       [][]int32
+}
+
+// Select picks l landmarks from g1 with the given strategy. Landmarks come
+// from the largest connected component, where pairwise dispersion distances
+// are well defined. Dispersion strategies charge one BFS per pick to meter
+// (candidate-generation phase); Random and HighDegree are free. rng is used
+// by Random only and may be nil for the other strategies.
+func Select(strategy Strategy, g1 *graph.Graph, l int, rng *rand.Rand, meter *budget.Meter) (Set, error) {
+	if l <= 0 {
+		return Set{}, fmt.Errorf("landmark: non-positive landmark count %d", l)
+	}
+	comp, _ := graph.LargestComponent(g1)
+	if len(comp) == 0 {
+		return Set{}, fmt.Errorf("%w: empty graph", ErrNoLandmarks)
+	}
+	if l > len(comp) {
+		l = len(comp)
+	}
+	switch strategy {
+	case Random:
+		if rng == nil {
+			return Set{}, errors.New("landmark: Random strategy requires an rng")
+		}
+		idx := rng.Perm(len(comp))[:l]
+		nodes := make([]int, l)
+		for i, j := range idx {
+			nodes[i] = comp[j]
+		}
+		sort.Ints(nodes)
+		return Set{Strategy: Random, Nodes: nodes}, nil
+	case HighDegree:
+		sorted := append([]int(nil), comp...)
+		sort.Slice(sorted, func(i, j int) bool {
+			di, dj := g1.Degree(sorted[i]), g1.Degree(sorted[j])
+			if di != dj {
+				return di > dj
+			}
+			return sorted[i] < sorted[j]
+		})
+		return Set{Strategy: HighDegree, Nodes: sorted[:l]}, nil
+	case MaxMin, MaxAvg:
+		return selectDispersed(strategy, g1, comp, l, meter)
+	default:
+		return Set{}, fmt.Errorf("landmark: unknown strategy %v", strategy)
+	}
+}
+
+// selectDispersed runs the greedy dispersion selection shared by MaxMin and
+// MaxAvg. The first pick is the highest-degree node of the component (a
+// deterministic, central anchor); each subsequent pick maximizes the
+// min (MaxMin) or sum (MaxAvg) of distances to the already-selected set.
+func selectDispersed(strategy Strategy, g1 *graph.Graph, comp []int, l int, meter *budget.Meter) (Set, error) {
+	first := comp[0]
+	for _, u := range comp {
+		if g1.Degree(u) > g1.Degree(first) {
+			first = u
+		}
+	}
+	n := g1.NumNodes()
+	inComp := make([]bool, n)
+	for _, u := range comp {
+		inComp[u] = true
+	}
+	selected := make([]int, 0, l)
+	isSelected := make([]bool, n)
+	score := make([]int64, n) // min- or sum-distance to selected
+	rows := make([][]int32, 0, l)
+
+	pick := func(u int) error {
+		if err := meter.Charge(budget.PhaseCandidateGen, 1); err != nil {
+			return err
+		}
+		row := make([]int32, n)
+		sssp.BFS(g1, u, row)
+		rows = append(rows, row)
+		selected = append(selected, u)
+		isSelected[u] = true
+		for v := 0; v < n; v++ {
+			if !inComp[v] {
+				continue
+			}
+			d := int64(row[v]) // finite within the component
+			if strategy == MaxAvg {
+				score[v] += d
+			} else if len(selected) == 1 || d < score[v] {
+				score[v] = d
+			}
+		}
+		return nil
+	}
+
+	if err := pick(first); err != nil {
+		return Set{}, fmt.Errorf("landmark: %v selection: %w", strategy, err)
+	}
+	for len(selected) < l {
+		best, bestScore := -1, int64(-1)
+		for _, v := range comp {
+			if isSelected[v] {
+				continue
+			}
+			if score[v] > bestScore {
+				best, bestScore = v, score[v]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if err := pick(best); err != nil {
+			return Set{}, fmt.Errorf("landmark: %v selection: %w", strategy, err)
+		}
+	}
+	return Set{Strategy: strategy, Nodes: selected, D1: rows}, nil
+}
+
+// Norms holds, per node of the snapshot universe, the L1 and L∞ norms of the
+// landmark delta vector. Unreachable (in G_t1) landmark–node combinations
+// contribute zero: such pairs are not connected, hence not converging.
+type Norms struct {
+	L1   []int64
+	LInf []int32
+}
+
+// ComputeNorms evaluates the delta-vector norms of every node for the given
+// landmark set. It charges one BFS per landmark on G_t2, plus one per
+// landmark on G_t1 when the set carries no cached D1 rows.
+func ComputeNorms(set Set, pair graph.SnapshotPair, meter *budget.Meter, workers int) (Norms, error) {
+	norms, _, _, err := ComputeNormsRows(set, pair, meter, workers)
+	return norms, err
+}
+
+// ComputeNormsRows is ComputeNorms but also returns the landmark distance
+// matrices on both snapshots (row i = distances from set.Nodes[i]). Hybrid
+// selectors cache these rows so the extraction phase re-spends nothing on
+// landmark sources, preserving the paper's exact 2m SSSP budget.
+func ComputeNormsRows(set Set, pair graph.SnapshotPair, meter *budget.Meter, workers int) (Norms, [][]int32, [][]int32, error) {
+	l := len(set.Nodes)
+	if l == 0 {
+		return Norms{}, nil, nil, ErrNoLandmarks
+	}
+	d1 := set.D1
+	if d1 == nil {
+		if err := meter.Charge(budget.PhaseCandidateGen, l); err != nil {
+			return Norms{}, nil, nil, fmt.Errorf("landmark: G_t1 rows: %w", err)
+		}
+		d1 = sssp.DistanceMatrix(pair.G1, set.Nodes, workers)
+	} else if len(d1) != l {
+		return Norms{}, nil, nil, fmt.Errorf("landmark: cached D1 has %d rows for %d landmarks", len(d1), l)
+	}
+	if err := meter.Charge(budget.PhaseCandidateGen, l); err != nil {
+		return Norms{}, nil, nil, fmt.Errorf("landmark: G_t2 rows: %w", err)
+	}
+	d2 := sssp.DistanceMatrix(pair.G2, set.Nodes, workers)
+
+	n := pair.G1.NumNodes()
+	norms := Norms{L1: make([]int64, n), LInf: make([]int32, n)}
+	for i := 0; i < l; i++ {
+		r1, r2 := d1[i], d2[i]
+		for v := 0; v < n; v++ {
+			if r1[v] <= 0 { // unreachable in G_t1, or the landmark itself
+				continue
+			}
+			delta := r1[v] - r2[v]
+			if delta <= 0 {
+				continue
+			}
+			norms.L1[v] += int64(delta)
+			if delta > norms.LInf[v] {
+				norms.LInf[v] = delta
+			}
+		}
+	}
+	return norms, d1, d2, nil
+}
+
+// TopByScore returns the m nodes with the highest score, excluding any node
+// in the exclude set, breaking ties toward smaller IDs. score must be
+// indexable by node ID; nodes with zero score still qualify (the paper's
+// rankings keep the top-m regardless).
+func TopByScore[T int64 | int32 | float64](score []T, m int, exclude map[int]bool) []int {
+	if m <= 0 {
+		return nil
+	}
+	idx := make([]int, 0, len(score))
+	for v := range score {
+		if !exclude[v] {
+			idx = append(idx, v)
+		}
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		if score[idx[i]] != score[idx[j]] {
+			return score[idx[i]] > score[idx[j]]
+		}
+		return idx[i] < idx[j]
+	})
+	if m > len(idx) {
+		m = len(idx)
+	}
+	return idx[:m]
+}

@@ -1,0 +1,161 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LinearRegression is a ridge-regularized least-squares model. The paper's
+// related work (its ref [5]) predicts distances with "linear functions that
+// combine vertex-based attributes with landmark-based attributes"; the
+// regression-based selector uses this model the same way, predicting each
+// node's converging-pair participation.
+type LinearRegression struct {
+	Weights []float64
+	Bias    float64
+}
+
+// ErrSingular reports a normal-equations system without a unique solution.
+var ErrSingular = errors.New("ml: singular system")
+
+// SolveLinear solves the dense system A x = b by Gaussian elimination with
+// partial pivoting. A is modified in place; b is not. Returns ErrSingular
+// for (numerically) rank-deficient systems.
+func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("ml: bad system shape %dx? vs %d", n, len(b))
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("ml: row %d has %d columns, want %d", i, len(row), n)
+		}
+	}
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		x[col], x[pivot] = x[pivot], x[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		s := x[col]
+		for c := col + 1; c < n; c++ {
+			s -= a[col][c] * x[c]
+		}
+		x[col] = s / a[col][col]
+	}
+	return x, nil
+}
+
+// FitLinear trains ridge regression via the normal equations
+// (XᵀX + λI) w = Xᵀ y, with an unregularized bias column. lambda <= 0 means
+// a light default of 1e-6 (enough to make the system well posed).
+func FitLinear(x [][]float64, y []float64, lambda float64) (*LinearRegression, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("%w: %d rows, %d targets", ErrNoData, len(x), len(y))
+	}
+	d := len(x[0])
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	if lambda <= 0 {
+		lambda = 1e-6
+	}
+	// Augmented design: features + bias column.
+	dim := d + 1
+	ata := make([][]float64, dim)
+	for i := range ata {
+		ata[i] = make([]float64, dim)
+	}
+	aty := make([]float64, dim)
+	for r, row := range x {
+		for i := 0; i < d; i++ {
+			for j := i; j < d; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			ata[i][d] += row[i] // bias column
+			aty[i] += row[i] * y[r]
+		}
+		ata[d][d]++
+		aty[d] += y[r]
+	}
+	for i := 0; i < d; i++ {
+		ata[i][i] += lambda
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+	for j := 0; j < d; j++ {
+		ata[d][j] = ata[j][d]
+	}
+	w, err := SolveLinear(ata, aty)
+	if err != nil {
+		return nil, err
+	}
+	return &LinearRegression{Weights: w[:d], Bias: w[d]}, nil
+}
+
+// Predict returns the model output for one feature row.
+func (m *LinearRegression) Predict(row []float64) float64 {
+	z := m.Bias
+	for j, v := range row {
+		z += m.Weights[j] * v
+	}
+	return z
+}
+
+// PredictAll returns model outputs for every row.
+func (m *LinearRegression) PredictAll(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = m.Predict(row)
+	}
+	return out
+}
+
+// R2 computes the coefficient of determination on a labeled set.
+func (m *LinearRegression) R2(x [][]float64, y []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssRes, ssTot float64
+	for i, row := range x {
+		diff := y[i] - m.Predict(row)
+		ssRes += diff * diff
+		tot := y[i] - mean
+		ssTot += tot * tot
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

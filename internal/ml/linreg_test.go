@@ -1,0 +1,149 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveLinearBasic(t *testing.T) {
+	// 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+	a := [][]float64{{2, 1}, {1, -1}}
+	b := []float64{5, 1}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-9 || math.Abs(x[1]-1) > 1e-9 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLinearPivoting(t *testing.T) {
+	// Zero pivot in the naive order; requires row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{3, 7}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 7 || x[1] != 3 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := SolveLinear(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := SolveLinear(nil, nil); err == nil {
+		t.Fatal("empty system should fail")
+	}
+	if _, err := SolveLinear([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("non-square system should fail")
+	}
+}
+
+// Property: SolveLinear recovers x from (A, Ax) for random well-conditioned
+// systems.
+func TestSolveLinearProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := make([][]float64, n)
+		want := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+			}
+			a[i][i] += float64(n) // diagonal dominance for conditioning
+			want[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		for i := range b {
+			for j := range want {
+				b[i] += a[i][j] * want[j]
+			}
+		}
+		// SolveLinear mutates a; keep the original for residual checks.
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	// y = 3a - 2b + 5.
+	var x [][]float64
+	var y []float64
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x = append(x, []float64{a, b})
+		y = append(y, 3*a-2*b+5)
+	}
+	m, err := FitLinear(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Weights[0]-3) > 1e-3 || math.Abs(m.Weights[1]+2) > 1e-3 || math.Abs(m.Bias-5) > 1e-3 {
+		t.Fatalf("model = %+v", m)
+	}
+	if r2 := m.R2(x, y); r2 < 0.9999 {
+		t.Fatalf("R2 = %v", r2)
+	}
+	preds := m.PredictAll(x)
+	if len(preds) != 50 {
+		t.Fatal("PredictAll length")
+	}
+}
+
+func TestFitLinearValidation(t *testing.T) {
+	if _, err := FitLinear(nil, nil, 0); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := FitLinear([][]float64{{1}, {2, 3}}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("ragged rows should fail")
+	}
+}
+
+func TestFitLinearRidgeShrinks(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{2, 4, 6, 8}
+	weak, err := FitLinear(x, y, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := FitLinear(x, y, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(strong.Weights[0]) >= math.Abs(weak.Weights[0]) {
+		t.Fatalf("ridge did not shrink: %v vs %v", strong.Weights[0], weak.Weights[0])
+	}
+}
+
+func TestR2Degenerate(t *testing.T) {
+	m := &LinearRegression{Weights: []float64{0}, Bias: 1}
+	if r2 := m.R2(nil, nil); r2 != 0 {
+		t.Fatalf("empty R2 = %v", r2)
+	}
+	// Constant targets: ssTot = 0.
+	if r2 := m.R2([][]float64{{1}, {2}}, []float64{1, 1}); r2 != 0 {
+		t.Fatalf("constant R2 = %v", r2)
+	}
+}

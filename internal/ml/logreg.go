@@ -1,0 +1,240 @@
+// Package ml provides the machine-learning substrate of the
+// classification-based selectors: an L2-regularized logistic regression
+// trained by batch gradient descent with backtracking line search, plus
+// min-max feature scaling to [-1, 1]. The paper uses LIBLINEAR's logistic
+// regression; this package is a from-scratch stdlib-only replacement of the
+// same model family, used the same way — the predicted probability of the
+// positive class ranks candidate endpoints.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LogisticRegression is a trained binary classifier. Weights has one entry
+// per feature; Bias is the intercept.
+type LogisticRegression struct {
+	Weights []float64
+	Bias    float64
+}
+
+// TrainOptions configures Fit.
+type TrainOptions struct {
+	// Lambda is the L2 regularization strength (on weights, not bias).
+	// Zero means a light default of 1e-4.
+	Lambda float64
+	// MaxIter bounds gradient-descent iterations; 0 means 500.
+	MaxIter int
+	// Tol stops training when the gradient norm falls below it; 0 means 1e-6.
+	Tol float64
+	// ClassWeight scales the loss of positive examples; 0 means balanced
+	// weighting n_neg/n_pos (vertex covers are a tiny positive class, so
+	// balancing matters).
+	ClassWeight float64
+}
+
+var (
+	// ErrNoData reports an empty training set.
+	ErrNoData = errors.New("ml: empty training set")
+	// ErrOneClass reports a training set with a single label value.
+	ErrOneClass = errors.New("ml: training set has only one class")
+)
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Fit trains an L2-regularized logistic regression on X (rows = examples)
+// and binary labels y. All rows must share X[0]'s width.
+func Fit(x [][]float64, y []bool, opts TrainOptions) (*LogisticRegression, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("%w: %d rows, %d labels", ErrNoData, len(x), len(y))
+	}
+	d := len(x[0])
+	pos := 0
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), d)
+		}
+		if y[i] {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(y) {
+		return nil, fmt.Errorf("%w: %d positives of %d", ErrOneClass, pos, len(y))
+	}
+	if opts.Lambda <= 0 {
+		opts.Lambda = 1e-4
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 500
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-6
+	}
+	posWeight := opts.ClassWeight
+	if posWeight <= 0 {
+		posWeight = float64(len(y)-pos) / float64(pos)
+	}
+
+	w := make([]float64, d)
+	bias := 0.0
+	grad := make([]float64, d)
+	n := float64(len(x))
+
+	loss := func(w []float64, bias float64) float64 {
+		total := 0.0
+		for i, row := range x {
+			z := bias
+			for j, v := range row {
+				z += w[j] * v
+			}
+			// Numerically stable log(1+exp(±z)).
+			var l float64
+			if y[i] {
+				l = posWeight * softplus(-z)
+			} else {
+				l = softplus(z)
+			}
+			total += l
+		}
+		total /= n
+		for _, wj := range w {
+			total += 0.5 * opts.Lambda * wj * wj
+		}
+		return total
+	}
+
+	step := 1.0
+	cur := loss(w, bias)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		for j := range grad {
+			grad[j] = opts.Lambda * w[j]
+		}
+		gBias := 0.0
+		for i, row := range x {
+			z := bias
+			for j, v := range row {
+				z += w[j] * v
+			}
+			p := sigmoid(z)
+			var err float64
+			if y[i] {
+				err = posWeight * (p - 1)
+			} else {
+				err = p
+			}
+			err /= n
+			for j, v := range row {
+				grad[j] += err * v
+			}
+			gBias += err
+		}
+		gNorm := gBias * gBias
+		for _, g := range grad {
+			gNorm += g * g
+		}
+		if math.Sqrt(gNorm) < opts.Tol {
+			break
+		}
+		// Backtracking line search on the full-batch loss.
+		improved := false
+		for try := 0; try < 30; try++ {
+			cand := make([]float64, d)
+			for j := range w {
+				cand[j] = w[j] - step*grad[j]
+			}
+			candBias := bias - step*gBias
+			if l := loss(cand, candBias); l < cur {
+				w, bias, cur = cand, candBias, l
+				step *= 1.2 // be a bit more aggressive next time
+				improved = true
+				break
+			}
+			step *= 0.5
+		}
+		if !improved {
+			break
+		}
+	}
+	return &LogisticRegression{Weights: w, Bias: bias}, nil
+}
+
+func softplus(z float64) float64 {
+	if z > 30 {
+		return z
+	}
+	return math.Log1p(math.Exp(z))
+}
+
+// Predict returns the probability of the positive class for one feature row.
+func (m *LogisticRegression) Predict(row []float64) float64 {
+	z := m.Bias
+	for j, v := range row {
+		z += m.Weights[j] * v
+	}
+	return sigmoid(z)
+}
+
+// PredictAll returns positive-class probabilities for every row.
+func (m *LogisticRegression) PredictAll(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = m.Predict(row)
+	}
+	return out
+}
+
+// Accuracy returns the 0.5-threshold accuracy on a labeled set; a test and
+// diagnostics helper.
+func (m *LogisticRegression) Accuracy(x [][]float64, y []bool) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, row := range x {
+		if (m.Predict(row) >= 0.5) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}
+
+// AUC computes the area under the ROC curve of scores against labels — the
+// probability a random positive outranks a random negative. Used in tests to
+// assert the classifier ranks cover nodes above non-cover nodes.
+func AUC(scores []float64, y []bool) float64 {
+	var pos, neg, wins, ties float64
+	for i, si := range scores {
+		if !y[i] {
+			continue
+		}
+		pos++
+		for j, sj := range scores {
+			if y[j] {
+				continue
+			}
+			switch {
+			case si > sj:
+				wins++
+			case si == sj:
+				ties++
+			}
+		}
+	}
+	for _, label := range y {
+		if !label {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	return (wins + 0.5*ties) / (pos * neg)
+}

@@ -1,0 +1,220 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, nil, TrainOptions{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty: err = %v", err)
+	}
+	x := [][]float64{{1}, {2}}
+	if _, err := Fit(x, []bool{true, true}, TrainOptions{}); !errors.Is(err, ErrOneClass) {
+		t.Errorf("one class: err = %v", err)
+	}
+	bad := [][]float64{{1, 2}, {3}}
+	if _, err := Fit(bad, []bool{true, false}, TrainOptions{}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	if _, err := Fit(x, []bool{true}, TrainOptions{}); err == nil {
+		t.Error("label/row count mismatch should fail")
+	}
+}
+
+func TestFitLinearlySeparable1D(t *testing.T) {
+	var x [][]float64
+	var y []bool
+	for i := -10; i <= 10; i++ {
+		if i == 0 {
+			continue
+		}
+		x = append(x, []float64{float64(i)})
+		y = append(y, i > 0)
+	}
+	m, err := Fit(x, y, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc != 1 {
+		t.Fatalf("accuracy = %v, want 1 on separable data", acc)
+	}
+	if m.Predict([]float64{5}) < 0.9 || m.Predict([]float64{-5}) > 0.1 {
+		t.Fatalf("probabilities not confident: p(5)=%v p(-5)=%v",
+			m.Predict([]float64{5}), m.Predict([]float64{-5}))
+	}
+}
+
+func TestFitNeedsBias(t *testing.T) {
+	// Separable only with an intercept: positives are x > 3.
+	var x [][]float64
+	var y []bool
+	for i := 0; i < 8; i++ {
+		x = append(x, []float64{float64(i)})
+		y = append(y, i > 3)
+	}
+	m, err := Fit(x, y, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc != 1 {
+		t.Fatalf("accuracy = %v, want 1", acc)
+	}
+	if m.Bias >= 0 {
+		t.Fatalf("bias = %v, want negative (threshold above zero)", m.Bias)
+	}
+}
+
+func TestFitImbalancedClassWeighting(t *testing.T) {
+	// 5 positives vs 95 negatives along one noisy dimension: balanced class
+	// weighting should still rank positives on top.
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []bool
+	for i := 0; i < 95; i++ {
+		x = append(x, []float64{rng.NormFloat64() - 1})
+		y = append(y, false)
+	}
+	for i := 0; i < 5; i++ {
+		x = append(x, []float64{rng.NormFloat64() + 2})
+		y = append(y, true)
+	}
+	m, err := Fit(x, y, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(m.PredictAll(x), y); auc < 0.95 {
+		t.Fatalf("AUC = %v, want >= 0.95", auc)
+	}
+}
+
+func TestRegularizationShrinksWeights(t *testing.T) {
+	var x [][]float64
+	var y []bool
+	for i := -6; i <= 6; i++ {
+		if i == 0 {
+			continue
+		}
+		x = append(x, []float64{float64(i)})
+		y = append(y, i > 0)
+	}
+	weak, err := Fit(x, y, TrainOptions{Lambda: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := Fit(x, y, TrainOptions{Lambda: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(strong.Weights[0]) >= math.Abs(weak.Weights[0]) {
+		t.Fatalf("lambda=1 weight %v not smaller than lambda=1e-6 weight %v",
+			strong.Weights[0], weak.Weights[0])
+	}
+}
+
+// Property: on randomly generated linearly separable 2D data, the trained
+// model achieves AUC 1 (perfect ranking).
+func TestSeparableAUCProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random separating direction with margin.
+		wx, wy := rng.NormFloat64(), rng.NormFloat64()
+		norm := math.Hypot(wx, wy)
+		if norm < 1e-3 {
+			return true
+		}
+		wx, wy = wx/norm, wy/norm
+		var x [][]float64
+		var y []bool
+		for i := 0; i < 60; i++ {
+			px, py := rng.NormFloat64()*3, rng.NormFloat64()*3
+			margin := wx*px + wy*py
+			if math.Abs(margin) < 0.3 {
+				continue // enforce a margin
+			}
+			x = append(x, []float64{px, py})
+			y = append(y, margin > 0)
+		}
+		pos := 0
+		for _, label := range y {
+			if label {
+				pos++
+			}
+		}
+		if pos == 0 || pos == len(y) {
+			return true
+		}
+		m, err := Fit(x, y, TrainOptions{MaxIter: 800})
+		if err != nil {
+			return false
+		}
+		return AUC(m.PredictAll(x), y) > 0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAUC(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.3, 0.1}
+	y := []bool{true, true, false, false}
+	if auc := AUC(scores, y); auc != 1 {
+		t.Fatalf("perfect AUC = %v", auc)
+	}
+	yWorst := []bool{false, false, true, true}
+	if auc := AUC(scores, yWorst); auc != 0 {
+		t.Fatalf("worst AUC = %v", auc)
+	}
+	if auc := AUC([]float64{0.5, 0.5}, []bool{true, false}); auc != 0.5 {
+		t.Fatalf("tied AUC = %v", auc)
+	}
+	if auc := AUC(scores, []bool{true, true, true, true}); auc != 0.5 {
+		t.Fatalf("degenerate AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	m := &LogisticRegression{Weights: []float64{1}}
+	if acc := m.Accuracy(nil, nil); acc != 0 {
+		t.Fatalf("empty accuracy = %v", acc)
+	}
+}
+
+func TestScaler(t *testing.T) {
+	x := [][]float64{{0, 10, 5}, {10, 20, 5}, {5, 15, 5}}
+	s, err := FitScaler(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := s.ApplyAll(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled[0][0] != -1 || scaled[1][0] != 1 || scaled[2][0] != 0 {
+		t.Fatalf("column 0 scaled = %v %v %v", scaled[0][0], scaled[1][0], scaled[2][0])
+	}
+	// Constant column maps to 0.
+	if scaled[0][2] != 0 || scaled[1][2] != 0 {
+		t.Fatalf("constant column scaled = %v %v", scaled[0][2], scaled[1][2])
+	}
+	// Out-of-range test values clamp.
+	row, err := s.Apply([]float64{100, -100, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != 1 || row[1] != -1 {
+		t.Fatalf("clamped = %v", row)
+	}
+	if _, err := s.Apply([]float64{1}); !errors.Is(err, ErrScalerWidth) {
+		t.Fatalf("width mismatch err = %v", err)
+	}
+	if _, err := FitScaler(nil); !errors.Is(err, ErrNoData) {
+		t.Fatalf("empty scaler err = %v", err)
+	}
+	if _, err := FitScaler([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrScalerWidth) {
+		t.Fatalf("ragged scaler err = %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scaler min-max scales features into [-1, 1], the normalization the paper
+// applies to every classifier feature. Fit on training data, apply to both
+// training and test data; constant features map to 0.
+type Scaler struct {
+	Min, Max []float64
+}
+
+// ErrScalerWidth reports a row whose width disagrees with the fitted scaler.
+var ErrScalerWidth = errors.New("ml: feature width mismatch")
+
+// FitScaler learns per-column minima and maxima.
+func FitScaler(x [][]float64) (*Scaler, error) {
+	if len(x) == 0 {
+		return nil, ErrNoData
+	}
+	d := len(x[0])
+	s := &Scaler{Min: make([]float64, d), Max: make([]float64, d)}
+	copy(s.Min, x[0])
+	copy(s.Max, x[0])
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("%w: row %d has %d features, want %d", ErrScalerWidth, i, len(row), d)
+		}
+		for j, v := range row {
+			if v < s.Min[j] {
+				s.Min[j] = v
+			}
+			if v > s.Max[j] {
+				s.Max[j] = v
+			}
+		}
+	}
+	return s, nil
+}
+
+// Apply scales one row into [-1, 1] in place and returns it. Values outside
+// the fitted range are clamped, so test-time outliers cannot explode.
+func (s *Scaler) Apply(row []float64) ([]float64, error) {
+	if len(row) != len(s.Min) {
+		return nil, fmt.Errorf("%w: row has %d features, scaler has %d", ErrScalerWidth, len(row), len(s.Min))
+	}
+	for j, v := range row {
+		lo, hi := s.Min[j], s.Max[j]
+		if hi == lo {
+			row[j] = 0
+			continue
+		}
+		scaled := 2*(v-lo)/(hi-lo) - 1
+		if scaled < -1 {
+			scaled = -1
+		} else if scaled > 1 {
+			scaled = 1
+		}
+		row[j] = scaled
+	}
+	return row, nil
+}
+
+// ApplyAll scales every row in place and returns x.
+func (s *Scaler) ApplyAll(x [][]float64) ([][]float64, error) {
+	for _, row := range x {
+		if _, err := s.Apply(row); err != nil {
+			return nil, err
+		}
+	}
+	return x, nil
+}

@@ -1,0 +1,231 @@
+// Package monitor watches an evolving graph over consecutive windows of its
+// edge stream and reports the converging pairs of each window under a
+// budget — the "continuous" deployment mode the paper's applications
+// (friend recommendation, fraud rings, protein interactions) imply. It also
+// provides a streaming landmark tracker that keeps landmark distance
+// vectors fresh with incremental BFS (internal/dynsssp) instead of
+// recomputing them per window, so a long-running monitor pays the landmark
+// SSSP cost once.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/budget"
+	"repro/internal/candidates"
+	"repro/internal/core"
+	"repro/internal/dynsssp"
+	"repro/internal/graph"
+	"repro/internal/topk"
+)
+
+// Config controls a windowed watch.
+type Config struct {
+	// Selector generates candidate endpoints per window; required.
+	Selector candidates.Selector
+	// M is the per-window endpoint budget; required.
+	M int
+	// L is the landmark count for landmark-based selectors (0 = default).
+	L int
+	// MinDelta reports pairs whose distance dropped by at least this much
+	// (0 means 2 — monitoring distance drops of 1 is usually noise).
+	MinDelta int32
+	// Seed drives randomized selectors.
+	Seed int64
+	// Workers bounds BFS parallelism.
+	Workers int
+}
+
+// WindowReport is the outcome of one monitoring window.
+type WindowReport struct {
+	// StartFrac and EndFrac are the window bounds as stream fractions.
+	StartFrac, EndFrac float64
+	// NewEdges is the number of edge insertions inside the window.
+	NewEdges int
+	// Pairs are the converging pairs detected, canonical order.
+	Pairs []topk.Pair
+	// Budget is the SSSP spending of the window's run.
+	Budget budget.Report
+}
+
+// Watch slices the stream at the given ascending fractions and runs the
+// budgeted converging-pairs algorithm on every consecutive pair of
+// snapshots. len(fractions) must be >= 2.
+func Watch(ev *graph.Evolving, fractions []float64, cfg Config) ([]WindowReport, error) {
+	if cfg.Selector == nil {
+		return nil, errors.New("monitor: no selector configured")
+	}
+	if cfg.M <= 0 {
+		return nil, fmt.Errorf("monitor: non-positive budget m=%d", cfg.M)
+	}
+	if len(fractions) < 2 {
+		return nil, fmt.Errorf("monitor: need at least 2 fractions, got %d", len(fractions))
+	}
+	if !sort.Float64sAreSorted(fractions) {
+		return nil, fmt.Errorf("monitor: fractions must ascend: %v", fractions)
+	}
+	minDelta := cfg.MinDelta
+	if minDelta <= 0 {
+		minDelta = 2
+	}
+	var reports []WindowReport
+	for i := 1; i < len(fractions); i++ {
+		f1, f2 := fractions[i-1], fractions[i]
+		pair, err := ev.Pair(f1, f2)
+		if err != nil {
+			return nil, fmt.Errorf("monitor: window [%v, %v]: %w", f1, f2, err)
+		}
+		res, err := core.TopK(pair, core.Options{
+			Selector: cfg.Selector,
+			M:        cfg.M,
+			L:        cfg.L,
+			MinDelta: minDelta,
+			Seed:     cfg.Seed + int64(i),
+			Workers:  cfg.Workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("monitor: window [%v, %v]: %w", f1, f2, err)
+		}
+		reports = append(reports, WindowReport{
+			StartFrac: f1,
+			EndFrac:   f2,
+			NewEdges:  pair.G2.NumEdges() - pair.G1.NumEdges(),
+			Pairs:     res.Pairs,
+			Budget:    res.Budget,
+		})
+	}
+	return reports, nil
+}
+
+// EvenWindows returns count+1 fractions splitting [start, 1] evenly — a
+// convenience for Watch.
+func EvenWindows(start float64, count int) []float64 {
+	if count < 1 || start < 0 || start >= 1 {
+		return nil
+	}
+	out := make([]float64, count+1)
+	step := (1 - start) / float64(count)
+	for i := range out {
+		out[i] = start + float64(i)*step
+	}
+	out[count] = 1
+	return out
+}
+
+// LandmarkTracker maintains the distance vectors of a fixed landmark set
+// across the stream with incremental BFS. A checkpoint freezes the current
+// vectors as the comparison baseline; after advancing further, nodes can be
+// ranked by how much closer they came to the landmarks since the
+// checkpoint — the streaming analogue of the SumDiff/MaxDiff selectors with
+// zero per-window SSSP cost after setup.
+type LandmarkTracker struct {
+	ev        *graph.Evolving
+	landmarks []int
+	trackers  []*dynsssp.DynamicBFS
+	prefix    int       // edges applied so far
+	baseline  [][]int32 // checkpointed vectors, one per landmark
+}
+
+// NewLandmarkTracker initializes the tracker at the given edge prefix. The
+// initial cost is one BFS per landmark (the budget the paper's landmark
+// methods pay per snapshot — paid once here for the whole stream).
+func NewLandmarkTracker(ev *graph.Evolving, landmarks []int, startPrefix int) (*LandmarkTracker, error) {
+	if len(landmarks) == 0 {
+		return nil, errors.New("monitor: no landmarks")
+	}
+	g := ev.SnapshotPrefix(startPrefix)
+	t := &LandmarkTracker{ev: ev, landmarks: landmarks, prefix: startPrefix}
+	for _, w := range landmarks {
+		d, err := dynsssp.New(g, w)
+		if err != nil {
+			return nil, fmt.Errorf("monitor: landmark %d: %w", w, err)
+		}
+		t.trackers = append(t.trackers, d)
+	}
+	t.Checkpoint()
+	return t, nil
+}
+
+// Prefix returns the number of stream edges applied so far.
+func (t *LandmarkTracker) Prefix() int { return t.prefix }
+
+// Checkpoint freezes the current landmark vectors as the baseline for
+// subsequent Top rankings.
+func (t *LandmarkTracker) Checkpoint() {
+	t.baseline = t.baseline[:0]
+	for _, d := range t.trackers {
+		t.baseline = append(t.baseline, append([]int32(nil), d.Distances()...))
+	}
+}
+
+// AdvanceTo applies stream edges up to the given prefix (clamped to the
+// stream length). Going backwards is an error: insertions are not
+// reversible.
+func (t *LandmarkTracker) AdvanceTo(prefix int) error {
+	if prefix > t.ev.NumEdges() {
+		prefix = t.ev.NumEdges()
+	}
+	if prefix < t.prefix {
+		return fmt.Errorf("monitor: cannot rewind from %d to %d", t.prefix, prefix)
+	}
+	slice := t.ev.Stream()[t.prefix:prefix]
+	for _, d := range t.trackers {
+		if _, err := d.ApplyStream(slice); err != nil {
+			return err
+		}
+	}
+	t.prefix = prefix
+	return nil
+}
+
+// AdvanceToFraction is AdvanceTo at a stream fraction.
+func (t *LandmarkTracker) AdvanceToFraction(frac float64) error {
+	return t.AdvanceTo(int(frac * float64(t.ev.NumEdges())))
+}
+
+// Top returns the m nodes whose total distance to the landmarks dropped the
+// most since the last checkpoint (the streaming SumDiff ranking).
+func (t *LandmarkTracker) Top(m int) []int {
+	n := t.ev.NumNodes()
+	l1 := make([]int64, n)
+	buf := make([]int32, 0)
+	for i, d := range t.trackers {
+		if cap(buf) < d.NumNodes() {
+			buf = make([]int32, d.NumNodes())
+		}
+		buf = buf[:d.NumNodes()]
+		// Baselines never outgrow the tracker (nodes are only added).
+		if err := d.DeltaSince(t.baseline[i], buf); err != nil {
+			// Internal invariant violation; surface loudly.
+			panic(err)
+		}
+		for v, delta := range buf {
+			if v < n {
+				l1[v] += int64(delta)
+			}
+		}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if l1[idx[a]] != l1[idx[b]] {
+			return l1[idx[a]] > l1[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if m > len(idx) {
+		m = len(idx)
+	}
+	return idx[:m]
+}
+
+// SSSPCostSaved estimates the SSSPs a per-window recomputation would have
+// spent versus the tracker's incremental maintenance: windows * 2l full BFS
+// versus the l initial ones.
+func (t *LandmarkTracker) SSSPCostSaved(windows int) int {
+	return windows*2*len(t.landmarks) - len(t.landmarks)
+}

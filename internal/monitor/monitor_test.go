@@ -1,0 +1,192 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/candidates"
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/sssp"
+)
+
+func growingStream(t testing.TB, n int, seed int64) *graph.Evolving {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[graph.Edge]struct{}{}
+	var stream []graph.TimedEdge
+	add := func(u, v int) {
+		if u == v {
+			return
+		}
+		c := graph.Edge{U: u, V: v}.Canon()
+		if _, dup := seen[c]; dup {
+			return
+		}
+		seen[c] = struct{}{}
+		stream = append(stream, graph.TimedEdge{U: u, V: v, Time: int64(len(stream))})
+	}
+	for i := 1; i < n; i++ {
+		add(i, rng.Intn(i))
+		if i > 2 && rng.Intn(3) == 0 {
+			add(i, rng.Intn(i))
+		}
+	}
+	ev, err := graph.NewEvolving(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestWatchValidation(t *testing.T) {
+	ev := growingStream(t, 50, 1)
+	sel := candidates.MaxAvg()
+	if _, err := Watch(ev, []float64{0.5, 1}, Config{M: 5}); err == nil {
+		t.Error("missing selector should fail")
+	}
+	if _, err := Watch(ev, []float64{0.5, 1}, Config{Selector: sel}); err == nil {
+		t.Error("missing budget should fail")
+	}
+	if _, err := Watch(ev, []float64{0.5}, Config{Selector: sel, M: 5}); err == nil {
+		t.Error("single fraction should fail")
+	}
+	if _, err := Watch(ev, []float64{0.9, 0.5}, Config{Selector: sel, M: 5}); err == nil {
+		t.Error("descending fractions should fail")
+	}
+}
+
+func TestWatchWindows(t *testing.T) {
+	ev := growingStream(t, 120, 2)
+	reports, err := Watch(ev, []float64{0.6, 0.8, 1.0}, Config{
+		Selector: candidates.MMSD(), M: 15, L: 4, MinDelta: 1, Seed: 3, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	for _, rep := range reports {
+		if rep.NewEdges <= 0 {
+			t.Fatalf("window [%v,%v] has %d new edges", rep.StartFrac, rep.EndFrac, rep.NewEdges)
+		}
+		if rep.Budget.Total() > 2*15 {
+			t.Fatalf("window overspent: %v", rep.Budget)
+		}
+		for _, p := range rep.Pairs {
+			if p.Delta < 1 {
+				t.Fatalf("pair below MinDelta: %v", p)
+			}
+		}
+	}
+}
+
+func TestEvenWindows(t *testing.T) {
+	ws := EvenWindows(0.6, 4)
+	if len(ws) != 5 || ws[0] != 0.6 || ws[4] != 1 {
+		t.Fatalf("EvenWindows = %v", ws)
+	}
+	if EvenWindows(1.2, 3) != nil || EvenWindows(0.5, 0) != nil {
+		t.Fatal("invalid inputs should return nil")
+	}
+}
+
+func TestLandmarkTrackerMatchesFreshBFS(t *testing.T) {
+	ev := growingStream(t, 150, 4)
+	start := ev.NumEdges() * 7 / 10
+	g1 := ev.SnapshotPrefix(start)
+	set, err := landmark.Select(landmark.MaxMin, g1, 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewLandmarkTracker(ev, set.Nodes, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AdvanceToFraction(1.0); err != nil {
+		t.Fatal(err)
+	}
+	// The tracker's vectors must equal fresh BFS on the full graph.
+	g2 := ev.SnapshotFraction(1.0)
+	for i, w := range set.Nodes {
+		want := sssp.Distances(g2, w)
+		got := tr.trackers[i].Distances()
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("landmark %d: dist[%d] = %d, want %d", w, v, got[v], want[v])
+			}
+		}
+	}
+	if tr.Prefix() != ev.NumEdges() {
+		t.Fatalf("prefix = %d", tr.Prefix())
+	}
+	if err := tr.AdvanceTo(0); err == nil {
+		t.Fatal("rewind should fail")
+	}
+}
+
+func TestLandmarkTrackerTopMatchesSumDiff(t *testing.T) {
+	ev := growingStream(t, 150, 5)
+	start := ev.NumEdges() * 8 / 10
+	g1 := ev.SnapshotPrefix(start)
+	g2 := ev.SnapshotFraction(1.0)
+	set, err := landmark.Select(landmark.MaxMin, g1, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewLandmarkTracker(ev, set.Nodes, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AdvanceToFraction(1.0); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.Top(10)
+
+	// Reference: the offline SumDiff ranking over the same landmarks.
+	norms, err := landmark.ComputeNorms(landmark.Set{Strategy: set.Strategy, Nodes: set.Nodes},
+		graph.SnapshotPair{G1: g1, G2: g2}, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := landmark.TopByScore(norms.L1, 10, nil)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("streaming Top = %v, offline SumDiff = %v", got, want)
+		}
+	}
+}
+
+func TestLandmarkTrackerCheckpoint(t *testing.T) {
+	ev := growingStream(t, 120, 6)
+	half := ev.NumEdges() / 2
+	tr, err := NewLandmarkTracker(ev, []int{0, 1}, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AdvanceToFraction(0.75); err != nil {
+		t.Fatal(err)
+	}
+	tr.Checkpoint() // new baseline at 75%
+	if err := tr.AdvanceToFraction(1.0); err != nil {
+		t.Fatal(err)
+	}
+	top := tr.Top(5)
+	if len(top) != 5 {
+		t.Fatalf("top = %v", top)
+	}
+	if saved := tr.SSSPCostSaved(10); saved != 10*2*2-2 {
+		t.Fatalf("SSSPCostSaved = %d", saved)
+	}
+}
+
+func TestLandmarkTrackerValidation(t *testing.T) {
+	ev := growingStream(t, 50, 7)
+	if _, err := NewLandmarkTracker(ev, nil, 10); err == nil {
+		t.Fatal("no landmarks should fail")
+	}
+	if _, err := NewLandmarkTracker(ev, []int{9999}, 10); err == nil {
+		t.Fatal("out-of-range landmark should fail")
+	}
+}

@@ -1,0 +1,220 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/landmark"
+	"repro/internal/sssp"
+	"repro/internal/topk"
+)
+
+func pathGraph(n int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{U: i, V: i + 1})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func randomConnected(rng *rand.Rand, n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		_ = b.AddEdge(i, rng.Intn(i))
+	}
+	for i := 0; i < n/2; i++ {
+		_ = b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return b.Build()
+}
+
+func TestNewValidation(t *testing.T) {
+	g := pathGraph(5)
+	if _, err := New(g, nil, nil, 1); err == nil {
+		t.Error("no landmarks should fail")
+	}
+	if _, err := New(g, []int{0, 1}, [][]int32{{0}}, 1); err == nil {
+		t.Error("row mismatch should fail")
+	}
+}
+
+func TestBoundsExactOnLandmarkPaths(t *testing.T) {
+	g := pathGraph(10)
+	o, err := New(g, []int{0}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a path with landmark at an end, both bounds are exact.
+	for u := 0; u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			lo, hi, ok := o.Bounds(u, v)
+			if !ok {
+				t.Fatalf("(%d,%d) not ok", u, v)
+			}
+			want := int32(v - u)
+			if lo != want || hi < want {
+				t.Fatalf("bounds(%d,%d) = [%d,%d], true %d", u, v, lo, hi, want)
+			}
+		}
+	}
+	if o.Estimate(3, 3) != 0 {
+		t.Fatal("self distance")
+	}
+	if o.NumLandmarks() != 1 || o.Landmarks()[0] != 0 {
+		t.Fatal("landmark accessors")
+	}
+}
+
+func TestBoundsDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	o, err := New(g, []int{0}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := o.Bounds(0, 2); ok {
+		t.Fatal("cross-component pair should not be ok")
+	}
+	if o.Estimate(0, 2) != -1 {
+		t.Fatal("estimate should be -1")
+	}
+}
+
+// Property: triangle-inequality bounds always bracket the true distance.
+func TestBoundsBracketTruth(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		g := randomConnected(rng, n)
+		l := 1 + rng.Intn(4)
+		o, err := Build(g, landmark.MaxMin, l, nil, 2)
+		if err != nil {
+			return false
+		}
+		src := rng.Intn(n)
+		dist := sssp.Distances(g, src)
+		for v := 0; v < n; v++ {
+			if v == src || dist[v] < 0 {
+				continue
+			}
+			lo, hi, ok := o.Bounds(src, v)
+			if !ok {
+				return false // connected graph: some landmark reaches both
+			}
+			if lo > dist[v] || hi < dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanBoundsError(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomConnected(rng, 120)
+	few, err := Build(g, landmark.MaxMin, 2, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Build(g, landmark.MaxMin, 16, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upFew, loFew := few.MeanBoundsError(g, []int{1, 5, 9})
+	upMany, loMany := many.MeanBoundsError(g, []int{1, 5, 9})
+	if upMany > upFew || loMany > loFew {
+		t.Fatalf("more landmarks should tighten bounds: up %v->%v lo %v->%v",
+			upFew, upMany, loFew, loMany)
+	}
+}
+
+func chordPair(n int, chords ...graph.Edge) graph.SnapshotPair {
+	g1 := pathGraph(n)
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		_ = b.AddEdge(i, i+1)
+	}
+	for _, c := range chords {
+		_ = b.AddEdge(c.U, c.V)
+	}
+	return graph.SnapshotPair{G1: g1, G2: b.Build()}
+}
+
+func TestPairOracleApproxTopK(t *testing.T) {
+	sp := chordPair(40, graph.Edge{U: 0, V: 39}, graph.Edge{U: 10, V: 30})
+	po, err := NewPair(sp, landmark.MaxMin, 6, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := po.ApproxTopK(10, 1)
+	if len(approx) == 0 {
+		t.Fatal("no approximate pairs")
+	}
+	// The heaviest true pair (0,39) must appear with a large estimate.
+	found := false
+	for _, p := range approx {
+		if p.U == 0 && p.V == 39 {
+			found = true
+		}
+		if p.Delta < 1 {
+			t.Fatalf("pair %v below floor", p)
+		}
+	}
+	if !found {
+		t.Fatalf("approx misses the dominant pair: %v", approx)
+	}
+	// Recall against exact ground truth.
+	gt, err := topk.Compute(sp, topk.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := gt.PairsAtLeast(gt.MaxDelta)
+	if r := Recall(truth, approx); r < 0.5 {
+		t.Fatalf("recall = %v", r)
+	}
+	if Recall(nil, approx) != 1 {
+		t.Fatal("empty truth recall should be 1")
+	}
+}
+
+func TestPairOracleSampling(t *testing.T) {
+	sp := chordPair(60, graph.Edge{U: 0, V: 59})
+	po, err := NewPair(sp, landmark.MaxMin, 4, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := po.ApproxTopK(20, 1)
+	sampled := po.ApproxTopK(20, 7)
+	if len(sampled) > len(full) {
+		t.Fatal("sampling should not find more pairs")
+	}
+	if d := po.DeltaEstimate(0, 0); d != 0 {
+		t.Fatalf("self delta = %d", d)
+	}
+}
+
+func TestCandidateNodes(t *testing.T) {
+	pairs := []topk.Pair{{U: 3, V: 9}, {U: 3, V: 5}, {U: 1, V: 9}}
+	cands := CandidateNodes(pairs, 3)
+	if len(cands) != 3 {
+		t.Fatalf("cands = %v", cands)
+	}
+	all := CandidateNodes(pairs, 100)
+	if len(all) != 4 {
+		t.Fatalf("all = %v", all)
+	}
+}
+
+func TestNewPairValidates(t *testing.T) {
+	bad := graph.SnapshotPair{
+		G1: graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}),
+		G2: graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}}),
+	}
+	if _, err := NewPair(bad, landmark.MaxMin, 2, nil, 1); err == nil {
+		t.Fatal("invalid pair should fail")
+	}
+}

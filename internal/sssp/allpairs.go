@@ -1,0 +1,119 @@
+package sssp
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// AllSourcesFunc runs fn(src, dist) for every source in sources, spreading
+// the BFS work across workers goroutines (<=0 means GOMAXPROCS). Each worker
+// owns one distance buffer, so fn must finish with dist before returning and
+// must not retain it. fn may be called concurrently from different workers;
+// for a fixed worker the calls are sequential.
+//
+// This is the exact-ground-truth workhorse: the topk package streams every
+// source's distance vector through a Δ-accumulating callback instead of
+// materializing an O(n²) distance matrix.
+func AllSourcesFunc(g *graph.Graph, sources []int, workers int, fn func(src int, dist []int32)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers <= 1 {
+		dist := make([]int32, g.NumNodes())
+		for _, src := range sources {
+			BFS(g, src, dist)
+			fn(src, dist)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dist := make([]int32, g.NumNodes())
+			for i := range next {
+				src := sources[i]
+				BFS(g, src, dist)
+				fn(src, dist)
+			}
+		}()
+	}
+	for i := range sources {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// PairedSourcesFunc runs BFS from each source on both snapshots and hands the
+// two distance vectors to fn together. It parallelizes across sources like
+// AllSourcesFunc; the buffers are per-worker and must not be retained.
+func PairedSourcesFunc(g1, g2 *graph.Graph, sources []int, workers int, fn func(src int, d1, d2 []int32)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers <= 1 {
+		d1 := make([]int32, g1.NumNodes())
+		d2 := make([]int32, g2.NumNodes())
+		for _, src := range sources {
+			BFS(g1, src, d1)
+			BFS(g2, src, d2)
+			fn(src, d1, d2)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d1 := make([]int32, g1.NumNodes())
+			d2 := make([]int32, g2.NumNodes())
+			for i := range next {
+				src := sources[i]
+				BFS(g1, src, d1)
+				BFS(g2, src, d2)
+				fn(src, d1, d2)
+			}
+		}()
+	}
+	for i := range sources {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// DistanceMatrix computes the full rows-by-n distance matrix from the given
+// sources. Row i holds the distances from sources[i]. Intended for candidate
+// sets and landmark sets (small m), not for all-pairs ground truth.
+func DistanceMatrix(g *graph.Graph, sources []int, workers int) [][]int32 {
+	rows := make([][]int32, len(sources))
+	index := make(map[int]int, len(sources))
+	for i, s := range sources {
+		index[s] = i
+	}
+	AllSourcesFunc(g, sources, workers, func(src int, dist []int32) {
+		row := make([]int32, len(dist))
+		copy(row, dist)
+		rows[index[src]] = row
+	})
+	// Duplicate sources all map to one computed row; alias it to the rest.
+	for i, s := range sources {
+		if rows[i] == nil {
+			rows[i] = rows[index[s]]
+		}
+	}
+	return rows
+}

@@ -1,0 +1,77 @@
+package sssp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// benchGraph builds a connected random graph with ~3 edges per node.
+func benchGraph(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		_ = b.AddEdge(i, rng.Intn(i))
+	}
+	for i := 0; i < 2*n; i++ {
+		_ = b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return b.Build()
+}
+
+// BenchmarkBFSScaling measures the single-source BFS cost across graph
+// sizes — the unit of the paper's budget.
+func BenchmarkBFSScaling(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		g := benchGraph(n, 1)
+		dist := make([]int32, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				BFS(g, i%n, dist)
+			}
+		})
+	}
+}
+
+// BenchmarkDijkstraScaling measures the weighted engine on unit weights for
+// a direct comparison with BFS.
+func BenchmarkDijkstraScaling(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		g := graph.FromUnweighted(benchGraph(n, 2))
+		dist := make([]int32, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Dijkstra(g, i%n, dist)
+			}
+		})
+	}
+}
+
+// BenchmarkAllSourcesParallel measures the parallel all-sources driver's
+// scaling with worker count (the ground-truth sweep's engine).
+func BenchmarkAllSourcesParallel(b *testing.B) {
+	g := benchGraph(5000, 3)
+	sources := make([]int, 200)
+	for i := range sources {
+		sources[i] = i * 25
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				AllSourcesFunc(g, sources, workers, func(int, []int32) {})
+			}
+		})
+	}
+}
+
+// BenchmarkMultiSourceBFS measures the dispersion step's primitive.
+func BenchmarkMultiSourceBFS(b *testing.B) {
+	g := benchGraph(10000, 4)
+	dist := make([]int32, 10000)
+	sources := []int{0, 2500, 5000, 7500}
+	for i := 0; i < b.N; i++ {
+		MultiSourceBFS(g, sources, dist)
+	}
+}

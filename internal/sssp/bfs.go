@@ -1,0 +1,166 @@
+// Package sssp implements the single-source shortest-path engines the paper
+// treats as its unit of computational cost: breadth-first search for
+// unweighted snapshots, Dijkstra's algorithm for weighted ones, and a
+// parallel all-sources driver used to compute exact ground truth.
+//
+// Distances are int32; Unreachable marks node pairs in different connected
+// components. Engines reuse caller-provided buffers so that tight loops
+// (candidate generation, all-pairs sweeps) do not allocate per source.
+package sssp
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Unreachable is the distance reported for nodes with no path from the
+// source. It is negative so that max-style comparisons ignore it naturally.
+const Unreachable int32 = -1
+
+// BFS computes unweighted shortest-path distances from src into dist, which
+// must have length g.NumNodes(). Unreached nodes get Unreachable. It returns
+// the number of reached nodes (including src) and the eccentricity of src
+// within its component.
+func BFS(g *graph.Graph, src int, dist []int32) (reached int, ecc int32) {
+	n := g.NumNodes()
+	if len(dist) != n {
+		panic(fmt.Sprintf("sssp: dist buffer length %d, graph has %d nodes", len(dist), n))
+	}
+	if src < 0 || src >= n {
+		panic(fmt.Sprintf("sssp: source %d out of range [0,%d)", src, n))
+	}
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue := make([]int32, 1, 256)
+	queue[0] = int32(src)
+	dist[src] = 0
+	reached = 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		if du > ecc {
+			ecc = du
+		}
+		for _, v := range g.Neighbors(int(u)) {
+			if dist[v] == Unreachable {
+				dist[v] = du + 1
+				reached++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return reached, ecc
+}
+
+// Distances is a convenience wrapper around BFS that allocates the buffer.
+func Distances(g *graph.Graph, src int) []int32 {
+	dist := make([]int32, g.NumNodes())
+	BFS(g, src, dist)
+	return dist
+}
+
+// MultiSourceBFS computes, for every node, the distance to the nearest of the
+// given sources (the lower envelope of the sources' BFS trees). It is used by
+// dispersion-based selection, where each greedy step needs the minimum
+// distance to the already-selected set. dist must have length g.NumNodes().
+func MultiSourceBFS(g *graph.Graph, sources []int, dist []int32) {
+	n := g.NumNodes()
+	if len(dist) != n {
+		panic(fmt.Sprintf("sssp: dist buffer length %d, graph has %d nodes", len(dist), n))
+	}
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue := make([]int32, 0, len(sources))
+	for _, s := range sources {
+		if s < 0 || s >= n {
+			panic(fmt.Sprintf("sssp: source %d out of range [0,%d)", s, n))
+		}
+		if dist[s] == Unreachable {
+			dist[s] = 0
+			queue = append(queue, int32(s))
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		for _, v := range g.Neighbors(int(u)) {
+			if dist[v] == Unreachable {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+}
+
+// Eccentricity returns the greatest finite distance from src.
+func Eccentricity(g *graph.Graph, src int) int32 {
+	dist := make([]int32, g.NumNodes())
+	_, ecc := BFS(g, src, dist)
+	return ecc
+}
+
+// DoubleSweepLowerBound estimates the diameter of the component containing
+// start with two BFS sweeps: the eccentricity of the farthest node found from
+// start. The result is a lower bound on, and in practice usually equal to,
+// the true diameter; exact diameters come from topk's all-pairs sweep.
+func DoubleSweepLowerBound(g *graph.Graph, start int) int32 {
+	dist := make([]int32, g.NumNodes())
+	BFS(g, start, dist)
+	far, farDist := start, int32(0)
+	for v, d := range dist {
+		if d > farDist {
+			far, farDist = v, d
+		}
+	}
+	_, ecc := BFS(g, far, dist)
+	return ecc
+}
+
+// Path returns one shortest path from src to dst as a node sequence
+// (inclusive), or nil if dst is unreachable. It runs a parent-tracking BFS;
+// among equal-length paths the one through lowest-ID parents is returned,
+// making the result deterministic.
+func Path(g *graph.Graph, src, dst int) []int {
+	n := g.NumNodes()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		panic(fmt.Sprintf("sssp: path endpoints (%d, %d) out of range [0,%d)", src, dst, n))
+	}
+	if src == dst {
+		return []int{src}
+	}
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = int32(src)
+	queue := append(make([]int32, 0, 256), int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(int(u)) {
+			if parent[v] >= 0 {
+				continue
+			}
+			parent[v] = u
+			if int(v) == dst {
+				// Reconstruct by walking parents back to src.
+				var rev []int
+				for x := int32(dst); x != int32(src); x = parent[x] {
+					rev = append(rev, int(x))
+				}
+				rev = append(rev, src)
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil
+}

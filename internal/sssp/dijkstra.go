@@ -1,0 +1,100 @@
+package sssp
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// heapItem is an entry of the Dijkstra priority queue.
+type heapItem struct {
+	node int32
+	dist int32
+}
+
+// minHeap is a hand-rolled binary min-heap on distance. It is a plain slice
+// heap (lazy deletion, no decrease-key): stale entries are skipped on pop,
+// which is the standard simple-and-fast Dijkstra variant.
+type minHeap []heapItem
+
+func (h *minHeap) push(it heapItem) {
+	*h = append(*h, it)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].dist <= (*h)[i].dist {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *minHeap) pop() heapItem {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && old[l].dist < old[smallest].dist {
+			smallest = l
+		}
+		if r < last && old[r].dist < old[smallest].dist {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		old[i], old[smallest] = old[smallest], old[i]
+		i = smallest
+	}
+	return top
+}
+
+// Dijkstra computes weighted shortest-path distances from src into dist,
+// which must have length g.NumNodes(). Unreached nodes get Unreachable.
+// Weights must be non-negative (enforced by graph.NewWeighted).
+func Dijkstra(g *graph.Weighted, src int, dist []int32) {
+	n := g.NumNodes()
+	if len(dist) != n {
+		panic(fmt.Sprintf("sssp: dist buffer length %d, graph has %d nodes", len(dist), n))
+	}
+	if src < 0 || src >= n {
+		panic(fmt.Sprintf("sssp: source %d out of range [0,%d)", src, n))
+	}
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	done := make([]bool, n)
+	h := make(minHeap, 0, 256)
+	dist[src] = 0
+	h.push(heapItem{node: int32(src), dist: 0})
+	for len(h) > 0 {
+		it := h.pop()
+		u := it.node
+		if done[u] {
+			continue // stale entry
+		}
+		done[u] = true
+		adj, ws := g.Neighbors(int(u))
+		for i, v := range adj {
+			nd := it.dist + ws[i]
+			if dist[v] == Unreachable || nd < dist[v] {
+				dist[v] = nd
+				h.push(heapItem{node: v, dist: nd})
+			}
+		}
+	}
+}
+
+// WeightedDistances is a convenience wrapper around Dijkstra that allocates
+// the result buffer.
+func WeightedDistances(g *graph.Weighted, src int) []int32 {
+	dist := make([]int32, g.NumNodes())
+	Dijkstra(g, src, dist)
+	return dist
+}

@@ -1,0 +1,176 @@
+// Package stats computes structural graph statistics — degree
+// distributions, clustering coefficients, degree assortativity, and a
+// heavy-tail exponent estimate — used to verify that the synthetic
+// stand-in datasets occupy the structural regimes the paper's analysis
+// relies on (DESIGN.md §4), and to enrich the dataset characterization of
+// the experiment harness.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// DegreeStats summarizes a graph's degree distribution.
+type DegreeStats struct {
+	Min, Max  int
+	Mean      float64
+	Median    float64
+	P90, P99  int
+	Gini      float64 // inequality of the degree distribution in [0, 1)
+	Isolated  int     // nodes with degree 0
+	Histogram map[int]int
+}
+
+// Degrees computes the degree distribution summary.
+func Degrees(g *graph.Graph) DegreeStats {
+	n := g.NumNodes()
+	st := DegreeStats{Histogram: map[int]int{}}
+	if n == 0 {
+		return st
+	}
+	degs := make([]int, n)
+	sum := 0
+	st.Min = g.Degree(0)
+	for u := 0; u < n; u++ {
+		d := g.Degree(u)
+		degs[u] = d
+		sum += d
+		st.Histogram[d]++
+		if d == 0 {
+			st.Isolated++
+		}
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+	}
+	st.Mean = float64(sum) / float64(n)
+	sort.Ints(degs)
+	st.Median = float64(degs[n/2])
+	if n%2 == 0 {
+		st.Median = (float64(degs[n/2-1]) + float64(degs[n/2])) / 2
+	}
+	st.P90 = degs[min(n-1, n*90/100)]
+	st.P99 = degs[min(n-1, n*99/100)]
+	// Gini over sorted degrees: sum_i (2i - n + 1) x_i / (n * sum x).
+	if sum > 0 {
+		var acc float64
+		for i, d := range degs {
+			acc += float64(2*i-n+1) * float64(d)
+		}
+		st.Gini = acc / (float64(n) * float64(sum))
+	}
+	return st
+}
+
+// ClusteringCoefficient returns the global clustering coefficient
+// (3 × triangles / wedges) — the triadic-closure signal that distinguishes
+// the Facebook and Actors regimes from the Internet's hub topology.
+func ClusteringCoefficient(g *graph.Graph) float64 {
+	n := g.NumNodes()
+	var triangles, wedges int64
+	for u := 0; u < n; u++ {
+		adj := g.Neighbors(u)
+		d := int64(len(adj))
+		wedges += d * (d - 1) / 2
+		// Count edges among neighbors (each triangle counted once per
+		// corner; dividing by the wedge count handles the multiplicity).
+		for i := 0; i < len(adj); i++ {
+			for j := i + 1; j < len(adj); j++ {
+				if g.HasEdge(int(adj[i]), int(adj[j])) {
+					triangles++
+				}
+			}
+		}
+	}
+	if wedges == 0 {
+		return 0
+	}
+	// Each triangle contributes one closed wedge at each of its 3 corners,
+	// and `triangles` already counts corner-wise closures.
+	return float64(triangles) / float64(wedges)
+}
+
+// Assortativity returns the degree assortativity coefficient (Pearson
+// correlation of endpoint degrees over edges). Social graphs are typically
+// assortative (> 0), the Internet AS graph famously disassortative (< 0).
+func Assortativity(g *graph.Graph) float64 {
+	var m float64
+	var sumXY, sumX, sumY, sumX2, sumY2 float64
+	for u := 0; u < g.NumNodes(); u++ {
+		du := float64(g.Degree(u))
+		for _, v := range g.Neighbors(u) {
+			// Each undirected edge is visited twice, once per direction —
+			// which is exactly the symmetric treatment the coefficient needs.
+			dv := float64(g.Degree(int(v)))
+			sumXY += du * dv
+			sumX += du
+			sumY += dv
+			sumX2 += du * du
+			sumY2 += dv * dv
+			m++
+		}
+	}
+	if m == 0 {
+		return 0
+	}
+	num := sumXY/m - (sumX/m)*(sumY/m)
+	den := math.Sqrt(sumX2/m-(sumX/m)*(sumX/m)) * math.Sqrt(sumY2/m-(sumY/m)*(sumY/m))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// PowerLawAlpha estimates the tail exponent of the degree distribution with
+// the discrete Hill/MLE estimator α = 1 + n / Σ ln(d_i / (dmin - 0.5)) over
+// degrees ≥ dmin. Heavy-tailed graphs (preferential attachment) show
+// α ≈ 2-3; returns 0 if fewer than 10 nodes qualify.
+func PowerLawAlpha(g *graph.Graph, dmin int) float64 {
+	if dmin < 1 {
+		dmin = 1
+	}
+	var sum float64
+	count := 0
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.Degree(u)
+		if d >= dmin {
+			sum += math.Log(float64(d) / (float64(dmin) - 0.5))
+			count++
+		}
+	}
+	if count < 10 || sum == 0 {
+		return 0
+	}
+	return 1 + float64(count)/sum
+}
+
+// Summary bundles the statistics the dataset characterization prints.
+type Summary struct {
+	Degrees       DegreeStats
+	Clustering    float64
+	Assortativity float64
+	PowerLawAlpha float64
+}
+
+// Summarize computes all statistics of a snapshot.
+func Summarize(g *graph.Graph) Summary {
+	return Summary{
+		Degrees:       Degrees(g),
+		Clustering:    ClusteringCoefficient(g),
+		Assortativity: Assortativity(g),
+		PowerLawAlpha: PowerLawAlpha(g, 2),
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+)
+
+func TestDegreesEmpty(t *testing.T) {
+	var g graph.Graph
+	st := Degrees(&g)
+	if st.Max != 0 || st.Mean != 0 || st.Isolated != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestDegreesStar(t *testing.T) {
+	g := graph.FromEdges(6, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4}})
+	st := Degrees(g)
+	if st.Max != 4 || st.Min != 0 || st.Isolated != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Mean != 8.0/6.0 {
+		t.Fatalf("mean = %v", st.Mean)
+	}
+	if st.Histogram[1] != 4 || st.Histogram[4] != 1 || st.Histogram[0] != 1 {
+		t.Fatalf("hist = %v", st.Histogram)
+	}
+	if st.Gini <= 0 || st.Gini >= 1 {
+		t.Fatalf("gini = %v", st.Gini)
+	}
+}
+
+func TestDegreesRegular(t *testing.T) {
+	// Ring: all degrees 2, Gini 0.
+	var edges []graph.Edge
+	for i := 0; i < 10; i++ {
+		edges = append(edges, graph.Edge{U: i, V: (i + 1) % 10})
+	}
+	g := graph.FromEdges(10, edges)
+	st := Degrees(g)
+	if st.Min != 2 || st.Max != 2 || st.Median != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if math.Abs(st.Gini) > 1e-9 {
+		t.Fatalf("regular graph gini = %v", st.Gini)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// Triangle: CC = 1.
+	tri := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}})
+	if cc := ClusteringCoefficient(tri); math.Abs(cc-1) > 1e-9 {
+		t.Fatalf("triangle CC = %v", cc)
+	}
+	// Star: no triangles, CC = 0.
+	star := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4}})
+	if cc := ClusteringCoefficient(star); cc != 0 {
+		t.Fatalf("star CC = %v", cc)
+	}
+	// Empty graph.
+	if cc := ClusteringCoefficient(graph.FromEdges(3, nil)); cc != 0 {
+		t.Fatalf("empty CC = %v", cc)
+	}
+	// Triangle plus a pendant: 3 closed wedges of 3 + C(3,2)=3 at the
+	// degree-3 corner + ... compute: degrees: 0:3 (in tri + pendant), 1:2,
+	// 2:2, 3:1. Wedges = 3 + 1 + 1 + 0 = 5. Corner closures = 3. CC = 0.6.
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 0, V: 3}})
+	if cc := ClusteringCoefficient(g); math.Abs(cc-0.6) > 1e-9 {
+		t.Fatalf("CC = %v, want 0.6", cc)
+	}
+}
+
+func TestAssortativityExtremes(t *testing.T) {
+	// Star: perfectly disassortative.
+	star := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 0, V: 4}})
+	if a := Assortativity(star); a >= 0 {
+		t.Fatalf("star assortativity = %v, want < 0", a)
+	}
+	// Ring: all degrees equal -> undefined, reported as 0.
+	var edges []graph.Edge
+	for i := 0; i < 8; i++ {
+		edges = append(edges, graph.Edge{U: i, V: (i + 1) % 8})
+	}
+	if a := Assortativity(graph.FromEdges(8, edges)); a != 0 {
+		t.Fatalf("ring assortativity = %v", a)
+	}
+	if a := Assortativity(graph.FromEdges(3, nil)); a != 0 {
+		t.Fatalf("empty assortativity = %v", a)
+	}
+}
+
+// Property: assortativity is a correlation, so it lies in [-1, 1]; Gini in
+// [0, 1); CC in [0, 1].
+func TestRangesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			_ = b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g := b.Build()
+		a := Assortativity(g)
+		cc := ClusteringCoefficient(g)
+		gini := Degrees(g).Gini
+		return a >= -1-1e-9 && a <= 1+1e-9 && cc >= 0 && cc <= 1 && gini >= 0 && gini < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLawAlpha(t *testing.T) {
+	// Preferential attachment should show a heavy tail (alpha ~ 2-3.5);
+	// an Erdős–Rényi-style graph of the same size should show a larger
+	// alpha (thin tail decays faster than any power law fits loosely).
+	ev, err := datagen.InternetAS(datagen.Config{Seed: 4, Scale: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := ev.SnapshotFraction(1.0)
+	alphaPA := PowerLawAlpha(pa, 3)
+	if alphaPA < 1.5 || alphaPA > 4.5 {
+		t.Fatalf("preferential-attachment alpha = %v", alphaPA)
+	}
+	// Against a uniform-random graph of the same size, the heavy tail shows
+	// up as dramatically larger hubs and degree inequality (the Hill
+	// estimates themselves are too noisy to compare directly).
+	rng := rand.New(rand.NewSource(5))
+	b := graph.NewBuilder(pa.NumNodes())
+	for i := 0; i < pa.NumEdges(); i++ {
+		_ = b.AddEdge(rng.Intn(pa.NumNodes()), rng.Intn(pa.NumNodes()))
+	}
+	er := b.Build()
+	if pa.MaxDegree() < 3*er.MaxDegree() {
+		t.Fatalf("PA max degree %d not hub-dominant over ER %d", pa.MaxDegree(), er.MaxDegree())
+	}
+	if Degrees(pa).Gini <= Degrees(er).Gini {
+		t.Fatalf("PA gini %v should exceed ER gini %v", Degrees(pa).Gini, Degrees(er).Gini)
+	}
+	// Tiny graphs report 0.
+	if a := PowerLawAlpha(graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}}), 1); a != 0 {
+		t.Fatalf("tiny alpha = %v", a)
+	}
+}
+
+// The four dataset regimes (DESIGN.md §4) must be visible in the stats:
+// Facebook has the highest clustering; Internet the heaviest hubs (highest
+// Gini); DBLP is sparse with high clustering (cliques) but tiny degrees.
+func TestDatasetRegimes(t *testing.T) {
+	sums := map[string]Summary{}
+	for _, name := range datagen.Names {
+		ev, err := datagen.ByName(name, datagen.Config{Seed: 6, Scale: 0.08})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums[name] = Summarize(ev.SnapshotFraction(1.0))
+	}
+	if sums["InternetLinks"].Degrees.Gini <= sums["DBLP"].Degrees.Gini {
+		t.Fatalf("Internet gini %v should exceed DBLP %v",
+			sums["InternetLinks"].Degrees.Gini, sums["DBLP"].Degrees.Gini)
+	}
+	if sums["Facebook"].Clustering <= sums["InternetLinks"].Clustering {
+		t.Fatalf("Facebook clustering %v should exceed Internet %v",
+			sums["Facebook"].Clustering, sums["InternetLinks"].Clustering)
+	}
+	if sums["DBLP"].Degrees.Mean >= sums["Facebook"].Degrees.Mean {
+		t.Fatalf("DBLP mean degree %v should be below Facebook %v",
+			sums["DBLP"].Degrees.Mean, sums["Facebook"].Degrees.Mean)
+	}
+}

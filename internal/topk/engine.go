@@ -1,0 +1,160 @@
+package topk
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// PairEngine abstracts the per-source distance computation of a snapshot
+// pair, so the exact sweep works for any shortest-path engine: unweighted
+// BFS (Compute), weighted Dijkstra (internal/weighted), or anything else
+// producing comparable int32 distances.
+type PairEngine struct {
+	// NumNodes is the shared node-universe size.
+	NumNodes int
+	// Sources lists the sweep sources — every node that can start a
+	// converging pair (typically the nodes present in G_t1).
+	Sources []int
+	// Paired fills d1 and d2 (each len NumNodes) with the distances from
+	// src in the two snapshots, using Unreachable (-1) for no path. It must
+	// be safe for concurrent calls with distinct buffers.
+	Paired func(src int, d1, d2 []int32)
+	// ExtraDiam2Sources optionally lists additional sources whose G_t2
+	// eccentricity must be folded into Diameter2 (nodes absent from G_t1).
+	ExtraDiam2Sources []int
+	// Dist2 fills dist with G_t2 distances from src; required only when
+	// ExtraDiam2Sources is non-empty.
+	Dist2 func(src int, dist []int32)
+}
+
+// ErrBadEngine reports an incomplete PairEngine.
+var ErrBadEngine = errors.New("topk: incomplete pair engine")
+
+// ComputeEngine runs the exact converging-pairs sweep over an arbitrary
+// distance engine. See Compute for the BFS instantiation and the result
+// semantics.
+func ComputeEngine(pe PairEngine, opts Options) (*GroundTruth, error) {
+	if pe.NumNodes < 0 || pe.Paired == nil {
+		return nil, ErrBadEngine
+	}
+	if len(pe.ExtraDiam2Sources) > 0 && pe.Dist2 == nil {
+		return nil, ErrBadEngine
+	}
+	if opts.Slack <= 0 {
+		opts.Slack = 2
+	}
+	n := pe.NumNodes
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pe.Sources) {
+		workers = len(pe.Sources)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type shard struct {
+		acc        accumulator
+		ecc1, ecc2 int32
+	}
+	shards := make([]*shard, workers)
+	next := make(chan int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		sh := &shard{acc: accumulator{slack: opts.Slack, hist: map[int32]int64{}}}
+		shards[w] = sh
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d1 := make([]int32, n)
+			d2 := make([]int32, n)
+			for i := range next {
+				src := pe.Sources[i]
+				pe.Paired(src, d1, d2)
+				for v := src + 1; v < n; v++ {
+					dv1 := d1[v]
+					if dv1 <= 0 {
+						continue
+					}
+					delta := dv1 - d2[v]
+					if delta <= 0 {
+						continue
+					}
+					sh.acc.add(Pair{U: int32(src), V: int32(v), D1: dv1, D2: d2[v], Delta: delta})
+				}
+				for v := 0; v < n; v++ {
+					if d1[v] > sh.ecc1 {
+						sh.ecc1 = d1[v]
+					}
+					if d2[v] > sh.ecc2 {
+						sh.ecc2 = d2[v]
+					}
+				}
+			}
+		}()
+	}
+	for i := range pe.Sources {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	merged := accumulator{slack: opts.Slack, hist: map[int32]int64{}}
+	var diam1, diam2 int32
+	for _, sh := range shards {
+		merged.merge(&sh.acc)
+		if sh.ecc1 > diam1 {
+			diam1 = sh.ecc1
+		}
+		if sh.ecc2 > diam2 {
+			diam2 = sh.ecc2
+		}
+	}
+
+	if len(pe.ExtraDiam2Sources) > 0 {
+		var mu sync.Mutex
+		var ewg sync.WaitGroup
+		extraNext := make(chan int, workers)
+		for w := 0; w < workers; w++ {
+			ewg.Add(1)
+			go func() {
+				defer ewg.Done()
+				dist := make([]int32, n)
+				for i := range extraNext {
+					pe.Dist2(pe.ExtraDiam2Sources[i], dist)
+					var ecc int32
+					for _, d := range dist {
+						if d > ecc {
+							ecc = d
+						}
+					}
+					mu.Lock()
+					if ecc > diam2 {
+						diam2 = ecc
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for i := range pe.ExtraDiam2Sources {
+			extraNext <- i
+		}
+		close(extraNext)
+		ewg.Wait()
+	}
+
+	gt := &GroundTruth{
+		MaxDelta:  merged.max,
+		Pairs:     merged.pairs,
+		Slack:     opts.Slack,
+		Histogram: merged.hist,
+		Diameter1: diam1,
+		Diameter2: diam2,
+	}
+	SortPairs(gt.Pairs)
+	return gt, nil
+}

@@ -1,0 +1,44 @@
+package topk_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/topk"
+)
+
+// Example shows the exact ground-truth sweep on a small growing graph.
+func Example() {
+	// G1: path 0-1-2-3-4. G2 adds the chord {0,4}.
+	g1 := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}})
+	g2 := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 0, V: 4}})
+
+	gt, err := topk.Compute(graph.SnapshotPair{G1: g1, G2: g2}, topk.Options{Workers: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("Δmax = %d\n", gt.MaxDelta)
+	for _, p := range gt.TopK(1) {
+		fmt.Println(p)
+	}
+	// Output:
+	// Δmax = 3
+	// (0,4) d1=4 d2=1 Δ=3
+}
+
+// ExampleCoverage demonstrates the evaluation metric on a candidate set.
+func ExampleCoverage() {
+	pairs := []topk.Pair{{U: 0, V: 4}, {U: 1, V: 4}, {U: 2, V: 5}}
+	set := topk.NodeSet([]int{4})
+	fmt.Printf("%.2f\n", topk.Coverage(pairs, set))
+	// Output: 0.67
+}
+
+// ExampleNewPairsGraph shows the pairs graph G^p_k the vertex-cover
+// formulation is built on.
+func ExampleNewPairsGraph() {
+	pg := topk.NewPairsGraph([]topk.Pair{{U: 0, V: 4}, {U: 0, V: 7}})
+	fmt.Println(pg.NumPairs(), pg.NumEndpoints(), pg.Degree(0))
+	// Output: 2 3 2
+}

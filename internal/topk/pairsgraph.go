@@ -1,0 +1,110 @@
+package topk
+
+import "sort"
+
+// PairsGraph is the paper's G^p_k: a graph over the nodes of G_t1 whose edges
+// are exactly the top-k converging pairs. Vertex covers of this graph are the
+// smallest candidate sets that recover all top-k pairs, and coverage of its
+// edges is the quality metric of every experiment.
+type PairsGraph struct {
+	pairs []Pair
+	adj   map[int32][]int32
+}
+
+// NewPairsGraph builds G^p_k from a top-k pair set. The input order is
+// preserved in Pairs.
+func NewPairsGraph(pairs []Pair) *PairsGraph {
+	pg := &PairsGraph{pairs: pairs, adj: make(map[int32][]int32)}
+	for _, p := range pairs {
+		pg.adj[p.U] = append(pg.adj[p.U], p.V)
+		pg.adj[p.V] = append(pg.adj[p.V], p.U)
+	}
+	return pg
+}
+
+// Pairs returns the pair (edge) set of G^p_k.
+func (pg *PairsGraph) Pairs() []Pair { return pg.pairs }
+
+// NumPairs returns the number of edges of G^p_k (= k).
+func (pg *PairsGraph) NumPairs() int { return len(pg.pairs) }
+
+// Endpoints returns the distinct nodes participating in at least one top-k
+// pair, sorted ascending (the "endpoints" column of the paper's Table 3).
+func (pg *PairsGraph) Endpoints() []int32 {
+	out := make([]int32, 0, len(pg.adj))
+	for u := range pg.adj {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumEndpoints returns the number of distinct endpoints.
+func (pg *PairsGraph) NumEndpoints() int { return len(pg.adj) }
+
+// Degree returns how many top-k pairs node u participates in.
+func (pg *PairsGraph) Degree(u int32) int { return len(pg.adj[u]) }
+
+// Neighbors returns the partners of u across top-k pairs (unsorted, may
+// contain u's partner once per pair). The slice must not be modified.
+func (pg *PairsGraph) Neighbors(u int32) []int32 { return pg.adj[u] }
+
+// IsEndpoint reports whether u participates in any top-k pair.
+func (pg *PairsGraph) IsEndpoint(u int32) bool { return len(pg.adj[u]) > 0 }
+
+// Coverage returns the fraction of pairs with at least one endpoint in the
+// candidate set — the paper's evaluation metric. An empty pair set has
+// coverage 1 by convention (there is nothing left uncovered).
+func Coverage(pairs []Pair, candidates map[int32]bool) float64 {
+	if len(pairs) == 0 {
+		return 1
+	}
+	covered := 0
+	for _, p := range pairs {
+		if candidates[p.U] || candidates[p.V] {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(pairs))
+}
+
+// CoveredBy returns the subset of pairs with at least one endpoint in the
+// candidate set, preserving order — the pairs Algorithm 1 actually recovers.
+func CoveredBy(pairs []Pair, candidates map[int32]bool) []Pair {
+	var out []Pair
+	for _, p := range pairs {
+		if candidates[p.U] || candidates[p.V] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NodeSet converts a candidate slice into the set form used by Coverage.
+func NodeSet(nodes []int) map[int32]bool {
+	set := make(map[int32]bool, len(nodes))
+	for _, u := range nodes {
+		set[int32(u)] = true
+	}
+	return set
+}
+
+// TieTolerantCoverage evaluates an arbitrary k (not aligned to a δ
+// threshold): since many pairs tie at the k-th Δ value, any k of the tying
+// pairs are an acceptable answer (the paper's observation that "for smaller
+// values of k our algorithms work even better"). The score is the fraction
+// of the k slots fillable with candidate-covered pairs whose Δ is at least
+// the k-th largest. Panics, like TopK, if k exceeds the retained window.
+func (gt *GroundTruth) TieTolerantCoverage(k int, candidates map[int32]bool) float64 {
+	if k <= 0 {
+		return 1
+	}
+	kth := gt.TopK(k) // panics if k exceeds the retained pairs
+	threshold := kth[len(kth)-1].Delta
+	eligible := gt.PairsAtLeast(threshold)
+	covered := len(CoveredBy(eligible, candidates))
+	if covered > k {
+		covered = k
+	}
+	return float64(covered) / float64(k)
+}

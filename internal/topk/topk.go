@@ -1,0 +1,206 @@
+// Package topk computes exact ground truth for the converging-pairs problem:
+// for a snapshot pair (G_t1, G_t2) it finds every connected pair of G_t1
+// whose shortest-path distance decreased the most (Problem 1 of the paper),
+// the Δ histogram used to pick tie-free k values (the paper's δ thresholds),
+// and the pairs graph G^p_k whose vertex covers define good candidate sets
+// (Problem 2).
+//
+// The computation streams one BFS pair per source through a pruned
+// accumulator, so memory stays O(n + kept pairs) instead of O(n²).
+package topk
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+// Pair is a converging pair: a pair of nodes connected in G_t1 together with
+// its distances in both snapshots and the decrease Delta = D1 - D2.
+// Invariant: U < V.
+type Pair struct {
+	U, V  int32
+	D1    int32
+	D2    int32
+	Delta int32
+}
+
+func (p Pair) String() string {
+	return fmt.Sprintf("(%d,%d) d1=%d d2=%d Δ=%d", p.U, p.V, p.D1, p.D2, p.Delta)
+}
+
+// Options configures the exact ground-truth computation.
+type Options struct {
+	// Workers bounds BFS parallelism; <=0 means GOMAXPROCS.
+	Workers int
+	// Slack keeps all pairs with Delta >= MaxDelta - Slack. The paper
+	// evaluates δ ∈ {Δmax, Δmax-1, Δmax-2}, so the default of 2 retains
+	// exactly the pairs every experiment needs.
+	Slack int32
+}
+
+// GroundTruth is the exact result of an all-pairs Δ sweep.
+type GroundTruth struct {
+	// MaxDelta is Δmax, the largest distance decrease over all connected
+	// pairs of G_t1 (0 if no distance decreased).
+	MaxDelta int32
+	// Pairs holds every pair with Delta >= max(1, MaxDelta-Slack), sorted by
+	// Delta descending, then (U, V) ascending.
+	Pairs []Pair
+	// Slack echoes the option the sweep ran with.
+	Slack int32
+	// Histogram[d] is the exact number of connected pairs with Delta == d,
+	// for every d >= 1 (smaller deltas than the slack window are counted but
+	// their pairs are not retained).
+	Histogram map[int32]int64
+	// Diameter1 and Diameter2 are the exact diameters (largest finite
+	// eccentricities) of the two snapshots, free by-products of the sweep.
+	Diameter1, Diameter2 int32
+}
+
+// Compute runs the exact all-pairs sweep for the snapshot pair. It validates
+// the pair first: G_t2 must be a supergraph of G_t1 on the same universe,
+// which guarantees Delta >= 0 for every connected pair.
+func Compute(pair graph.SnapshotPair, opts Options) (*GroundTruth, error) {
+	if err := pair.Validate(); err != nil {
+		return nil, err
+	}
+	g1, g2 := pair.G1, pair.G2
+	n := g1.NumNodes()
+
+	// Only sources with at least one edge in G_t1 can participate in a
+	// connected pair of G_t1.
+	sources := make([]int, 0, n)
+	for u := 0; u < n; u++ {
+		if g1.Degree(u) > 0 {
+			sources = append(sources, u)
+		}
+	}
+	// Nodes isolated in G_t1 but connected in G_t2 cannot start a converging
+	// pair, yet they may carry G_t2's diameter: sweep them separately.
+	var extra []int
+	for u := 0; u < n; u++ {
+		if g1.Degree(u) == 0 && g2.Degree(u) > 0 {
+			extra = append(extra, u)
+		}
+	}
+	return ComputeEngine(PairEngine{
+		NumNodes: n,
+		Sources:  sources,
+		Paired: func(src int, d1, d2 []int32) {
+			sssp.BFS(g1, src, d1)
+			sssp.BFS(g2, src, d2)
+		},
+		ExtraDiam2Sources: extra,
+		Dist2: func(src int, dist []int32) {
+			sssp.BFS(g2, src, dist)
+		},
+	}, opts)
+}
+
+// SortPairs orders pairs by Delta descending, breaking ties by (U, V)
+// ascending, the canonical order used across the library.
+func SortPairs(pairs []Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Delta != pairs[j].Delta {
+			return pairs[i].Delta > pairs[j].Delta
+		}
+		if pairs[i].U != pairs[j].U {
+			return pairs[i].U < pairs[j].U
+		}
+		return pairs[i].V < pairs[j].V
+	})
+}
+
+// accumulator keeps the running Δ histogram plus all pairs within the slack
+// window below the running maximum, pruning as the maximum rises.
+type accumulator struct {
+	slack int32
+	max   int32
+	pairs []Pair
+	hist  map[int32]int64
+}
+
+func (a *accumulator) floor() int32 {
+	f := a.max - a.slack
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+func (a *accumulator) add(p Pair) {
+	a.hist[p.Delta]++
+	if p.Delta > a.max {
+		a.max = p.Delta
+		a.prune()
+	}
+	if p.Delta >= a.floor() {
+		a.pairs = append(a.pairs, p)
+	}
+}
+
+func (a *accumulator) prune() {
+	floor := a.floor()
+	kept := a.pairs[:0]
+	for _, p := range a.pairs {
+		if p.Delta >= floor {
+			kept = append(kept, p)
+		}
+	}
+	a.pairs = kept
+}
+
+func (a *accumulator) merge(b *accumulator) {
+	for d, c := range b.hist {
+		a.hist[d] += c
+	}
+	if b.max > a.max {
+		a.max = b.max
+		a.prune()
+	}
+	floor := a.floor()
+	for _, p := range b.pairs {
+		if p.Delta >= floor {
+			a.pairs = append(a.pairs, p)
+		}
+	}
+}
+
+// PairsAtLeast returns the retained pairs with Delta >= delta, in canonical
+// order. It panics if delta is below the retained window (MaxDelta - Slack),
+// because the answer would be incomplete — callers must re-run Compute with
+// a larger Slack for deeper thresholds.
+func (gt *GroundTruth) PairsAtLeast(delta int32) []Pair {
+	if gt.MaxDelta > 0 && delta < gt.MaxDelta-gt.Slack {
+		panic(fmt.Sprintf("topk: δ=%d below retained window [%d, %d]; recompute with larger Slack",
+			delta, gt.MaxDelta-gt.Slack, gt.MaxDelta))
+	}
+	// Pairs are sorted by Delta descending: binary search for the cut.
+	i := sort.Search(len(gt.Pairs), func(i int) bool { return gt.Pairs[i].Delta < delta })
+	return gt.Pairs[:i]
+}
+
+// KForDelta returns the number of pairs with Delta >= delta — the paper's way
+// of choosing k so the top-k set is unique (no ties straddle the cut).
+func (gt *GroundTruth) KForDelta(delta int32) int {
+	var k int64
+	for d, c := range gt.Histogram {
+		if d >= delta {
+			k += c
+		}
+	}
+	return int(k)
+}
+
+// TopK returns the first k retained pairs in canonical order. It panics if k
+// exceeds the retained window, for the same reason as PairsAtLeast.
+func (gt *GroundTruth) TopK(k int) []Pair {
+	if k <= len(gt.Pairs) {
+		return gt.Pairs[:k]
+	}
+	panic(fmt.Sprintf("topk: k=%d exceeds the %d retained pairs; recompute with larger Slack",
+		k, len(gt.Pairs)))
+}

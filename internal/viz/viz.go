@@ -1,0 +1,93 @@
+// Package viz renders experiment data series as Unicode sparklines and
+// small ASCII charts, so the experiment CLI can show figure shapes directly
+// in the terminal without any plotting dependency.
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// sparkLevels are the eight block glyphs a sparkline quantizes into.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values in [0, max] as one line of block glyphs. A
+// non-positive max auto-scales to the series maximum; all-zero series
+// render as the lowest block.
+func Sparkline(values []float64, max float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if max <= 0 {
+		for _, v := range values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if max > 0 {
+			idx = int(v / max * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// Chart renders a labeled multi-series chart: one sparkline row per series
+// plus a shared x-axis annotation. Series values are fractions in [0, 1]
+// (coverage); the chart prints percentages at both ends.
+func Chart(title string, xs []int, series map[string][]float64, order []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	labelWidth := 0
+	for _, name := range order {
+		if len(name) > labelWidth {
+			labelWidth = len(name)
+		}
+	}
+	for _, name := range order {
+		vals := series[name]
+		if len(vals) == 0 {
+			continue
+		}
+		first, last := vals[0], vals[len(vals)-1]
+		fmt.Fprintf(&b, "  %-*s %5.1f%% %s %5.1f%%\n",
+			labelWidth, name, 100*first, Sparkline(vals, 1), 100*last)
+	}
+	if len(xs) > 0 {
+		fmt.Fprintf(&b, "  %-*s m=%d%sm=%d\n", labelWidth, "",
+			xs[0], strings.Repeat(" ", maxInt(1, len(xs)-len(fmt.Sprint(xs[0]))-2)), xs[len(xs)-1])
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal percentage bar of the given width.
+func Bar(fraction float64, width int) string {
+	if width <= 0 {
+		width = 20
+	}
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	filled := int(fraction*float64(width) + 0.5)
+	return strings.Repeat("█", filled) + strings.Repeat("░", width-filled)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,91 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestSparkline(t *testing.T) {
+	if s := Sparkline(nil, 1); s != "" {
+		t.Fatalf("empty = %q", s)
+	}
+	s := Sparkline([]float64{0, 0.5, 1}, 1)
+	if utf8.RuneCountInString(s) != 3 {
+		t.Fatalf("length = %d", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[2] != '█' {
+		t.Fatalf("sparkline = %q", s)
+	}
+	// Auto-scaling.
+	auto := Sparkline([]float64{1, 2, 4}, 0)
+	if []rune(auto)[2] != '█' {
+		t.Fatalf("auto = %q", auto)
+	}
+	// All zeros.
+	flat := Sparkline([]float64{0, 0}, 0)
+	for _, r := range flat {
+		if r != '▁' {
+			t.Fatalf("flat = %q", flat)
+		}
+	}
+	// Out-of-range values clamp.
+	clamped := Sparkline([]float64{-1, 2}, 1)
+	rs := []rune(clamped)
+	if rs[0] != '▁' || rs[1] != '█' {
+		t.Fatalf("clamped = %q", clamped)
+	}
+}
+
+// Property: sparkline glyph count always equals the value count and every
+// glyph is one of the eight levels.
+func TestSparklineProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		s := Sparkline(raw, 0)
+		if utf8.RuneCountInString(s) != len(raw) {
+			return false
+		}
+		for _, r := range s {
+			if !strings.ContainsRune("▁▂▃▄▅▆▇█", r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChart(t *testing.T) {
+	out := Chart("Coverage vs m", []int{10, 50},
+		map[string][]float64{"MMSD": {0.2, 0.9}, "SumDiff": {0, 0.7}},
+		[]string{"MMSD", "SumDiff"})
+	for _, want := range []string{"Coverage vs m", "MMSD", "SumDiff", "90.0%", "m=10", "m=50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Missing series are skipped without panic.
+	out = Chart("t", []int{1}, map[string][]float64{}, []string{"absent"})
+	if !strings.Contains(out, "t") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if b := Bar(0.5, 10); strings.Count(b, "█") != 5 || strings.Count(b, "░") != 5 {
+		t.Fatalf("bar = %q", b)
+	}
+	if b := Bar(-1, 4); strings.Count(b, "█") != 0 {
+		t.Fatalf("negative bar = %q", b)
+	}
+	if b := Bar(2, 4); strings.Count(b, "█") != 4 {
+		t.Fatalf("overflow bar = %q", b)
+	}
+	if b := Bar(0.5, 0); utf8.RuneCountInString(b) != 20 {
+		t.Fatalf("default width = %d", utf8.RuneCountInString(b))
+	}
+}

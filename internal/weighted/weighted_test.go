@@ -1,0 +1,230 @@
+package weighted
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/sssp"
+	"repro/internal/topk"
+)
+
+// roadPair builds a weighted "road network": a ring of n towns with heavy
+// segments, where G2 upgrades two segments and adds a light bypass.
+func roadPair(t testing.TB, n int) SnapshotPair {
+	t.Helper()
+	var e1 []graph.WeightedEdge
+	for i := 0; i < n; i++ {
+		e1 = append(e1, graph.WeightedEdge{U: i, V: (i + 1) % n, Weight: 4})
+	}
+	g1, err := graph.NewWeighted(n, e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := append([]graph.WeightedEdge{}, e1...)
+	e2 = append(e2, graph.WeightedEdge{U: 0, V: n / 2, Weight: 1}) // bypass
+	e2[0].Weight = 2                                               // upgrade {0,1}
+	g2, err := graph.NewWeighted(n, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SnapshotPair{G1: g1, G2: g2}
+}
+
+func TestValidate(t *testing.T) {
+	sp := roadPair(t, 8)
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (SnapshotPair{}).Validate(); err == nil {
+		t.Fatal("nil snapshots should fail")
+	}
+	// Weight growth is rejected.
+	g1, _ := graph.NewWeighted(2, []graph.WeightedEdge{{U: 0, V: 1, Weight: 1}})
+	g2, _ := graph.NewWeighted(2, []graph.WeightedEdge{{U: 0, V: 1, Weight: 5}})
+	if err := (SnapshotPair{G1: g1, G2: g2}).Validate(); err == nil {
+		t.Fatal("weight growth should fail")
+	}
+	// Missing edge is rejected.
+	g3, _ := graph.NewWeighted(3, []graph.WeightedEdge{{U: 0, V: 1, Weight: 1}})
+	g4, _ := graph.NewWeighted(3, []graph.WeightedEdge{{U: 1, V: 2, Weight: 1}})
+	if err := (SnapshotPair{G1: g3, G2: g4}).Validate(); err == nil {
+		t.Fatal("edge deletion should fail")
+	}
+}
+
+func TestComputeRoadNetwork(t *testing.T) {
+	sp := roadPair(t, 10)
+	gt, err := Compute(sp, topk.Options{Workers: 2, Slack: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d1(0,5) = 20 (5 segments x 4); d2(0,5) = 1 via the bypass: Δ = 19.
+	if gt.MaxDelta != 19 {
+		t.Fatalf("MaxDelta = %d, want 19", gt.MaxDelta)
+	}
+	top := gt.TopK(1)[0]
+	if top.U != 0 || top.V != 5 || top.D2 != 1 {
+		t.Fatalf("top = %v", top)
+	}
+	if gt.Diameter1 != 20 {
+		t.Fatalf("weighted diameter1 = %d, want 20", gt.Diameter1)
+	}
+}
+
+// brute recomputes weighted ground truth naively.
+func bruteWeighted(sp SnapshotPair) (int32, map[topk.Pair]bool) {
+	n := sp.G1.NumNodes()
+	pairs := map[topk.Pair]bool{}
+	var maxDelta int32
+	for u := 0; u < n; u++ {
+		d1 := sssp.WeightedDistances(sp.G1, u)
+		d2 := sssp.WeightedDistances(sp.G2, u)
+		for v := u + 1; v < n; v++ {
+			if d1[v] <= 0 {
+				continue
+			}
+			delta := d1[v] - d2[v]
+			if delta > 0 {
+				pairs[topk.Pair{U: int32(u), V: int32(v), D1: d1[v], D2: d2[v], Delta: delta}] = true
+				if delta > maxDelta {
+					maxDelta = delta
+				}
+			}
+		}
+	}
+	return maxDelta, pairs
+}
+
+// Property: the engine-based weighted sweep matches brute force on random
+// dominated pairs.
+func TestComputeMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		var e1 []graph.WeightedEdge
+		for i := 1; i < n; i++ {
+			e1 = append(e1, graph.WeightedEdge{U: i, V: rng.Intn(i), Weight: 1 + rng.Int31n(9)})
+		}
+		e2 := append([]graph.WeightedEdge{}, e1...)
+		// Upgrades: shrink some weights.
+		for i := range e2 {
+			if rng.Intn(3) == 0 && e2[i].Weight > 1 {
+				e2[i].Weight = 1 + rng.Int31n(e2[i].Weight)
+			}
+		}
+		// New edges.
+		for i := 0; i < n/2; i++ {
+			e2 = append(e2, graph.WeightedEdge{U: rng.Intn(n), V: rng.Intn(n), Weight: 1 + rng.Int31n(9)})
+		}
+		g1, err := graph.NewWeighted(n, e1)
+		if err != nil {
+			return false
+		}
+		g2, err := graph.NewWeighted(n, e2)
+		if err != nil {
+			return false
+		}
+		sp := SnapshotPair{G1: g1, G2: g2}
+		if sp.Validate() != nil {
+			return true // random duplicate may break domination; skip
+		}
+		gt, err := Compute(sp, topk.Options{Workers: 3, Slack: 1 << 20})
+		if err != nil {
+			return false
+		}
+		wantMax, wantPairs := bruteWeighted(sp)
+		if gt.MaxDelta != wantMax {
+			return false
+		}
+		if len(gt.Pairs) != len(wantPairs) {
+			return false
+		}
+		for _, p := range gt.Pairs {
+			if !wantPairs[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	sp := roadPair(t, 8)
+	if _, err := TopK(sp, Options{M: 0, K: 3}); err == nil {
+		t.Fatal("m=0 should fail")
+	}
+	if _, err := TopK(sp, Options{M: 3}); err == nil {
+		t.Fatal("missing K/MinDelta should fail")
+	}
+	if _, err := TopK(sp, Options{M: 3, K: 1, MinDelta: 1}); err == nil {
+		t.Fatal("both K and MinDelta should fail")
+	}
+	if _, err := TopK(sp, Options{M: 3, K: 1, Selector: "Nope"}); err == nil {
+		t.Fatal("unknown selector should fail")
+	}
+}
+
+func TestTopKSelectorsFindBypass(t *testing.T) {
+	sp := roadPair(t, 16)
+	for _, sel := range []string{SelDegree, SelDegDiff, SelDegRel, SelMaxMin, SelMaxAvg, SelSumDiff, SelMaxDiff, SelMMSD} {
+		res, err := TopK(sp, Options{Selector: sel, M: 8, L: 3, K: 4, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", sel, err)
+		}
+		if res.Budget.Total() > 16 {
+			t.Fatalf("%s overspent: %v", sel, res.Budget)
+		}
+		if len(res.Candidates) > 8 {
+			t.Fatalf("%s produced %d candidates", sel, len(res.Candidates))
+		}
+		// DegDiff and dispersion-style selectors should find the bypass
+		// endpoints (0 and 8), which participate in the biggest drops.
+		if sel == SelDegDiff || sel == SelMMSD {
+			found := false
+			for _, u := range res.Candidates {
+				if u == 0 || u == 8 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s candidates %v miss the bypass endpoints", sel, res.Candidates)
+			}
+			if len(res.Pairs) == 0 || res.Pairs[0].Delta < 10 {
+				t.Fatalf("%s pairs = %v", sel, res.Pairs)
+			}
+		}
+	}
+}
+
+func TestTopKMatchesExactWhenCovered(t *testing.T) {
+	sp := roadPair(t, 12)
+	gt, err := Compute(sp, topk.Options{Workers: 2, Slack: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TopK(sp, Options{Selector: SelMMSD, M: 6, L: 2, MinDelta: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[topk.Pair]bool{}
+	for _, p := range gt.Pairs {
+		truth[p] = true
+	}
+	for _, p := range res.Pairs {
+		if !truth[p] {
+			t.Fatalf("budgeted pair %v not in exact ground truth", p)
+		}
+	}
+}
+
+func TestLandmarkDeadZoneWeighted(t *testing.T) {
+	sp := roadPair(t, 10)
+	if _, err := TopK(sp, Options{Selector: SelSumDiff, M: 3, L: 5, K: 2, Seed: 1}); err == nil {
+		t.Fatal("m <= l should fail")
+	}
+}
