@@ -22,6 +22,7 @@ import (
 	"repro/internal/candidates"
 	"repro/internal/dataset"
 	"repro/internal/export"
+	"repro/internal/sssp"
 )
 
 func main() {
@@ -41,7 +42,14 @@ func main() {
 	dotOut := flag.String("dot", "", "write a GraphViz DOT rendering of G_t2 with the found pairs highlighted")
 	jsonOut := flag.String("json", "", "write the run result as a JSON report")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "BFS parallelism")
+	engine := flag.String("engine", "auto", "BFS kernel: auto|topdown|diropt|bitparallel64")
 	flag.Parse()
+
+	eng, err := sssp.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	sssp.SetDefaultEngine(eng)
 
 	if *list {
 		for _, name := range convergence.Selectors() {

@@ -23,10 +23,12 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/sssp"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1..table6, fig1..fig3, or all")
+	engine := flag.String("engine", "auto", "BFS kernel for all shortest-path work: auto|topdown|diropt|bitparallel64 (ablation hook)")
 	scale := flag.Float64("scale", 0.25, "dataset size relative to the paper")
 	seed := flag.Int64("seed", 42, "seed for generation and randomized selectors")
 	m := flag.Int("m", 50, "endpoint budget for budgeted experiments")
@@ -35,6 +37,12 @@ func main() {
 	csvDir := flag.String("csvdir", "", "also write figure/table data series as CSV files into this directory")
 	plot := flag.Bool("plot", false, "render figure series as terminal sparklines")
 	flag.Parse()
+
+	eng, err := sssp.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	sssp.SetDefaultEngine(eng)
 
 	if *exp == "list" {
 		for _, name := range []string{

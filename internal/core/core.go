@@ -43,6 +43,9 @@ type Options struct {
 	RNG *rand.Rand
 	// Workers bounds BFS parallelism; <=0 means GOMAXPROCS.
 	Workers int
+	// Engine selects the BFS kernel for the extraction phase's shortest
+	// paths (ablations pin one); the zero value Auto picks the fastest.
+	Engine sssp.Engine
 	// Meter overrides the default budget meter of 2M SSSPs. Useful for
 	// tests; normal callers leave it nil.
 	Meter *budget.Meter
@@ -191,17 +194,18 @@ func extractPairs(pair graph.SnapshotPair, ctx *candidates.Context, cands []int,
 			defer wg.Done()
 			d1buf := make([]int32, n)
 			d2buf := make([]int32, n)
+			scratch := sssp.NewScratch(n)
 			var local []topk.Pair
 			for i := range next {
 				u := cands[i]
 				d1 := ctx.D1Rows[u]
 				if d1 == nil {
-					sssp.BFS(g1, u, d1buf)
+					sssp.BFSWith(g1, u, d1buf, opts.Engine, scratch)
 					d1 = d1buf
 				}
 				d2 := ctx.D2Rows[u]
 				if d2 == nil {
-					sssp.BFS(g2, u, d2buf)
+					sssp.BFSWith(g2, u, d2buf, opts.Engine, scratch)
 					d2 = d2buf
 				}
 				for v := 0; v < n; v++ {

@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchEdges produces a connected random edge list with ~3 edges per node.
+func benchEdges(n int, seed int64) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, 3*n)
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{i, rng.Intn(i)})
+	}
+	for i := 0; i < 2*n; i++ {
+		edges = append(edges, Edge{rng.Intn(n), rng.Intn(n)})
+	}
+	return edges
+}
+
+// BenchmarkBuild locks in the CSR construction cost: the edge-map fill plus
+// the per-node adjacency sort that Build runs on every snapshot
+// materialization (each SnapshotPair costs two Builds).
+func BenchmarkBuild(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		edges := benchEdges(n, 1)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bl := NewBuilder(n)
+				for _, e := range edges {
+					_ = bl.AddEdge(e.U, e.V)
+				}
+				if g := bl.Build(); g.NumNodes() != n {
+					b.Fatal("bad build")
+				}
+			}
+		})
+	}
+}

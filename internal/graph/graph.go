@@ -13,6 +13,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -61,6 +62,16 @@ func (g *Graph) Degree(u int) int {
 // returned slice aliases internal storage and must not be modified.
 func (g *Graph) Neighbors(u int) []int32 {
 	return g.neighbors[g.offsets[u]:g.offsets[u+1]]
+}
+
+// CSR exposes the raw compressed-sparse-row arrays: offsets has length
+// NumNodes()+1 and neighbors holds the concatenated sorted adjacency lists
+// (node u's neighbors are neighbors[offsets[u]:offsets[u+1]]). Both slices
+// alias internal storage and must not be modified. Flat array access lets
+// traversal kernels (internal/sssp) avoid a bounds-checked method call per
+// node.
+func (g *Graph) CSR() (offsets, neighbors []int32) {
+	return g.offsets, g.neighbors
 }
 
 // HasEdge reports whether the undirected edge {u, v} exists.
@@ -134,9 +145,11 @@ type Builder struct {
 }
 
 // NewBuilder creates a Builder for a node universe of size n. AddEdge may
-// grow the universe beyond n.
+// grow the universe beyond n. The edge map is pre-sized for roughly 2n
+// edges, the density regime of the paper's snapshots, so typical builds do
+// not rehash.
 func NewBuilder(n int) *Builder {
-	return &Builder{n: n, edges: make(map[Edge]struct{})}
+	return &Builder{n: n, edges: make(map[Edge]struct{}, 2*n)}
 }
 
 // AddEdge records the undirected edge {u, v}. Self-loops and duplicates are
@@ -184,8 +197,7 @@ func (b *Builder) Build() *Graph {
 	}
 	g := &Graph{offsets: offsets, neighbors: neighbors, numEdges: len(b.edges)}
 	for u := 0; u < b.n; u++ {
-		adj := neighbors[offsets[u]:offsets[u+1]]
-		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+		slices.Sort(neighbors[offsets[u]:offsets[u+1]])
 	}
 	return g
 }
@@ -193,7 +205,7 @@ func (b *Builder) Build() *Graph {
 // FromEdges builds a graph over n nodes from an edge list. It is a
 // convenience wrapper around Builder for tests and examples.
 func FromEdges(n int, edges []Edge) *Graph {
-	b := NewBuilder(n)
+	b := &Builder{n: n, edges: make(map[Edge]struct{}, len(edges))}
 	for _, e := range edges {
 		// AddEdge only fails on negative IDs; FromEdges treats that as a
 		// programming error in the caller.

@@ -131,13 +131,14 @@ func selectDispersed(strategy Strategy, g1 *graph.Graph, comp []int, l int, mete
 	isSelected := make([]bool, n)
 	score := make([]int64, n) // min- or sum-distance to selected
 	rows := make([][]int32, 0, l)
+	scratch := sssp.NewScratch(n)
 
 	pick := func(u int) error {
 		if err := meter.Charge(budget.PhaseCandidateGen, 1); err != nil {
 			return err
 		}
 		row := make([]int32, n)
-		sssp.BFS(g1, u, row)
+		sssp.BFSWith(g1, u, row, sssp.Auto, scratch)
 		rows = append(rows, row)
 		selected = append(selected, u)
 		isSelected[u] = true

@@ -9,24 +9,42 @@ import (
 
 // AllSourcesFunc runs fn(src, dist) for every source in sources, spreading
 // the BFS work across workers goroutines (<=0 means GOMAXPROCS). Each worker
-// owns one distance buffer, so fn must finish with dist before returning and
+// owns its distance buffers, so fn must finish with dist before returning and
 // must not retain it. fn may be called concurrently from different workers;
 // for a fixed worker the calls are sequential.
 //
 // This is the exact-ground-truth workhorse: the topk package streams every
 // source's distance vector through a Δ-accumulating callback instead of
-// materializing an O(n²) distance matrix.
+// materializing an O(n²) distance matrix. Under the Auto engine, large
+// source sets run 64 sources per pass through the bit-parallel kernel.
 func AllSourcesFunc(g *graph.Graph, sources []int, workers int, fn func(src int, dist []int32)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	AllSourcesEngineFunc(g, sources, workers, Auto, fn)
+}
+
+// AllSourcesEngineFunc is AllSourcesFunc with an explicit engine, the hook
+// ablations use to compare kernels on identical sweeps.
+func AllSourcesEngineFunc(g *graph.Graph, sources []int, workers int, e Engine, fn func(src int, dist []int32)) {
+	workers = clampWorkers(workers, len(sources))
+	eng := resolveBatch(e, len(sources))
+	if eng == BitParallel64 {
+		scratches := make([]Scratch, workers)
+		forEachBatch(len(sources), workers, func(w, start, end int) {
+			s := &scratches[w]
+			batch := sources[start:end]
+			rows := s.ensureRows(g.NumNodes())[:len(batch)]
+			msBFSBatch(g, batch, rows, s)
+			for i, src := range batch {
+				fn(src, rows[i])
+			}
+		})
+		return
 	}
-	if workers > len(sources) {
-		workers = len(sources)
-	}
+	n := g.NumNodes()
 	if workers <= 1 {
-		dist := make([]int32, g.NumNodes())
+		dist := make([]int32, n)
+		s := NewScratch(n)
 		for _, src := range sources {
-			BFS(g, src, dist)
+			BFSWith(g, src, dist, eng, s)
 			fn(src, dist)
 		}
 		return
@@ -37,10 +55,11 @@ func AllSourcesFunc(g *graph.Graph, sources []int, workers int, fn func(src int,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			dist := make([]int32, g.NumNodes())
+			dist := make([]int32, n)
+			s := NewScratch(n)
 			for i := range next {
 				src := sources[i]
-				BFS(g, src, dist)
+				BFSWith(g, src, dist, eng, s)
 				fn(src, dist)
 			}
 		}()
@@ -56,18 +75,37 @@ func AllSourcesFunc(g *graph.Graph, sources []int, workers int, fn func(src int,
 // two distance vectors to fn together. It parallelizes across sources like
 // AllSourcesFunc; the buffers are per-worker and must not be retained.
 func PairedSourcesFunc(g1, g2 *graph.Graph, sources []int, workers int, fn func(src int, d1, d2 []int32)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(sources) {
-		workers = len(sources)
+	PairedSourcesEngineFunc(g1, g2, sources, workers, Auto, fn)
+}
+
+// PairedSourcesEngineFunc is PairedSourcesFunc with an explicit engine.
+func PairedSourcesEngineFunc(g1, g2 *graph.Graph, sources []int, workers int, e Engine, fn func(src int, d1, d2 []int32)) {
+	workers = clampWorkers(workers, len(sources))
+	eng := resolveBatch(e, len(sources))
+	if eng == BitParallel64 {
+		// Two scratches per worker: one per snapshot, each holding that
+		// graph's 64 distance rows across the whole sweep.
+		s1 := make([]Scratch, workers)
+		s2 := make([]Scratch, workers)
+		forEachBatch(len(sources), workers, func(w, start, end int) {
+			batch := sources[start:end]
+			rows1 := s1[w].ensureRows(g1.NumNodes())[:len(batch)]
+			rows2 := s2[w].ensureRows(g2.NumNodes())[:len(batch)]
+			msBFSBatch(g1, batch, rows1, &s1[w])
+			msBFSBatch(g2, batch, rows2, &s2[w])
+			for i, src := range batch {
+				fn(src, rows1[i], rows2[i])
+			}
+		})
+		return
 	}
 	if workers <= 1 {
 		d1 := make([]int32, g1.NumNodes())
 		d2 := make([]int32, g2.NumNodes())
+		s := NewScratch(g1.NumNodes())
 		for _, src := range sources {
-			BFS(g1, src, d1)
-			BFS(g2, src, d2)
+			BFSWith(g1, src, d1, eng, s)
+			BFSWith(g2, src, d2, eng, s)
 			fn(src, d1, d2)
 		}
 		return
@@ -80,10 +118,11 @@ func PairedSourcesFunc(g1, g2 *graph.Graph, sources []int, workers int, fn func(
 			defer wg.Done()
 			d1 := make([]int32, g1.NumNodes())
 			d2 := make([]int32, g2.NumNodes())
+			s := NewScratch(g1.NumNodes())
 			for i := range next {
 				src := sources[i]
-				BFS(g1, src, d1)
-				BFS(g2, src, d2)
+				BFSWith(g1, src, d1, eng, s)
+				BFSWith(g2, src, d2, eng, s)
 				fn(src, d1, d2)
 			}
 		}()
@@ -116,4 +155,62 @@ func DistanceMatrix(g *graph.Graph, sources []int, workers int) [][]int32 {
 		}
 	}
 	return rows
+}
+
+// clampWorkers resolves a worker-count request against the job count.
+func clampWorkers(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// forEachBatch splits [0, total) into msBatchBits-sized chunks and runs
+// body(workerIndex, start, end) on each, spreading chunks across workers.
+// Worker indices are dense in [0, workers), so callers can keep per-worker
+// state (scratches, row buffers) in plain slices; a sweep's allocations are
+// then per worker, not per source.
+func forEachBatch(total, workers int, body func(w, start, end int)) {
+	numBatches := (total + msBatchBits - 1) / msBatchBits
+	if workers > numBatches {
+		workers = numBatches
+	}
+	chunk := func(b int) (int, int) {
+		start := b * msBatchBits
+		end := start + msBatchBits
+		if end > total {
+			end = total
+		}
+		return start, end
+	}
+	if workers <= 1 {
+		for b := 0; b < numBatches; b++ {
+			start, end := chunk(b)
+			body(0, start, end)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := range next {
+				start, end := chunk(b)
+				body(w, start, end)
+			}
+		}(w)
+	}
+	for b := 0; b < numBatches; b++ {
+		next <- b
+	}
+	close(next)
+	wg.Wait()
 }

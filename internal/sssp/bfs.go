@@ -6,6 +6,11 @@
 // Distances are int32; Unreachable marks node pairs in different connected
 // components. Engines reuse caller-provided buffers so that tight loops
 // (candidate generation, all-pairs sweeps) do not allocate per source.
+//
+// Three interchangeable BFS kernels back the unweighted entry points (see
+// Engine): the scalar TopDown baseline, a Beamer-style DirectionOpt hybrid,
+// and a BitParallel64 multi-source batch engine used by the all-sources
+// drivers. All of them produce bit-identical distances.
 package sssp
 
 import (
@@ -21,8 +26,16 @@ const Unreachable int32 = -1
 // BFS computes unweighted shortest-path distances from src into dist, which
 // must have length g.NumNodes(). Unreached nodes get Unreachable. It returns
 // the number of reached nodes (including src) and the eccentricity of src
-// within its component.
+// within its component. The kernel is chosen by the Auto engine; use
+// BFSWith to pin one or to thread a per-worker Scratch.
 func BFS(g *graph.Graph, src int, dist []int32) (reached int, ecc int32) {
+	return BFSWith(g, src, dist, Auto, nil)
+}
+
+// BFSWith is BFS with an explicit engine and scratch space. A nil scratch
+// borrows one from an internal pool; parallel drivers pass one per worker
+// so the whole sweep allocates nothing per source.
+func BFSWith(g *graph.Graph, src int, dist []int32, e Engine, s *Scratch) (reached int, ecc int32) {
 	n := g.NumNodes()
 	if len(dist) != n {
 		panic(fmt.Sprintf("sssp: dist buffer length %d, graph has %d nodes", len(dist), n))
@@ -30,29 +43,37 @@ func BFS(g *graph.Graph, src int, dist []int32) (reached int, ecc int32) {
 	if src < 0 || src >= n {
 		panic(fmt.Sprintf("sssp: source %d out of range [0,%d)", src, n))
 	}
-	for i := range dist {
-		dist[i] = Unreachable
+	if s == nil {
+		s = getScratch(n)
+		defer putScratch(s)
+	} else {
+		s.ensure(n)
 	}
-	queue := make([]int32, 1, 256)
-	queue[0] = int32(src)
-	dist[src] = 0
-	reached = 1
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		du := dist[u]
-		if du > ecc {
-			ecc = du
+	switch resolveSingle(e) {
+	case DirectionOpt:
+		for i := range dist {
+			dist[i] = Unreachable
 		}
-		for _, v := range g.Neighbors(int(u)) {
-			if dist[v] == Unreachable {
-				dist[v] = du + 1
+		return dirOptBFS(g, src, dist, s)
+	case BitParallel64:
+		// One-lane batch: correct but without batching leverage; selectable
+		// for differential testing and ablations.
+		msBFSBatch(g, []int{src}, [][]int32{dist}, s)
+		for _, d := range dist {
+			if d >= 0 {
 				reached++
-				queue = append(queue, v)
+				if d > ecc {
+					ecc = d
+				}
 			}
 		}
+		return reached, ecc
+	default:
+		for i := range dist {
+			dist[i] = Unreachable
+		}
+		return topDownBFS(g, src, dist, s)
 	}
-	return reached, ecc
 }
 
 // Distances is a convenience wrapper around BFS that allocates the buffer.
@@ -67,6 +88,12 @@ func Distances(g *graph.Graph, src int) []int32 {
 // dispersion-based selection, where each greedy step needs the minimum
 // distance to the already-selected set. dist must have length g.NumNodes().
 func MultiSourceBFS(g *graph.Graph, sources []int, dist []int32) {
+	MultiSourceBFSWith(g, sources, dist, nil)
+}
+
+// MultiSourceBFSWith is MultiSourceBFS with caller-provided scratch space,
+// for tight loops that seed from a growing set.
+func MultiSourceBFSWith(g *graph.Graph, sources []int, dist []int32, s *Scratch) {
 	n := g.NumNodes()
 	if len(dist) != n {
 		panic(fmt.Sprintf("sssp: dist buffer length %d, graph has %d nodes", len(dist), n))
@@ -74,33 +101,46 @@ func MultiSourceBFS(g *graph.Graph, sources []int, dist []int32) {
 	for i := range dist {
 		dist[i] = Unreachable
 	}
-	queue := make([]int32, 0, len(sources))
-	for _, s := range sources {
-		if s < 0 || s >= n {
-			panic(fmt.Sprintf("sssp: source %d out of range [0,%d)", s, n))
+	if s == nil {
+		s = getScratch(n)
+		defer putScratch(s)
+	} else {
+		s.ensure(n)
+	}
+	offsets, neighbors := g.CSR()
+	q := s.queue[:0]
+	for _, src := range sources {
+		if src < 0 || src >= n {
+			panic(fmt.Sprintf("sssp: source %d out of range [0,%d)", src, n))
 		}
-		if dist[s] == Unreachable {
-			dist[s] = 0
-			queue = append(queue, int32(s))
+		if dist[src] == Unreachable {
+			dist[src] = 0
+			q = append(q, int32(src))
 		}
 	}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(q); head++ {
+		u := q[head]
 		du := dist[u]
-		for _, v := range g.Neighbors(int(u)) {
+		for _, v := range neighbors[offsets[u]:offsets[u+1]] {
 			if dist[v] == Unreachable {
 				dist[v] = du + 1
-				queue = append(queue, v)
+				q = append(q, v)
 			}
 		}
 	}
+	s.queue = q[:0]
 }
 
 // Eccentricity returns the greatest finite distance from src.
 func Eccentricity(g *graph.Graph, src int) int32 {
-	dist := make([]int32, g.NumNodes())
-	_, ecc := BFS(g, src, dist)
+	return EccentricityInto(g, src, make([]int32, g.NumNodes()), nil)
+}
+
+// EccentricityInto is Eccentricity with a caller-provided distance buffer
+// (length g.NumNodes()) and optional scratch, for loops sweeping many
+// sources.
+func EccentricityInto(g *graph.Graph, src int, dist []int32, s *Scratch) int32 {
+	_, ecc := BFSWith(g, src, dist, Auto, s)
 	return ecc
 }
 
@@ -109,15 +149,20 @@ func Eccentricity(g *graph.Graph, src int) int32 {
 // start. The result is a lower bound on, and in practice usually equal to,
 // the true diameter; exact diameters come from topk's all-pairs sweep.
 func DoubleSweepLowerBound(g *graph.Graph, start int) int32 {
-	dist := make([]int32, g.NumNodes())
-	BFS(g, start, dist)
+	return DoubleSweepLowerBoundInto(g, start, make([]int32, g.NumNodes()), nil)
+}
+
+// DoubleSweepLowerBoundInto is DoubleSweepLowerBound with a caller-provided
+// distance buffer (length g.NumNodes()) and optional scratch.
+func DoubleSweepLowerBoundInto(g *graph.Graph, start int, dist []int32, s *Scratch) int32 {
+	BFSWith(g, start, dist, Auto, s)
 	far, farDist := start, int32(0)
 	for v, d := range dist {
 		if d > farDist {
 			far, farDist = v, d
 		}
 	}
-	_, ecc := BFS(g, far, dist)
+	_, ecc := BFSWith(g, far, dist, Auto, s)
 	return ecc
 }
 
@@ -133,16 +178,20 @@ func Path(g *graph.Graph, src, dst int) []int {
 	if src == dst {
 		return []int{src}
 	}
+	offsets, neighbors := g.CSR()
 	parent := make([]int32, n)
 	for i := range parent {
 		parent[i] = -1
 	}
 	parent[src] = int32(src)
-	queue := append(make([]int32, 0, 256), int32(src))
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range g.Neighbors(int(u)) {
+	s := getScratch(n)
+	defer putScratch(s)
+	q := s.queue[:0]
+	q = append(q, int32(src))
+	defer func() { s.queue = q[:0] }()
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		for _, v := range neighbors[offsets[u]:offsets[u+1]] {
 			if parent[v] >= 0 {
 				continue
 			}
@@ -159,7 +208,7 @@ func Path(g *graph.Graph, src, dst int) []int {
 				}
 				return rev
 			}
-			queue = append(queue, v)
+			q = append(q, v)
 		}
 	}
 	return nil

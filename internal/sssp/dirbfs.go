@@ -1,0 +1,151 @@
+package sssp
+
+import (
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// Direction-optimizing BFS (Beamer, Asanović, Patterson: "Direction-
+// Optimizing Breadth-First Search", SC'12). Levels run top-down (scan the
+// frontier's adjacency) while the frontier is small, and bottom-up (scan
+// the unvisited nodes for any parent in the frontier) once the frontier's
+// outgoing edges outnumber a fraction of the unexplored edges. On the
+// small-diameter graphs of the paper's datasets the middle levels hold most
+// of the graph, and bottom-up terminates each node's scan at its first
+// frontier parent instead of examining every frontier edge.
+const (
+	// dirOptAlpha: switch top-down -> bottom-up when
+	// (edges out of frontier) > (edges out of unvisited) / alpha.
+	dirOptAlpha = 14
+	// dirOptBeta: switch bottom-up -> top-down when
+	// (frontier size) < n / beta.
+	dirOptBeta = 24
+)
+
+// topDownBFS is the scalar level-order kernel: an index-cursor frontier over
+// a scratch-owned queue, reading the CSR arrays directly. It is both the
+// TopDown engine and the baseline the others are differentially tested
+// against.
+func topDownBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int, ecc int32) {
+	offsets, neighbors := g.CSR()
+	q := s.queue[:0]
+	q = append(q, int32(src))
+	dist[src] = 0
+	reached = 1
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		du := dist[u]
+		if du > ecc {
+			ecc = du
+		}
+		for _, v := range neighbors[offsets[u]:offsets[u+1]] {
+			if dist[v] == Unreachable {
+				dist[v] = du + 1
+				reached++
+				q = append(q, v)
+			}
+		}
+	}
+	s.queue = q[:0]
+	return reached, ecc
+}
+
+// dirOptBFS is the direction-optimizing kernel. Distances are identical to
+// topDownBFS (BFS levels are order-independent); only the edge-examination
+// order differs.
+func dirOptBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int, ecc int32) {
+	offsets, neighbors := g.CSR()
+	n := g.NumNodes()
+	words := (n + 63) / 64
+	q := s.queue[:0]
+	q = append(q, int32(src))
+	dist[src] = 0
+	reached = 1
+
+	// mf counts directed edges out of the current frontier, mu directed
+	// edges out of still-unvisited nodes; both drive the Beamer heuristic.
+	mf := int64(offsets[src+1] - offsets[src])
+	mu := 2*int64(g.NumEdges()) - mf
+
+	level := int32(0)
+	levelStart, levelEnd := 0, 1 // q[levelStart:levelEnd] is the frontier
+	bottomUp := false
+	nf := 1 // frontier node count
+
+	for {
+		if !bottomUp && mf > mu/dirOptAlpha && nf > 1 {
+			// Switch: materialize the frontier as a bitmap.
+			clearWords(s.cur[:words])
+			for _, u := range q[levelStart:levelEnd] {
+				s.cur[u>>6] |= 1 << (uint(u) & 63)
+			}
+			bottomUp = true
+		} else if bottomUp && nf < n/dirOptBeta {
+			// Switch back: collect the bitmap frontier into the queue.
+			levelStart = len(q)
+			for w, word := range s.cur[:words] {
+				for word != 0 {
+					q = append(q, int32(w<<6+bits.TrailingZeros64(word)))
+					word &= word - 1
+				}
+			}
+			levelEnd = len(q)
+			bottomUp = false
+		}
+
+		if !bottomUp {
+			// Top-down step: expand the frontier's adjacency.
+			var mfNext int64
+			for head := levelStart; head < levelEnd; head++ {
+				u := q[head]
+				for _, v := range neighbors[offsets[u]:offsets[u+1]] {
+					if dist[v] == Unreachable {
+						dist[v] = level + 1
+						reached++
+						deg := int64(offsets[v+1] - offsets[v])
+						mfNext += deg
+						mu -= deg
+						q = append(q, v)
+					}
+				}
+			}
+			levelStart, levelEnd = levelEnd, len(q)
+			nf = levelEnd - levelStart
+			mf = mfNext
+		} else {
+			// Bottom-up step: every unvisited node looks for a parent in
+			// the current frontier bitmap.
+			clearWords(s.nxt[:words])
+			nfNext := 0
+			var mfNext int64
+			for v := 0; v < n; v++ {
+				if dist[v] != Unreachable {
+					continue
+				}
+				for _, w := range neighbors[offsets[v]:offsets[v+1]] {
+					if s.cur[w>>6]&(1<<(uint(w)&63)) != 0 {
+						dist[v] = level + 1
+						reached++
+						deg := int64(offsets[v+1] - offsets[v])
+						mfNext += deg
+						mu -= deg
+						s.nxt[v>>6] |= 1 << (uint(v) & 63)
+						nfNext++
+						break
+					}
+				}
+			}
+			s.cur, s.nxt = s.nxt, s.cur
+			nf = nfNext
+			mf = mfNext
+		}
+		if nf == 0 {
+			break
+		}
+		level++
+		ecc = level
+	}
+	s.queue = q[:0]
+	return reached, ecc
+}

@@ -1,0 +1,236 @@
+package sssp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// referenceBFS is an intentionally naive queue BFS, independent of every
+// production kernel, used as the differential-testing oracle.
+func referenceBFS(g *graph.Graph, src int) (dist []int32, reached int, ecc int32) {
+	n := g.NumNodes()
+	dist = make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	reached = 1
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if dist[u] > ecc {
+			ecc = dist[u]
+		}
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == Unreachable {
+				dist[v] = dist[u] + 1
+				reached++
+				queue = append(queue, int(v))
+			}
+		}
+	}
+	return dist, reached, ecc
+}
+
+// erdosRenyi samples a G(n, p) graph. Isolated nodes and multiple
+// components occur naturally at small p.
+func erdosRenyi(n int, p float64, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				_ = b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// prefAttach grows a preferential-attachment graph: each new node attaches
+// to k endpoints sampled proportionally to degree (the repeated-endpoint
+// trick), then a fraction of nodes is left isolated.
+func prefAttach(n, k, isolated int, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(n + isolated)
+	var endpoints []int
+	for u := 1; u < n; u++ {
+		for j := 0; j < k; j++ {
+			var v int
+			if len(endpoints) == 0 {
+				v = rng.Intn(u)
+			} else {
+				v = endpoints[rng.Intn(len(endpoints))]
+			}
+			_ = b.AddEdge(u, v)
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	return b.Build()
+}
+
+// engineList returns every selectable kernel.
+func engineList() []Engine { return []Engine{TopDown, DirectionOpt, BitParallel64} }
+
+// assertEngineMatch runs every engine from src and compares against the
+// reference oracle.
+func assertEngineMatch(t *testing.T, g *graph.Graph, src int, label string) {
+	t.Helper()
+	want, wantReached, wantEcc := referenceBFS(g, src)
+	dist := make([]int32, g.NumNodes())
+	scratch := NewScratch(g.NumNodes())
+	for _, e := range engineList() {
+		for _, s := range []*Scratch{nil, scratch} {
+			reached, ecc := BFSWith(g, src, dist, e, s)
+			if reached != wantReached || ecc != wantEcc {
+				t.Fatalf("%s: engine %v src %d: (reached, ecc) = (%d, %d), want (%d, %d)",
+					label, e, src, reached, ecc, wantReached, wantEcc)
+			}
+			for v := range dist {
+				if dist[v] != want[v] {
+					t.Fatalf("%s: engine %v src %d: dist[%d] = %d, want %d",
+						label, e, src, v, dist[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestEnginesDifferential asserts every engine returns bit-identical
+// distances, reached counts, and eccentricities on random Erdős–Rényi and
+// preferential-attachment graphs, including disconnected graphs and
+// isolated nodes.
+func TestEnginesDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	type gen struct {
+		name  string
+		build func() *graph.Graph
+	}
+	gens := []gen{
+		{"er-sparse", func() *graph.Graph { return erdosRenyi(60, 0.02, rng) }},
+		{"er-mid", func() *graph.Graph { return erdosRenyi(80, 0.08, rng) }},
+		{"er-dense", func() *graph.Graph { return erdosRenyi(40, 0.5, rng) }},
+		{"pa", func() *graph.Graph { return prefAttach(100, 2, 0, rng) }},
+		{"pa-isolated", func() *graph.Graph { return prefAttach(70, 3, 12, rng) }},
+		{"singleton", func() *graph.Graph { return graph.FromEdges(5, nil) }},
+	}
+	for _, gn := range gens {
+		for trial := 0; trial < 3; trial++ {
+			g := gn.build()
+			n := g.NumNodes()
+			if n == 0 {
+				continue
+			}
+			label := fmt.Sprintf("%s/%d", gn.name, trial)
+			for i := 0; i < 10; i++ {
+				assertEngineMatch(t, g, rng.Intn(n), label)
+			}
+		}
+	}
+}
+
+// TestDriversDifferential asserts the multi-source drivers (including the
+// bit-parallel batches that span a 64-lane boundary) agree with the oracle
+// for every source, and that duplicate sources get identical rows.
+func TestDriversDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := prefAttach(150, 2, 10, rng)
+	n := g.NumNodes()
+	sources := make([]int, 0, 100)
+	for i := 0; i < 96; i++ {
+		sources = append(sources, rng.Intn(n))
+	}
+	sources = append(sources, sources[0], sources[1]) // duplicates
+
+	for _, e := range []Engine{TopDown, DirectionOpt, BitParallel64, Auto} {
+		calls := map[int]int{}
+		AllSourcesEngineFunc(g, sources, 1, e, func(src int, dist []int32) {
+			calls[src]++
+			want, _, _ := referenceBFS(g, src)
+			for v := range dist {
+				if dist[v] != want[v] {
+					t.Fatalf("engine %v: AllSources src %d dist[%d] = %d, want %d", e, src, v, dist[v], want[v])
+				}
+			}
+		})
+		total := 0
+		for _, c := range calls {
+			total += c
+		}
+		if total != len(sources) {
+			t.Fatalf("engine %v: fn called %d times for %d sources", e, total, len(sources))
+		}
+	}
+
+	g2 := prefAttach(150, 3, 10, rng)
+	for _, e := range []Engine{TopDown, BitParallel64} {
+		PairedSourcesEngineFunc(g, g2, sources, 1, e, func(src int, d1, d2 []int32) {
+			w1, _, _ := referenceBFS(g, src)
+			w2, _, _ := referenceBFS(g2, src)
+			for v := range d1 {
+				if d1[v] != w1[v] || d2[v] != w2[v] {
+					t.Fatalf("engine %v: Paired src %d node %d: (%d,%d), want (%d,%d)",
+						e, src, v, d1[v], d2[v], w1[v], w2[v])
+				}
+			}
+		})
+	}
+}
+
+// TestMultiSourceEnvelope asserts MultiSourceBFS equals the pointwise
+// minimum of the per-source BFS trees.
+func TestMultiSourceEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := erdosRenyi(90, 0.04, rng)
+	n := g.NumNodes()
+	sources := []int{0, 17, 55, 55, 83}
+	dist := make([]int32, n)
+	MultiSourceBFSWith(g, sources, dist, NewScratch(n))
+	for v := 0; v < n; v++ {
+		want := Unreachable
+		for _, s := range sources {
+			d, _, _ := referenceBFS(g, s)
+			if d[v] != Unreachable && (want == Unreachable || d[v] < want) {
+				want = d[v]
+			}
+		}
+		if dist[v] != want {
+			t.Fatalf("envelope at %d: %d, want %d", v, dist[v], want)
+		}
+	}
+}
+
+// FuzzEngines feeds arbitrary byte-derived graphs and sources through every
+// kernel; all engines must agree with the oracle exactly.
+func FuzzEngines(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0}, uint8(0))
+	f.Add([]byte{}, uint8(3))
+	f.Add([]byte{255, 255, 0, 0, 7, 9}, uint8(9))
+	f.Fuzz(func(t *testing.T, data []byte, srcByte uint8) {
+		b := graph.NewBuilder(int(srcByte) + 1)
+		for i := 0; i+1 < len(data); i += 2 {
+			_ = b.AddEdge(int(data[i]), int(data[i+1]))
+		}
+		g := b.Build()
+		n := g.NumNodes()
+		if n == 0 {
+			return
+		}
+		src := int(srcByte) % n
+		want, wantReached, wantEcc := referenceBFS(g, src)
+		dist := make([]int32, n)
+		for _, e := range engineList() {
+			reached, ecc := BFSWith(g, src, dist, e, nil)
+			if reached != wantReached || ecc != wantEcc {
+				t.Fatalf("engine %v: (reached, ecc) = (%d, %d), want (%d, %d)", e, reached, ecc, wantReached, wantEcc)
+			}
+			for v := range dist {
+				if dist[v] != want[v] {
+					t.Fatalf("engine %v: dist[%d] = %d, want %d", e, v, dist[v], want[v])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package sssp
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// Bit-parallel multi-source BFS (MS-BFS; Then et al., "The More the
+// Merrier: Efficient Multi-Source Graph Traversal", VLDB 2015). Up to 64
+// sources traverse the graph together: each node carries one machine word
+// whose bit i means "reached by source i", so one pass over an edge
+// advances every source that still needs it. A node is re-expanded only at
+// the few distinct levels at which some source first reaches it — on the
+// paper's small-diameter snapshots that is 2–4 levels — so a 64-source
+// batch examines each edge a handful of times instead of 64.
+
+// msBFSBatch runs BFS from sources[0..k) (k <= 64) simultaneously and
+// writes the distance row of sources[i] into rows[i] (length n, Unreachable
+// for nodes in other components). Duplicate sources are allowed and produce
+// identical rows. The scratch's MS buffers are (re)used across calls.
+func msBFSBatch(g *graph.Graph, sources []int, rows [][]int32, s *Scratch) {
+	n := g.NumNodes()
+	if len(sources) > msBatchBits {
+		panic(fmt.Sprintf("sssp: MS-BFS batch of %d sources exceeds %d lanes", len(sources), msBatchBits))
+	}
+	offsets, neighbors := g.CSR()
+	s.ensureMS(n)
+	seen, front, next := s.seen, s.front, s.next
+
+	for i, src := range sources {
+		if src < 0 || src >= n {
+			panic(fmt.Sprintf("sssp: source %d out of range [0,%d)", src, n))
+		}
+		row := rows[i]
+		for j := range row {
+			row[j] = Unreachable
+		}
+		row[src] = 0
+	}
+
+	q := s.queue[:0]
+	for i, src := range sources {
+		bit := uint64(1) << uint(i)
+		if seen[src] == 0 {
+			q = append(q, int32(src))
+		}
+		seen[src] |= bit
+		front[src] |= bit
+	}
+
+	nextQ := s.nextQ[:0]
+	for level := int32(1); len(q) > 0; level++ {
+		nextQ = nextQ[:0]
+		for _, u := range q {
+			fu := front[u]
+			front[u] = 0
+			for _, v := range neighbors[offsets[u]:offsets[u+1]] {
+				new := fu &^ seen[v]
+				if new == 0 {
+					continue
+				}
+				if next[v] == 0 {
+					nextQ = append(nextQ, v)
+				}
+				next[v] |= new
+				seen[v] |= new
+			}
+		}
+		for _, v := range nextQ {
+			w := next[v]
+			for w != 0 {
+				rows[bits.TrailingZeros64(w)][v] = level
+				w &= w - 1
+			}
+		}
+		front, next = next, front
+		q, nextQ = nextQ, q
+	}
+	// Hand the (possibly swapped) slices back so the next call reuses them;
+	// front and next are all-zero again at this point.
+	s.front, s.next = front, next
+	s.queue, s.nextQ = q[:0], nextQ[:0]
+}

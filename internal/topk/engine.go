@@ -20,12 +20,21 @@ type PairEngine struct {
 	// src in the two snapshots, using Unreachable (-1) for no path. It must
 	// be safe for concurrent calls with distinct buffers.
 	Paired func(src int, d1, d2 []int32)
+	// PairedAll optionally drives the whole sweep itself: it must invoke
+	// fn(src, d1, d2) once per source, from at most workers concurrent
+	// goroutines, with buffers fn may not retain. Engines with a batched
+	// multi-source kernel (sssp's bit-parallel BFS) set this so the sweep
+	// amortizes traversals across sources; when nil, ComputeEngine loops
+	// over Paired with its own worker pool.
+	PairedAll func(sources []int, workers int, fn func(src int, d1, d2 []int32))
 	// ExtraDiam2Sources optionally lists additional sources whose G_t2
 	// eccentricity must be folded into Diameter2 (nodes absent from G_t1).
 	ExtraDiam2Sources []int
 	// Dist2 fills dist with G_t2 distances from src; required only when
-	// ExtraDiam2Sources is non-empty.
+	// ExtraDiam2Sources is non-empty and Dist2All is nil.
 	Dist2 func(src int, dist []int32)
+	// Dist2All optionally drives the extra-source sweep like PairedAll.
+	Dist2All func(sources []int, workers int, fn func(src int, dist []int32))
 }
 
 // ErrBadEngine reports an incomplete PairEngine.
@@ -35,10 +44,10 @@ var ErrBadEngine = errors.New("topk: incomplete pair engine")
 // distance engine. See Compute for the BFS instantiation and the result
 // semantics.
 func ComputeEngine(pe PairEngine, opts Options) (*GroundTruth, error) {
-	if pe.NumNodes < 0 || pe.Paired == nil {
+	if pe.NumNodes < 0 || (pe.Paired == nil && pe.PairedAll == nil) {
 		return nil, ErrBadEngine
 	}
-	if len(pe.ExtraDiam2Sources) > 0 && pe.Dist2 == nil {
+	if len(pe.ExtraDiam2Sources) > 0 && pe.Dist2 == nil && pe.Dist2All == nil {
 		return nil, ErrBadEngine
 	}
 	if opts.Slack <= 0 {
@@ -61,47 +70,66 @@ func ComputeEngine(pe PairEngine, opts Options) (*GroundTruth, error) {
 		acc        accumulator
 		ecc1, ecc2 int32
 	}
+	// Shards hold per-goroutine partial results. The driver may interleave
+	// sources across goroutines arbitrarily, so shards are handed out
+	// through a free list rather than bound to worker indices.
 	shards := make([]*shard, workers)
-	next := make(chan int, workers)
-	var wg sync.WaitGroup
+	free := make(chan *shard, workers)
 	for w := 0; w < workers; w++ {
 		sh := &shard{acc: accumulator{slack: opts.Slack, hist: map[int32]int64{}}}
 		shards[w] = sh
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			d1 := make([]int32, n)
-			d2 := make([]int32, n)
-			for i := range next {
-				src := pe.Sources[i]
-				pe.Paired(src, d1, d2)
-				for v := src + 1; v < n; v++ {
-					dv1 := d1[v]
-					if dv1 <= 0 {
-						continue
-					}
-					delta := dv1 - d2[v]
-					if delta <= 0 {
-						continue
-					}
-					sh.acc.add(Pair{U: int32(src), V: int32(v), D1: dv1, D2: d2[v], Delta: delta})
-				}
-				for v := 0; v < n; v++ {
-					if d1[v] > sh.ecc1 {
-						sh.ecc1 = d1[v]
-					}
-					if d2[v] > sh.ecc2 {
-						sh.ecc2 = d2[v]
-					}
-				}
+		free <- sh
+	}
+	accumulate := func(src int, d1, d2 []int32) {
+		sh := <-free
+		for v := src + 1; v < n; v++ {
+			dv1 := d1[v]
+			if dv1 <= 0 {
+				continue
 			}
-		}()
+			delta := dv1 - d2[v]
+			if delta <= 0 {
+				continue
+			}
+			sh.acc.add(Pair{U: int32(src), V: int32(v), D1: dv1, D2: d2[v], Delta: delta})
+		}
+		for v := 0; v < n; v++ {
+			if d1[v] > sh.ecc1 {
+				sh.ecc1 = d1[v]
+			}
+			if d2[v] > sh.ecc2 {
+				sh.ecc2 = d2[v]
+			}
+		}
+		free <- sh
 	}
-	for i := range pe.Sources {
-		next <- i
+
+	drive := pe.PairedAll
+	if drive == nil {
+		drive = func(sources []int, workers int, fn func(src int, d1, d2 []int32)) {
+			var wg sync.WaitGroup
+			next := make(chan int, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					d1 := make([]int32, n)
+					d2 := make([]int32, n)
+					for i := range next {
+						src := sources[i]
+						pe.Paired(src, d1, d2)
+						fn(src, d1, d2)
+					}
+				}()
+			}
+			for i := range sources {
+				next <- i
+			}
+			close(next)
+			wg.Wait()
+		}
 	}
-	close(next)
-	wg.Wait()
+	drive(pe.Sources, workers, accumulate)
 
 	merged := accumulator{slack: opts.Slack, hist: map[int32]int64{}}
 	var diam1, diam2 int32
@@ -117,34 +145,42 @@ func ComputeEngine(pe PairEngine, opts Options) (*GroundTruth, error) {
 
 	if len(pe.ExtraDiam2Sources) > 0 {
 		var mu sync.Mutex
-		var ewg sync.WaitGroup
-		extraNext := make(chan int, workers)
-		for w := 0; w < workers; w++ {
-			ewg.Add(1)
-			go func() {
-				defer ewg.Done()
-				dist := make([]int32, n)
-				for i := range extraNext {
-					pe.Dist2(pe.ExtraDiam2Sources[i], dist)
-					var ecc int32
-					for _, d := range dist {
-						if d > ecc {
-							ecc = d
-						}
-					}
-					mu.Lock()
-					if ecc > diam2 {
-						diam2 = ecc
-					}
-					mu.Unlock()
+		foldEcc := func(src int, dist []int32) {
+			var ecc int32
+			for _, d := range dist {
+				if d > ecc {
+					ecc = d
 				}
-			}()
+			}
+			mu.Lock()
+			if ecc > diam2 {
+				diam2 = ecc
+			}
+			mu.Unlock()
 		}
-		for i := range pe.ExtraDiam2Sources {
-			extraNext <- i
+		if pe.Dist2All != nil {
+			pe.Dist2All(pe.ExtraDiam2Sources, workers, foldEcc)
+		} else {
+			var ewg sync.WaitGroup
+			extraNext := make(chan int, workers)
+			for w := 0; w < workers; w++ {
+				ewg.Add(1)
+				go func() {
+					defer ewg.Done()
+					dist := make([]int32, n)
+					for i := range extraNext {
+						src := pe.ExtraDiam2Sources[i]
+						pe.Dist2(src, dist)
+						foldEcc(src, dist)
+					}
+				}()
+			}
+			for i := range pe.ExtraDiam2Sources {
+				extraNext <- i
+			}
+			close(extraNext)
+			ewg.Wait()
 		}
-		close(extraNext)
-		ewg.Wait()
 	}
 
 	gt := &GroundTruth{

@@ -93,9 +93,17 @@ func Compute(pair graph.SnapshotPair, opts Options) (*GroundTruth, error) {
 			sssp.BFS(g1, src, d1)
 			sssp.BFS(g2, src, d2)
 		},
+		// The batch drivers let sssp's bit-parallel kernel sweep 64
+		// sources per traversal — the all-pairs phase's hot path.
+		PairedAll: func(srcs []int, workers int, fn func(src int, d1, d2 []int32)) {
+			sssp.PairedSourcesFunc(g1, g2, srcs, workers, fn)
+		},
 		ExtraDiam2Sources: extra,
 		Dist2: func(src int, dist []int32) {
 			sssp.BFS(g2, src, dist)
+		},
+		Dist2All: func(srcs []int, workers int, fn func(src int, dist []int32)) {
+			sssp.AllSourcesFunc(g2, srcs, workers, fn)
 		},
 	}, opts)
 }
