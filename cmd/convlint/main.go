@@ -1,0 +1,133 @@
+// Command convlint is the repo's static-analysis multichecker. It runs the
+// internal/analysis suite — budgetcheck, hotalloc, scratchcopy,
+// directivecheck — over the named package patterns and exits non-zero on
+// any diagnostic:
+//
+//	go run ./cmd/convlint ./...
+//
+// Individual analyzers can be disabled for bisection with -disable:
+//
+//	go run ./cmd/convlint -disable hotalloc,scratchcopy ./...
+//
+// The suite enforces the reproduction's paper-level invariants: every SSSP
+// entry-point call is charged to a budget.Meter (or carries an explicit
+// //convlint:unbudgeted reason), //convlint:hotpath kernels stay
+// allocation-free, and Scratch/Meter/CSR state is shared by pointer only.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: convlint [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *disable != "" {
+		skip := make(map[string]bool)
+		for _, name := range strings.Split(*disable, ",") {
+			skip[strings.TrimSpace(name)] = true
+		}
+		kept := analyzers[:0]
+		for _, a := range analyzers {
+			if !skip[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := run(os.Stdout, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "convlint:", err)
+		os.Exit(2)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "convlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the driver needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+}
+
+func run(out io.Writer, patterns []string, analyzers []*analysis.Analyzer) (int, error) {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return 0, err
+	}
+	loader := analysis.NewLoader()
+	findings := 0
+	for _, lp := range pkgs {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := loader.LoadFiles(lp.Dir, lp.ImportPath, lp.GoFiles)
+		if err != nil {
+			return findings, err
+		}
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			return findings, err
+		}
+		for _, d := range diags {
+			fmt.Fprintf(out, "%s: %s: %s\n", loader.Fset().Position(d.Pos), d.Analyzer, d.Message)
+		}
+		findings += len(diags)
+	}
+	return findings, nil
+}
+
+// goList expands package patterns with the go command, which needs no
+// network for an all-stdlib module.
+func goList(patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,138 @@
+// Package analysis is a self-contained static-analysis framework plus the
+// repo-specific analyzers that guard the paper reproduction's core
+// invariants: budget accounting around SSSP entry points, allocation-free
+// hot paths in the BFS kernels, and no-copy discipline for scratch and
+// meter state.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API surface
+// (Analyzer, Pass, Diagnostic) but is built entirely on the standard
+// library's go/ast, go/types, and go/importer, so the module keeps its
+// zero-dependency footprint. Analyzers are run over fully type-checked
+// packages by cmd/convlint (the multichecker driver) and by the
+// analysistest harness in unit tests.
+//
+// The analyzers understand two source directives:
+//
+//	//convlint:hotpath
+//	    Placed in a function's doc comment. Marks the function as an
+//	    allocation-free hot path; hotalloc flags heap allocations inside it.
+//
+//	//convlint:unbudgeted <reason>
+//	    Placed in a function's doc comment. Documents why the function may
+//	    call budget-relevant sssp entry points without charging a
+//	    budget.Meter (ground-truth sweeps, diagnostics helpers). The reason
+//	    is mandatory; directivecheck rejects bare suppressions.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is a single finding reported by an analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Analyzer describes one static check. Run inspects a type-checked package
+// through the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used as the diagnostic prefix and
+	// by the driver's per-analyzer enable flags.
+	Name string
+	// Doc is a short description shown by the driver's help output.
+	Doc string
+	// Run performs the check on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to the package and returns the accumulated
+// diagnostics sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{BudgetCheck, HotAlloc, ScratchCopy, DirectiveCheck}
+}
+
+// namedTypeIs reports whether t (after unwrapping pointers and aliases) is
+// the named type pkgPath.name. Types are matched structurally by path and
+// name rather than by object identity, so packages loaded through different
+// importer instances still compare equal.
+func namedTypeIs(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// enclosingFuncDecl returns the innermost top-level function declaration in
+// file whose body spans pos, or nil when pos sits outside any function
+// (package-level initializers).
+func enclosingFuncDecl(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if fd.Body.Pos() <= pos && pos <= fd.Body.End() {
+			return fd
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Package analysistest runs an analyzer over golden fixture packages under
+// testdata/src and checks its diagnostics against // want comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line expecting a diagnostic carries a trailing comment
+//
+//	sssp.BFS(g, 0, dist) // want `without a budget.Meter charge`
+//
+// where the backquoted (or double-quoted) text is a regular expression that
+// must match the message of a diagnostic reported on that line. Multiple
+// expectations may appear space-separated in one want comment. Every
+// diagnostic must be matched by an expectation and vice versa.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRE captures each quoted expectation in a // want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// Run loads each fixture package dir under filepath.Join(testdata, "src")
+// and reports any mismatch between the analyzer's diagnostics and the
+// fixtures' want comments as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	for _, pkgPath := range pkgs {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+		pkg, err := loader.LoadDir(dir, pkgPath)
+		if err != nil {
+			t.Errorf("%s: %v", pkgPath, err)
+			continue
+		}
+		diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("%s: %v", pkgPath, err)
+			continue
+		}
+		check(t, loader.Fset(), pkg, diags)
+	}
+}
+
+// expectation is one want pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func check(t *testing.T, fset *token.FileSet, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				// The expectation is everything after the last "// want "
+				// marker, which may be a standalone comment or trail other
+				// comment text (directive fixtures test the comment itself).
+				const marker = "// want "
+				idx := strings.LastIndex(c.Text, marker)
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text[idx+len(marker):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !matchWant(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched pattern %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func matchWant(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Testdata returns the absolute path of the testdata directory next to the
+// caller's package directory.
+func Testdata(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(fmt.Errorf("analysistest: %w", err))
+	}
+	return abs
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ssspPkgPath is the package whose entry points spend the paper's budget
+// unit (one SSSP computation).
+const ssspPkgPath = "repro/internal/sssp"
+
+// budgetPkgPath is the package whose Meter accounts for that spending.
+const budgetPkgPath = "repro/internal/budget"
+
+// budgetExemptPkgs are allowed to call SSSP entry points freely: sssp's own
+// wrappers compose each other, and the oracle package is the budget's
+// ground-truth referee.
+var budgetExemptPkgs = map[string]bool{
+	ssspPkgPath:             true,
+	"repro/internal/oracle": true,
+}
+
+// budgetEntryPoint reports whether a function named name exported by the
+// sssp package costs budget. The sets mirror the paper's accounting: every
+// BFS/Dijkstra variant is one SSSP per source, the multi-source drivers and
+// DistanceMatrix are one per source in the batch.
+func budgetEntryPoint(name string) bool {
+	for _, prefix := range []string{
+		"BFS",            // BFS, BFSWith
+		"MultiSourceBFS", // MultiSourceBFS, MultiSourceBFSWith
+		"Dijkstra",
+		"AllSources",    // AllSourcesFunc, AllSourcesEngineFunc
+		"PairedSources", // PairedSourcesFunc, PairedSourcesEngineFunc
+	} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	switch name {
+	case "DistanceMatrix", "Distances", "WeightedDistances":
+		return true
+	}
+	return false
+}
+
+// BudgetCheck flags calls to budget-relevant sssp entry points from
+// functions that neither charge a *budget.Meter on the way to the call nor
+// carry a //convlint:unbudgeted directive. It is the mechanical form of the
+// paper's Table 1 discipline: every SSSP a selector performs must be
+// visible to the Meter.
+var BudgetCheck = &Analyzer{
+	Name: "budgetcheck",
+	Doc: "flag SSSP entry-point calls that are neither metered nor " +
+		"declared //convlint:unbudgeted",
+	Run: runBudgetCheck,
+}
+
+func runBudgetCheck(pass *Pass) error {
+	if budgetExemptPkgs[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != ssspPkgPath {
+				return true
+			}
+			if !budgetEntryPoint(fn.Name()) {
+				return true
+			}
+			decl := enclosingFuncDecl(file, call.Pos())
+			if decl != nil {
+				if _, ok := funcDirective(decl, "unbudgeted"); ok {
+					return true
+				}
+				if chargesBefore(pass.TypesInfo, decl, call.Pos()) {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(),
+				"call to sssp.%s without a budget.Meter charge on the path; "+
+					"charge the meter or annotate the enclosing function with "+
+					"//convlint:unbudgeted <reason>", fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package-level function or method), or nil for builtins, conversions,
+// and indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// chargesBefore reports whether decl's body contains a call to
+// (*budget.Meter).Charge at a position before pos. Lexical order is a
+// sound approximation of "on the path to the call" for this codebase's
+// straight-line selector style; functions with cleverer control flow can
+// use the directive.
+func chargesBefore(info *types.Info, decl *ast.FuncDecl, pos token.Pos) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Name() != "Charge" {
+			return true
+		}
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv != nil && namedTypeIs(recv.Type(), budgetPkgPath, "Meter") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

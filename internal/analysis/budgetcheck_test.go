@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestBudgetCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.BudgetCheck, "budgettest")
+}

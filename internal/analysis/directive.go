@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces all convlint source directives. Like go:build
+// and go:generate, a directive comment has no space after "//".
+const directivePrefix = "//convlint:"
+
+// Directive is one parsed //convlint: comment.
+type Directive struct {
+	Verb string // "hotpath", "unbudgeted", ...
+	Args string // remainder of the line after the verb, trimmed
+	Pos  token.Pos
+}
+
+// knownVerbs enumerates the directive vocabulary. directivecheck rejects
+// anything else so misspelled suppressions fail loudly instead of silently
+// not suppressing.
+var knownVerbs = map[string]bool{
+	"hotpath":    true,
+	"unbudgeted": true,
+}
+
+// parseDirective parses a single comment into a Directive. The second
+// result reports whether the comment is a convlint directive at all.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(c.Text, directivePrefix)
+	// A trailing "// want ..." marker belongs to the analysistest golden
+	// harness (which places expectations on the diagnostic's own line), not
+	// to the directive.
+	if i := strings.Index(rest, "// want "); i >= 0 {
+		rest = rest[:i]
+	}
+	verb, args, _ := strings.Cut(rest, " ")
+	return Directive{Verb: verb, Args: strings.TrimSpace(args), Pos: c.Pos()}, true
+}
+
+// funcDirective returns the first directive with the given verb in the
+// function declaration's doc comment, if any.
+func funcDirective(decl *ast.FuncDecl, verb string) (Directive, bool) {
+	if decl == nil || decl.Doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range decl.Doc.List {
+		if d, ok := parseDirective(c); ok && d.Verb == verb {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}

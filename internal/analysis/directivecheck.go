@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DirectiveCheck validates every //convlint: directive in the package:
+// the verb must be known, //convlint:unbudgeted must carry a reason, and
+// the directive must sit in a function declaration's doc comment (the only
+// position the other analyzers read). A misspelled or misplaced directive
+// therefore fails the build instead of silently suppressing nothing.
+var DirectiveCheck = &Analyzer{
+	Name: "directivecheck",
+	Doc:  "validate //convlint: directives (known verb, reason, placement)",
+	Run:  runDirectiveCheck,
+}
+
+func runDirectiveCheck(pass *Pass) error {
+	for _, file := range pass.Files {
+		// Comment groups that are function doc comments — the one valid home
+		// for convlint directives.
+		funcDocs := make(map[*ast.CommentGroup]bool)
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				funcDocs[fd.Doc] = true
+			}
+		}
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				checkDirectiveComment(pass, c, funcDocs[group])
+			}
+		}
+	}
+	return nil
+}
+
+func checkDirectiveComment(pass *Pass, c *ast.Comment, inFuncDoc bool) {
+	text := c.Text
+	if !strings.Contains(text, "convlint") {
+		return
+	}
+	d, ok := parseDirective(c)
+	if !ok {
+		// Mentions convlint but is not a well-formed directive. Catch the
+		// near-miss spellings that would otherwise suppress nothing:
+		// "// convlint:..." (space) and "//convlint ..." (no colon).
+		trimmed := strings.TrimPrefix(text, "//")
+		stripped := strings.TrimSpace(trimmed)
+		if strings.HasPrefix(stripped, "convlint") && (trimmed != stripped || !strings.HasPrefix(stripped, "convlint:")) {
+			pass.Reportf(c.Pos(),
+				"malformed convlint directive %q; write //convlint:<verb> with no spaces before the verb", text)
+		}
+		return
+	}
+	if !knownVerbs[d.Verb] {
+		pass.Reportf(c.Pos(), "unknown convlint directive verb %q", d.Verb)
+		return
+	}
+	if d.Verb == "unbudgeted" && d.Args == "" {
+		pass.Reportf(c.Pos(), "//convlint:unbudgeted requires a reason")
+	}
+	if !inFuncDoc {
+		pass.Reportf(c.Pos(),
+			"//convlint:%s must be part of a function declaration's doc comment", d.Verb)
+	}
+}

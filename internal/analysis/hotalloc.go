@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc flags heap allocations inside functions marked
+// //convlint:hotpath. The BFS kernels' 3.34x all-pairs win rests on
+// per-source zero allocation (Scratch reuse); this analyzer keeps that
+// property from regressing silently between benchmark runs.
+//
+// Flagged constructs: make, new, composite literals, closures, and append
+// calls whose result lands in a different variable than their source
+// (growing a fresh slice). Appending a slice back onto itself
+// (q = append(q, v)) is the amortized scratch-queue pattern and is
+// allowed — the runtime AllocsPerRun regression test backs it up.
+// Allocations inside arguments to panic are error-path only and skipped.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag heap allocations inside //convlint:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, ok := funcDirective(fd, "hotpath"); !ok {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	// Append calls already judged through their enclosing assignment;
+	// ast.Inspect visits parents first, so the AssignStmt case fills this
+	// before the CallExpr case sees the same node.
+	judged := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch callee := calleeName(pass.TypesInfo, n); callee {
+			case "panic":
+				// Allocations feeding a panic message are error-path only.
+				return false
+			case "make", "new":
+				pass.Reportf(n.Pos(), "%s in hot path %s allocates", callee, name)
+			case "append":
+				if !judged[n] {
+					pass.Reportf(n.Pos(),
+						"append in expression position in hot path %s; only "+
+							"q = append(q, ...) self-appends are allocation-free", name)
+				}
+			}
+		case *ast.CompositeLit:
+			pass.Reportf(n.Pos(), "composite literal in hot path %s allocates", name)
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in hot path %s allocates", name)
+			return false // the closure body is not the hot path itself
+		case *ast.AssignStmt:
+			// x := append(y, ...) / x = append(y, ...): a copy into x grows a
+			// fresh backing array unless x and y are the same slice.
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || calleeName(pass.TypesInfo, call) != "append" || len(call.Args) == 0 {
+					continue
+				}
+				judged[call] = true
+				if len(n.Lhs) == len(n.Rhs) && !sameExpr(n.Lhs[i], call.Args[0]) {
+					pass.Reportf(call.Pos(),
+						"append result assigned to a different slice in hot path %s; "+
+							"the copy grows a fresh backing array", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleeName returns the bare name of a called builtin or function, or ""
+// for complex callees.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[fun]; obj != nil {
+			if _, ok := obj.(*types.Builtin); ok {
+				return fun.Name
+			}
+			return obj.Name()
+		}
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// sameExpr reports whether two expressions are structurally identical
+// identifier/selector/index chains (q and q, s.queue and s.queue).
+func sameExpr(a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		return ok && a.Name == b.Name
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && sameExpr(a.X, b.X)
+	case *ast.StarExpr:
+		b, ok := b.(*ast.StarExpr)
+		return ok && sameExpr(a.X, b.X)
+	case *ast.IndexExpr:
+		b, ok := b.(*ast.IndexExpr)
+		return ok && sameExpr(a.X, b.X) && sameExpr(a.Index, b.Index)
+	}
+	return false
+}

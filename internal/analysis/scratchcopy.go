@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// noCopyTypes are the repo's share-by-pointer types: sssp.Scratch owns
+// kernel buffers that must not be duplicated mid-traversal, budget.Meter
+// embeds a mutex, and graph.Graph is the CSR view whose slice headers must
+// stay aliased to one owner. Copying any of them by value silently forks
+// state.
+var noCopyTypes = []struct{ pkg, name string }{
+	{ssspPkgPath, "Scratch"},
+	{budgetPkgPath, "Meter"},
+	{"repro/internal/graph", "Graph"},
+}
+
+// ScratchCopy is a copylocks-style analyzer for the repo's no-copy types.
+// It flags by-value copies through assignments, declarations, function
+// parameters/results/receivers, call arguments, returns, and
+// range-over-slice value variables. Pass pointers (or index into slices of
+// the struct) instead.
+var ScratchCopy = &Analyzer{
+	Name: "scratchcopy",
+	Doc:  "flag by-value copies of sssp.Scratch, budget.Meter, and graph.Graph",
+	Run:  runScratchCopy,
+}
+
+// isNoCopy reports whether t itself (not a pointer to it) is one of the
+// protected structs.
+func isNoCopy(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return "", false
+	}
+	for _, nc := range noCopyTypes {
+		if namedTypeIs(t, nc.pkg, nc.name) {
+			return nc.name, true
+		}
+	}
+	return "", false
+}
+
+func runScratchCopy(pass *Pass) error {
+	info := pass.TypesInfo
+	exprType := func(e ast.Expr) types.Type {
+		if tv, ok := info.Types[e]; ok && tv.Type != nil {
+			return tv.Type
+		}
+		// Range-clause value identifiers are definitions, not expressions.
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				return obj.Type()
+			}
+			if obj := info.Uses[id]; obj != nil {
+				return obj.Type()
+			}
+		}
+		return nil
+	}
+	// copies reports a by-value copy when expr produces a protected struct
+	// value. Taking an address, indexing to then point at, or passing
+	// pointers never lands here because the expression type is a pointer.
+	copies := func(e ast.Expr, context string) {
+		if e == nil {
+			return
+		}
+		// Only references to values that already live elsewhere are copies;
+		// composite literals and constructor-call results are initialization
+		// (the copylocks convention).
+		switch ast.Unparen(e).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			return
+		}
+		if name, bad := isNoCopy(exprType(e)); bad {
+			pass.Reportf(e.Pos(), "%s copies %s by value; share it by pointer", context, name)
+		}
+	}
+	checkFieldList := func(fl *ast.FieldList, context string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if name, bad := isNoCopy(exprType(f.Type)); bad {
+				pass.Reportf(f.Type.Pos(), "%s declared as %s value; use *%s", context, name, name)
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(n.Recv, "receiver")
+				checkFieldList(n.Type.Params, "parameter")
+				checkFieldList(n.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldList(n.Type.Params, "parameter")
+				checkFieldList(n.Type.Results, "result")
+			case *ast.AssignStmt:
+				// Skip tuple-from-call forms; a function returning a protected
+				// struct is caught at its declaration. Discards into the blank
+				// identifier copy nothing observable.
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, rhs := range n.Rhs {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+						copies(rhs, "assignment")
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					copies(v, "declaration")
+				}
+			case *ast.CallExpr:
+				if isConversionOrBuiltin(info, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					copies(arg, "call argument")
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					copies(r, "return")
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if name, bad := isNoCopy(exprType(n.Value)); bad {
+						pass.Reportf(n.Value.Pos(),
+							"range value copies %s per iteration; range over the "+
+								"index and take &slice[i]", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isConversionOrBuiltin reports whether the call expression is a type
+// conversion or a builtin (len, cap, append, ...), whose arguments are not
+// ordinary by-value parameter passes.
+func isConversionOrBuiltin(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch info.Uses[fun].(type) {
+		case *types.Builtin, *types.TypeName:
+			return true
+		}
+	case *ast.SelectorExpr:
+		if _, ok := info.Uses[fun.Sel].(*types.TypeName); ok {
+			return true
+		}
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.FuncType, *ast.InterfaceType, *ast.StructType:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestScratchCopy(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.ScratchCopy, "scratchtest")
+}

@@ -1,0 +1,60 @@
+// Package budgettest exercises the budgetcheck analyzer: SSSP entry-point
+// calls must either follow a budget.Meter charge within the enclosing
+// function or carry a //convlint:unbudgeted reason.
+package budgettest
+
+import (
+	"repro/internal/budget"
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+func unmetered(g *graph.Graph, dist []int32) {
+	sssp.BFS(g, 0, dist) // want `call to sssp.BFS without a budget.Meter charge`
+}
+
+func unmeteredMatrix(g *graph.Graph) [][]int32 {
+	return sssp.DistanceMatrix(g, []int{0}, 1) // want `call to sssp.DistanceMatrix without`
+}
+
+func metered(g *graph.Graph, m *budget.Meter, dist []int32) error {
+	if err := m.Charge(budget.PhaseCandidateGen, 1); err != nil {
+		return err
+	}
+	sssp.BFS(g, 0, dist)
+	return nil
+}
+
+// chargeAfter charges only after spending, which the analyzer rejects: the
+// charge must be on the path to the call.
+func chargeAfter(g *graph.Graph, m *budget.Meter, dist []int32) {
+	sssp.BFS(g, 0, dist) // want `call to sssp.BFS without a budget.Meter charge`
+	_ = m.Charge(budget.PhaseTopK, 1)
+}
+
+// closureMetered charges up front and spends inside a worker closure, the
+// selector pattern used throughout internal/core.
+func closureMetered(g *graph.Graph, m *budget.Meter, dist []int32) error {
+	if err := m.Charge(budget.PhaseTopK, 2); err != nil {
+		return err
+	}
+	run := func() {
+		sssp.BFSWith(g, 0, dist, sssp.Auto, nil)
+		sssp.MultiSourceBFS(g, []int{0}, dist)
+	}
+	run()
+	return nil
+}
+
+// suppressed is a ground-truth style sweep.
+//
+//convlint:unbudgeted fixture: exact sweep is budget-free by definition
+func suppressed(g *graph.Graph, dist []int32) {
+	sssp.BFS(g, 0, dist)
+	sssp.AllSourcesFunc(g, []int{0}, 1, func(src int, d []int32) {})
+}
+
+// freeCalls never touch budget-relevant entry points and need nothing.
+func freeCalls(g *graph.Graph, dist []int32) []int {
+	return sssp.Path(g, 0, 0)
+}

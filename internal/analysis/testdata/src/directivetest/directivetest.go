@@ -1,0 +1,36 @@
+// Package directivetest exercises directive validation: unknown verbs,
+// missing reasons, misplaced and malformed directives all fail loudly.
+package directivetest
+
+// validHot is a correctly annotated hot path.
+//
+//convlint:hotpath
+func validHot() {}
+
+// validUnbudgeted carries the mandatory reason.
+//
+//convlint:unbudgeted exact ground-truth sweep, budget-free by definition
+func validUnbudgeted() {}
+
+// misspelled verbs would otherwise suppress nothing, silently.
+//
+//convlint:hotpth // want `unknown convlint directive verb "hotpth"`
+func misspelled() {}
+
+// bare unbudgeted hides the why.
+//
+//convlint:unbudgeted // want `//convlint:unbudgeted requires a reason`
+func bareUnbudgeted() {}
+
+func misplaced() {
+	//convlint:hotpath // want `must be part of a function declaration's doc comment`
+	_ = 0
+}
+
+// spaced directives are not directives to the other analyzers.
+//
+// convlint:hotpath // want `malformed convlint directive`
+func spaced() {}
+
+// prose that merely mentions the convlint suite is left alone.
+func prose() {}

@@ -1,0 +1,44 @@
+// Package hotalloctest exercises the hotalloc analyzer: functions marked
+// //convlint:hotpath must not allocate.
+package hotalloctest
+
+import "fmt"
+
+type config struct{ a, b int }
+
+// hot is the flagged case: every allocating construct trips a diagnostic.
+//
+//convlint:hotpath
+func hot(dst, src []int32, n int) []int32 {
+	buf := make([]int32, n)          // want `make in hot path hot allocates`
+	p := new(config)                 // want `new in hot path hot allocates`
+	c := config{1, 2}                // want `composite literal in hot path hot allocates`
+	f := func() {}                   // want `closure in hot path hot allocates`
+	fresh := append(buf[:0], src...) // want `append result assigned to a different slice`
+	f()
+	_, _, _ = p, c, fresh
+	if n < 0 {
+		// Error paths may format and allocate freely.
+		panic(fmt.Sprintf("bad n %d", n))
+	}
+	dst = append(dst, 1) // self-append: amortized by the caller's scratch
+	return dst
+}
+
+// hotExpr uses append in expression position, which always hands the grown
+// backing array to someone the scratch can't track.
+//
+//convlint:hotpath
+func hotExpr(q []int32) int {
+	return consume(append(q, 7)) // want `append in expression position`
+}
+
+func consume(q []int32) int { return len(q) }
+
+// cold is identical to hot but unannotated: no diagnostics.
+func cold(dst, src []int32, n int) []int32 {
+	buf := make([]int32, n)
+	fresh := append(buf[:0], src...)
+	_ = fresh
+	return append(dst, 1)
+}

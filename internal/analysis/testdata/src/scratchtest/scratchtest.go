@@ -1,0 +1,51 @@
+// Package scratchtest exercises the scratchcopy analyzer: sssp.Scratch,
+// budget.Meter, and the graph.Graph CSR view travel by pointer only.
+package scratchtest
+
+import (
+	"repro/internal/budget"
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+func byValueParam(s sssp.Scratch) {} // want `parameter declared as Scratch value`
+
+func byValueResult(g *graph.Graph) graph.Graph { // want `result declared as Graph value`
+	return *g // want `return copies Graph by value`
+}
+
+func copyAssign(m *budget.Meter) {
+	v := *m // want `assignment copies Meter by value`
+	_ = v
+}
+
+func copyCallArg(g *graph.Graph) {
+	sink(*g) // want `call argument copies Graph by value`
+}
+
+func sink(graph.Graph) {} // want `parameter declared as Graph value`
+
+func rangeCopy(ss []sssp.Scratch) {
+	for _, s := range ss { // want `range value copies Scratch per iteration`
+		_ = s
+	}
+}
+
+// pointerDiscipline is the blessed style: pointers, indexing, and
+// per-worker slices of structs never copy.
+func pointerDiscipline(g *graph.Graph, m *budget.Meter, workers int) {
+	scratches := make([]sssp.Scratch, workers)
+	for i := range scratches {
+		useScratch(&scratches[i], g, m)
+	}
+}
+
+func useScratch(s *sssp.Scratch, g *graph.Graph, m *budget.Meter) {}
+
+// construction initializes fresh values, which is not a copy (the result
+// declaration itself still is).
+func construction() sssp.Scratch { // want `result declared as Scratch value`
+	var s sssp.Scratch
+	_ = s
+	return sssp.Scratch{}
+}

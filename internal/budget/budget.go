@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/invariant"
 )
 
 // Phase identifies which stage of the generic top-k algorithm an SSSP
@@ -81,7 +83,22 @@ func (mt *Meter) Charge(p Phase, n int) error {
 		return fmt.Errorf("%w: %d spent + %d requested > limit %d", ErrExhausted, total, n, mt.limit)
 	}
 	mt.spent[p] += n
+	if invariant.Enabled {
+		mt.check()
+	}
 	return nil
+}
+
+// check asserts the Meter's accounting invariants with mu held: phase
+// spending is non-negative and the total never exceeds the limit. Compiled
+// in only under -tags invariants.
+func (mt *Meter) check() {
+	total := 0
+	for p, n := range mt.spent {
+		invariant.Checkf(n >= 0, "negative spending %d in phase %v", n, Phase(p))
+		total += n
+	}
+	invariant.Checkf(total <= mt.limit, "spent %d exceeds limit %d", total, mt.limit)
 }
 
 // Remaining returns how many SSSP computations are still available.

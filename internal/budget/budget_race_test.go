@@ -1,0 +1,95 @@
+package budget
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMeterConcurrentCharge oversubscribes a Meter from many goroutines and
+// checks that exactly the limit is granted — no lost updates, no overspend.
+// Run under -race this also backs the doc's "safe for concurrent use" claim
+// with an actual interleaving test.
+func TestMeterConcurrentCharge(t *testing.T) {
+	const (
+		workers  = 8
+		attempts = 50
+		limit    = workers * attempts / 2 // half the attempts must fail
+	)
+	mt := NewMeterSSSP(limit)
+	var granted, denied atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < attempts; i++ {
+				phase := PhaseCandidateGen
+				if (w+i)%2 == 1 {
+					phase = PhaseTopK
+				}
+				switch err := mt.Charge(phase, 1); {
+				case err == nil:
+					granted.Add(1)
+				case errors.Is(err, ErrExhausted):
+					denied.Add(1)
+				default:
+					t.Errorf("unexpected charge error: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if granted.Load() != limit {
+		t.Errorf("granted = %d, want exactly the limit %d", granted.Load(), limit)
+	}
+	if got, want := denied.Load(), int64(workers*attempts-limit); got != want {
+		t.Errorf("denied = %d, want %d", got, want)
+	}
+	if mt.Remaining() != 0 {
+		t.Errorf("remaining = %d after exhaustion, want 0", mt.Remaining())
+	}
+	rep := mt.Report()
+	if rep.Total() != limit {
+		t.Errorf("report total = %d, want %d", rep.Total(), limit)
+	}
+	if rep.CandidateGen+rep.TopK != rep.Total() {
+		t.Errorf("phase split %d + %d does not sum to total %d", rep.CandidateGen, rep.TopK, rep.Total())
+	}
+}
+
+// TestMeterMixedPhaseReport interleaves phases and asserts the exact
+// per-phase totals Report must reproduce (a Table 1 row).
+func TestMeterMixedPhaseReport(t *testing.T) {
+	mt := NewMeter(50) // limit 100
+	schedule := []struct {
+		phase Phase
+		n     int
+	}{
+		{PhaseCandidateGen, 10},
+		{PhaseTopK, 5},
+		{PhaseCandidateGen, 7},
+		{PhaseTopK, 20},
+		{PhaseCandidateGen, 0}, // zero charges are legal no-ops
+		{PhaseTopK, 8},
+	}
+	for _, step := range schedule {
+		if err := mt.Charge(step.phase, step.n); err != nil {
+			t.Fatalf("charge(%v, %d): %v", step.phase, step.n, err)
+		}
+	}
+	rep := mt.Report()
+	if rep.Limit != 100 {
+		t.Errorf("limit = %d, want 100", rep.Limit)
+	}
+	if rep.CandidateGen != 17 {
+		t.Errorf("candidate-generation = %d, want 17", rep.CandidateGen)
+	}
+	if rep.TopK != 33 {
+		t.Errorf("top-k = %d, want 33", rep.TopK)
+	}
+	if rep.Total() != 50 || mt.Remaining() != 50 {
+		t.Errorf("total = %d remaining = %d, want 50/50", rep.Total(), mt.Remaining())
+	}
+}

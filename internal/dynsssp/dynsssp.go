@@ -31,6 +31,8 @@ type DynamicBFS struct {
 
 // New builds a DynamicBFS from an initial snapshot. The snapshot's adjacency
 // is copied; later Graph mutations do not affect it.
+//
+//convlint:unbudgeted one-time construction BFS; the streaming monitor charges its l setup SSSPs when it builds trackers
 func New(g *graph.Graph, src int) (*DynamicBFS, error) {
 	n := g.NumNodes()
 	if src < 0 || src >= n {

@@ -59,6 +59,8 @@ func (o Options) dim() int {
 // Embed builds the embedding of g. rows[i] must be the BFS distance vector
 // of landmarks[i] on g (the caller usually has them — landmark.Set.D1 or a
 // budgeted DistanceMatrix); pass nil to let Embed compute them (unmetered).
+//
+//convlint:unbudgeted budgeted callers pass pre-charged rows; nil rows is an explicitly unmetered convenience
 func Embed(g *graph.Graph, landmarks []int, rows [][]int32, opts Options, rng *rand.Rand) (*Embedding, error) {
 	l := len(landmarks)
 	if l < 2 {
@@ -237,6 +239,8 @@ func (e *Embedding) EstimateToMany(u int, nodes []int, out []float64) {
 // MeanAbsoluteError measures the embedding's accuracy against exact BFS
 // distances from the given probe sources (a diagnostics helper; it performs
 // len(probes) BFS computations).
+//
+//convlint:unbudgeted accuracy diagnostics outside any budgeted run; probe cost is documented above
 func (e *Embedding) MeanAbsoluteError(g *graph.Graph, probes []int) float64 {
 	var sum float64
 	var count int

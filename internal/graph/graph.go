@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+
+	"repro/internal/invariant"
 )
 
 // Edge is an undirected edge between two nodes. U < V is not required on
@@ -71,7 +73,41 @@ func (g *Graph) Neighbors(u int) []int32 {
 // traversal kernels (internal/sssp) avoid a bounds-checked method call per
 // node.
 func (g *Graph) CSR() (offsets, neighbors []int32) {
+	if invariant.Enabled {
+		g.checkCSR()
+	}
 	return g.offsets, g.neighbors
+}
+
+// checkCSR asserts the structural invariants every traversal kernel relies
+// on: well-formed offsets, neighbor storage matching the symmetric edge
+// count, and sorted adjacency lists. Compiled in only under
+// -tags invariants (it is O(V+E) per call).
+func (g *Graph) checkCSR() {
+	n := g.NumNodes()
+	if n == 0 {
+		invariant.Checkf(len(g.neighbors) == 0 && g.numEdges == 0,
+			"empty graph carries %d neighbor entries, %d edges", len(g.neighbors), g.numEdges)
+		return
+	}
+	invariant.Checkf(len(g.offsets) == n+1, "offsets length %d, want NumNodes+1 = %d", len(g.offsets), n+1)
+	invariant.Checkf(g.offsets[0] == 0, "offsets[0] = %d, want 0", g.offsets[0])
+	for u := 0; u < n; u++ {
+		invariant.Checkf(g.offsets[u] <= g.offsets[u+1],
+			"offsets decrease at node %d: %d > %d", u, g.offsets[u], g.offsets[u+1])
+		adj := g.neighbors[g.offsets[u]:g.offsets[u+1]]
+		for i, v := range adj {
+			invariant.Checkf(0 <= v && int(v) < n, "node %d has out-of-range neighbor %d", u, v)
+			if i > 0 {
+				invariant.Checkf(adj[i-1] < v,
+					"adjacency of node %d not strictly sorted at index %d (%d, %d)", u, i, adj[i-1], v)
+			}
+		}
+	}
+	invariant.Checkf(int(g.offsets[n]) == len(g.neighbors),
+		"offsets[n] = %d, but %d neighbor entries", g.offsets[n], len(g.neighbors))
+	invariant.Checkf(len(g.neighbors) == 2*g.numEdges,
+		"%d neighbor entries for %d undirected edges (want symmetric 2E)", len(g.neighbors), g.numEdges)
 }
 
 // HasEdge reports whether the undirected edge {u, v} exists.

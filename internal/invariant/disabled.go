@@ -1,0 +1,7 @@
+//go:build !invariants
+
+package invariant
+
+// Enabled reports whether invariant assertions are compiled into this
+// build (they are not; build with -tags invariants to arm them).
+const Enabled = false

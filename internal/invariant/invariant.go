@@ -1,0 +1,29 @@
+// Package invariant provides build-tag-gated runtime assertions for the
+// data structures whose corruption would silently invalidate the paper
+// reproduction: the graph CSR view and the budget Meter.
+//
+// Assertions are compiled in only with the "invariants" build tag:
+//
+//	go test -tags invariants ./...
+//
+// Callers guard every check with the Enabled constant so that default
+// builds pay nothing — not even argument evaluation:
+//
+//	if invariant.Enabled {
+//		invariant.Checkf(spent <= limit, "spent %d > limit %d", spent, limit)
+//	}
+//
+// With the tag off, Enabled is a compile-time false and the whole block is
+// dead-code-eliminated out of the hot paths.
+package invariant
+
+import "fmt"
+
+// Checkf panics with a formatted violation report when cond is false. Only
+// call it inside an `if invariant.Enabled` block; the guard, not Checkf,
+// is what makes disabled builds free.
+func Checkf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

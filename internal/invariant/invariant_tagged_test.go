@@ -1,0 +1,14 @@
+//go:build invariants
+
+package invariant
+
+import "testing"
+
+// TestEnabledUnderTag pins the build-tag wiring: the invariants tag must
+// arm the Enabled constant, or every guarded check in graph and budget is
+// silently dead even in assertion runs.
+func TestEnabledUnderTag(t *testing.T) {
+	if !Enabled {
+		t.Fatal("built with -tags invariants but Enabled is false")
+	}
+}

@@ -1,0 +1,24 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckfPasses(t *testing.T) {
+	Checkf(true, "never fires %d", 1) // must not panic
+}
+
+func TestCheckfPanicsWithMessage(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Checkf(false) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "invariant violated: spent 7 > limit 5") {
+			t.Fatalf("panic value = %v", r)
+		}
+	}()
+	Checkf(false, "spent %d > limit %d", 7, 5)
+}

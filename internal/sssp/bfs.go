@@ -35,6 +35,8 @@ func BFS(g *graph.Graph, src int, dist []int32) (reached int, ecc int32) {
 // BFSWith is BFS with an explicit engine and scratch space. A nil scratch
 // borrows one from an internal pool; parallel drivers pass one per worker
 // so the whole sweep allocates nothing per source.
+//
+//convlint:hotpath
 func BFSWith(g *graph.Graph, src int, dist []int32, e Engine, s *Scratch) (reached int, ecc int32) {
 	n := g.NumNodes()
 	if len(dist) != n {
@@ -57,8 +59,12 @@ func BFSWith(g *graph.Graph, src int, dist []int32, e Engine, s *Scratch) (reach
 		return dirOptBFS(g, src, dist, s)
 	case BitParallel64:
 		// One-lane batch: correct but without batching leverage; selectable
-		// for differential testing and ablations.
-		msBFSBatch(g, []int{src}, [][]int32{dist}, s)
+		// for differential testing and ablations. The scratch-owned one-lane
+		// views keep this path allocation-free like the other engines.
+		s.oneSrc[0] = src
+		s.oneRow[0] = dist
+		msBFSBatch(g, s.oneSrc[:], s.oneRow[:], s)
+		s.oneRow[0] = nil
 		for _, d := range dist {
 			if d >= 0 {
 				reached++
@@ -93,6 +99,8 @@ func MultiSourceBFS(g *graph.Graph, sources []int, dist []int32) {
 
 // MultiSourceBFSWith is MultiSourceBFS with caller-provided scratch space,
 // for tight loops that seed from a growing set.
+//
+//convlint:hotpath
 func MultiSourceBFSWith(g *graph.Graph, sources []int, dist []int32, s *Scratch) {
 	n := g.NumNodes()
 	if len(dist) != n {

@@ -17,6 +17,10 @@ type heapItem struct {
 // which is the standard simple-and-fast Dijkstra variant.
 type minHeap []heapItem
 
+// push sifts a new entry up. The only allocation is the slice's own
+// amortized growth, which the enclosing Dijkstra pre-sizes.
+//
+//convlint:hotpath
 func (h *minHeap) push(it heapItem) {
 	*h = append(*h, it)
 	i := len(*h) - 1
@@ -30,6 +34,9 @@ func (h *minHeap) push(it heapItem) {
 	}
 }
 
+// pop removes the minimum and sifts the tail down, allocation-free.
+//
+//convlint:hotpath
 func (h *minHeap) pop() heapItem {
 	old := *h
 	top := old[0]

@@ -27,6 +27,8 @@ const (
 // a scratch-owned queue, reading the CSR arrays directly. It is both the
 // TopDown engine and the baseline the others are differentially tested
 // against.
+//
+//convlint:hotpath
 func topDownBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int, ecc int32) {
 	offsets, neighbors := g.CSR()
 	q := s.queue[:0]
@@ -54,6 +56,8 @@ func topDownBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int,
 // dirOptBFS is the direction-optimizing kernel. Distances are identical to
 // topDownBFS (BFS levels are order-independent); only the edge-examination
 // order differs.
+//
+//convlint:hotpath
 func dirOptBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int, ecc int32) {
 	offsets, neighbors := g.CSR()
 	n := g.NumNodes()

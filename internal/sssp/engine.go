@@ -128,6 +128,12 @@ type Scratch struct {
 	next  []uint64
 	nextQ []int32
 	rows  [][]int32 // msBatchBits distance rows of length n
+
+	// One-lane views for single-source calls routed through the batch
+	// kernel, so BFSWith stays allocation-free on every engine (oneRow[0]
+	// is cleared after each call; the caller's dist buffer is not retained).
+	oneSrc [1]int
+	oneRow [1][]int32
 }
 
 // NewScratch returns a Scratch pre-sized for graphs of n nodes.

@@ -20,6 +20,8 @@ import (
 // writes the distance row of sources[i] into rows[i] (length n, Unreachable
 // for nodes in other components). Duplicate sources are allowed and produce
 // identical rows. The scratch's MS buffers are (re)used across calls.
+//
+//convlint:hotpath
 func msBFSBatch(g *graph.Graph, sources []int, rows [][]int32, s *Scratch) {
 	n := g.NumNodes()
 	if len(sources) > msBatchBits {

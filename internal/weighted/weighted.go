@@ -60,6 +60,8 @@ func (sp SnapshotPair) Validate() error {
 // Compute runs the exact weighted all-pairs sweep (Dijkstra per source on
 // both snapshots), producing the same GroundTruth structure as the
 // unweighted sweep. Diameters are weighted eccentricities.
+//
+//convlint:unbudgeted exact weighted ground-truth sweep; budget-free by definition
 func Compute(sp SnapshotPair, opts topk.Options) (*topk.GroundTruth, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
