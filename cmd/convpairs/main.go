@@ -22,6 +22,7 @@ import (
 	"repro/internal/candidates"
 	"repro/internal/dataset"
 	"repro/internal/export"
+	"repro/internal/obs"
 	"repro/internal/sssp"
 )
 
@@ -43,6 +44,8 @@ func main() {
 	jsonOut := flag.String("json", "", "write the run result as a JSON report")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "BFS parallelism")
 	engine := flag.String("engine", "auto", "BFS kernel: auto|topdown|diropt|bitparallel64")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run's phases (load at chrome://tracing or ui.perfetto.dev)")
+	metricsAddr := flag.String("metricsaddr", "", "serve /metrics (kernel counters) and /debug/pprof on this address during the run, e.g. :6060")
 	flag.Parse()
 
 	eng, err := sssp.ParseEngine(*engine)
@@ -50,6 +53,14 @@ func main() {
 		fatal(err)
 	}
 	sssp.SetDefaultEngine(eng)
+
+	if *metricsAddr != "" {
+		bound, err := obs.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics on http://%s/metrics, profiles on http://%s/debug/pprof/\n", bound, bound)
+	}
 
 	if *list {
 		for _, name := range convergence.Selectors() {
@@ -103,9 +114,21 @@ func main() {
 	} else {
 		opts.K = *k
 	}
+	var tr *convergence.Trace
+	var kernelsBefore sssp.MetricsSnapshot
+	if *traceOut != "" {
+		tr = convergence.NewTrace("convpairs " + ds.Name)
+		opts.Trace = tr
+		kernelsBefore = sssp.SnapshotMetrics()
+	}
 	res, err := convergence.TopK(pair, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if tr != nil {
+		if err := writeTrace(tr, *traceOut, res.Budget, kernelsBefore); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("selector %s, budget: %s\n", res.SelectorName, res.Budget)
 	fmt.Printf("found %d converging pairs from %d candidate endpoints:\n",
@@ -141,6 +164,41 @@ func main() {
 		}
 		fmt.Printf("JSON report written to %s\n", *jsonOut)
 	}
+}
+
+// writeTrace verifies the trace against the budget report, annotates it
+// with the kernel work the run performed, writes the Chrome JSON, and prints
+// the phase tree. The verification is the observability layer's own
+// acceptance check: every SSSP the meter charged must have been attributed
+// to a phase span, so the trace's totals and the budget report are two views
+// of the same spending.
+func writeTrace(tr *convergence.Trace, path string, report convergence.BudgetReport, before sssp.MetricsSnapshot) error {
+	byPhase := tr.SSSPByPhase()
+	if got := byPhase["candidate-generation"]; got != report.CandidateGen {
+		return fmt.Errorf("trace attribution mismatch: candidate-generation %d SSSPs traced, report says %d",
+			got, report.CandidateGen)
+	}
+	if got := byPhase["top-k-extraction"]; got != report.TopK {
+		return fmt.Errorf("trace attribution mismatch: top-k-extraction %d SSSPs traced, report says %d",
+			got, report.TopK)
+	}
+	work := sssp.SnapshotMetrics().Sub(before)
+	total := work.Total()
+	tr.Instant("kernel-work",
+		obs.Int64("bfs-calls", total.Calls),
+		obs.Int64("nodes-visited", total.Nodes),
+		obs.Int64("edges-scanned", total.Edges),
+		obs.Int64("diropt-switches", work.DirectionOpt.Switches),
+		obs.Int64("frontier-peak", total.FrontierPeak))
+	if err := tr.WriteChromeFile(path); err != nil {
+		return err
+	}
+	if err := tr.WriteTree(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("trace written to %s (kernels: %d calls, %d nodes, %d edges)\n",
+		path, total.Calls, total.Nodes, total.Edges)
+	return nil
 }
 
 // writeFileWith creates path and streams fn's output into it.

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	convergence "repro"
 	"repro/internal/eval"
 	"repro/internal/sssp"
 )
@@ -36,6 +37,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "BFS parallelism")
 	csvDir := flag.String("csvdir", "", "also write figure/table data series as CSV files into this directory")
 	plot := flag.Bool("plot", false, "render figure series as terminal sparklines")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the budgeted end-to-end runs (table1 rows)")
 	flag.Parse()
 
 	eng, err := sssp.ParseEngine(*engine)
@@ -57,8 +59,12 @@ func main() {
 		return
 	}
 	start := time.Now()
+	var tr *convergence.Trace
+	if *traceOut != "" {
+		tr = convergence.NewTrace("experiments " + *exp)
+	}
 	suite, err := eval.NewSuite(eval.SuiteConfig{
-		Scale: *scale, Seed: *seed, Workers: *workers, M: *m, L: *l,
+		Scale: *scale, Seed: *seed, Workers: *workers, M: *m, L: *l, Trace: tr,
 	})
 	if err != nil {
 		fatal(err)
@@ -142,6 +148,12 @@ func main() {
 
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	if tr != nil {
+		if err := tr.WriteChromeFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (sssp by phase: %v)\n", *traceOut, tr.SSSPByPhase())
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
 }

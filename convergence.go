@@ -30,6 +30,7 @@ import (
 	"repro/internal/candidates"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/topk"
 )
 
@@ -76,7 +77,17 @@ type (
 	Result = core.Result
 	// BudgetReport is the per-phase SSSP spending of a run.
 	BudgetReport = budget.Report
+
+	// Trace records the phases of a run as spans (set Options.Trace or
+	// MonitorConfig.Trace) and exports them as a Chrome trace_event JSON
+	// timeline or a human-readable tree.
+	Trace = obs.Trace
 )
+
+// NewTrace starts an empty observability trace; thread it through
+// Options.Trace (one run) or MonitorConfig.Trace (a windowed watch), then
+// export with WriteChrome/WriteChromeFile or WriteTree.
+func NewTrace(name string) *Trace { return obs.New(name) }
 
 // NewBuilder creates a Builder over a node universe of size n.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }

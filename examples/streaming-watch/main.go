@@ -5,11 +5,14 @@
 // one BFS per landmark (instead of 2l per window).
 //
 //	go run ./examples/streaming-watch
+//	go run ./examples/streaming-watch -trace watch.json   # phase timeline
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	convergence "repro"
 	"repro/internal/datagen"
@@ -18,6 +21,9 @@ import (
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the watch's windows")
+	flag.Parse()
+
 	ds, err := dataset.Generate("Actors", datagen.Config{Seed: 33, Scale: 0.12})
 	if err != nil {
 		log.Fatal(err)
@@ -28,10 +34,15 @@ func main() {
 
 	// --- Windowed alerts: who converged in each of the last 4 windows? ---
 	const windows = 4
+	var tr *convergence.Trace
+	if *traceOut != "" {
+		tr = convergence.NewTrace("streaming-watch")
+	}
 	reports, err := convergence.Watch(ev, convergence.EvenWindows(0.6, windows),
 		convergence.MonitorConfig{
 			Selector: convergence.MustSelector("MMSD"),
 			M:        30, L: 5, MinDelta: 2, Seed: 9,
+			Trace: tr,
 		})
 	if err != nil {
 		log.Fatal(err)
@@ -68,4 +79,15 @@ func main() {
 	}
 	fmt.Printf("incremental maintenance saved ~%d full BFS runs over %d windows\n",
 		tracker.SSSPCostSaved(windows), windows)
+
+	if tr != nil {
+		if err := tr.WriteChromeFile(*traceOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwindow-by-window phase timeline:\n")
+		if err := tr.WriteTree(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
 }

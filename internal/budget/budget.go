@@ -46,14 +46,32 @@ func (p Phase) String() string {
 // ErrExhausted reports an attempt to charge past the SSSP limit.
 var ErrExhausted = errors.New("budget: SSSP budget exhausted")
 
-// Meter tracks SSSP charges against a fixed limit. A nil *Meter is valid and
-// means "unlimited, untracked" — convenient for ground-truth computations.
-// Meter is safe for concurrent use (parallel SSSP drivers charge up front,
-// but selectors may charge from worker goroutines).
+// Unlimited is the limit a nil Meter reports: the largest int, i.e. "no
+// budget constraint".
+const Unlimited = int(^uint(0) >> 1)
+
+// Observer receives every successful charge of a Meter, with the phase and
+// size of the charge. Observability layers use it to attribute SSSPs to the
+// span executing at the moment the budget is spent. The callback may fire
+// concurrently (selectors charge from worker goroutines) and must not call
+// back into the Meter.
+type Observer func(p Phase, n int)
+
+// Meter tracks SSSP charges against a fixed limit. Meter is safe for
+// concurrent use (parallel SSSP drivers charge up front, but selectors may
+// charge from worker goroutines).
+//
+// A nil *Meter is valid and means "unlimited, untracked" — convenient for
+// ground-truth computations. These are the complete nil semantics, asserted
+// by TestNilMeterSemantics: Charge always succeeds and records nothing,
+// Limit and Remaining report Unlimited, Report is the zero Report (zero
+// limit, zero spending — a nil meter measured nothing), and SetObserver is
+// a no-op (no charges are recorded, so none can be observed).
 type Meter struct {
-	mu    sync.Mutex
-	limit int
-	spent [numPhases]int
+	mu       sync.Mutex
+	limit    int
+	spent    [numPhases]int
+	observer Observer
 }
 
 // NewMeter creates a Meter for the paper's standard budget: m candidate
@@ -77,16 +95,35 @@ func (mt *Meter) Charge(p Phase, n int) error {
 		return fmt.Errorf("budget: unknown phase %d", int(p))
 	}
 	mt.mu.Lock()
-	defer mt.mu.Unlock()
 	total := mt.spent[PhaseCandidateGen] + mt.spent[PhaseTopK]
 	if total+n > mt.limit {
+		mt.mu.Unlock()
 		return fmt.Errorf("%w: %d spent + %d requested > limit %d", ErrExhausted, total, n, mt.limit)
 	}
 	mt.spent[p] += n
 	if invariant.Enabled {
 		mt.check()
 	}
+	fn := mt.observer
+	mt.mu.Unlock()
+	// The observer runs outside the lock so it may inspect other meters or
+	// take its own locks; only successful charges are observed.
+	if fn != nil {
+		fn(p, n)
+	}
 	return nil
+}
+
+// SetObserver installs (or, with nil, removes) the callback notified of
+// every subsequent successful Charge. At most one observer is active; a nil
+// Meter ignores the call.
+func (mt *Meter) SetObserver(fn Observer) {
+	if mt == nil {
+		return
+	}
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	mt.observer = fn
 }
 
 // check asserts the Meter's accounting invariants with mu held: phase
@@ -101,21 +138,22 @@ func (mt *Meter) check() {
 	invariant.Checkf(total <= mt.limit, "spent %d exceeds limit %d", total, mt.limit)
 }
 
-// Remaining returns how many SSSP computations are still available.
-// A nil Meter reports a very large number.
+// Remaining returns how many SSSP computations are still available
+// (Unlimited for a nil Meter).
 func (mt *Meter) Remaining() int {
 	if mt == nil {
-		return int(^uint(0) >> 1)
+		return Unlimited
 	}
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
 	return mt.limit - mt.spent[PhaseCandidateGen] - mt.spent[PhaseTopK]
 }
 
-// Limit returns the total SSSP limit (0 for a nil Meter).
+// Limit returns the total SSSP limit (Unlimited for a nil Meter, matching
+// Remaining — a nil meter never constrains anything).
 func (mt *Meter) Limit() int {
 	if mt == nil {
-		return 0
+		return Unlimited
 	}
 	return mt.limit
 }

@@ -8,16 +8,19 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 
 	"repro/internal/budget"
 	"repro/internal/candidates"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sssp"
 	"repro/internal/topk"
 )
@@ -49,6 +52,11 @@ type Options struct {
 	// Meter overrides the default budget meter of 2M SSSPs. Useful for
 	// tests; normal callers leave it nil.
 	Meter *budget.Meter
+	// Trace, when non-nil, records Algorithm 1's phases (selection,
+	// extraction, sort/cut) as spans and attributes every budget charge to
+	// the phase executing when it was spent. Export with Trace.WriteChrome
+	// or Trace.WriteTree; tracing off (nil) costs nothing.
+	Trace *obs.Trace
 }
 
 // Result is the outcome of a budgeted top-k run.
@@ -100,6 +108,18 @@ func TopK(pair graph.SnapshotPair, opts Options) (*Result, error) {
 	if meter == nil {
 		meter = budget.NewMeter(opts.M)
 	}
+	tr := opts.Trace
+	if tr != nil {
+		// Every successful charge lands on the span open at that moment, so
+		// the trace's per-phase totals reproduce the meter's Report exactly.
+		meter.SetObserver(func(p budget.Phase, n int) { tr.AddSSSP(p.String(), n) })
+		defer meter.SetObserver(nil)
+	}
+	run := tr.StartSpan("algorithm1",
+		obs.Str("selector", opts.Selector.Name()),
+		obs.Int("m", opts.M), obs.Int("k", opts.K),
+		obs.Int("nodes", pair.G1.NumNodes()))
+	defer run.End()
 	ctx := &candidates.Context{
 		Pair:    pair,
 		M:       opts.M,
@@ -108,7 +128,11 @@ func TopK(pair graph.SnapshotPair, opts Options) (*Result, error) {
 		Meter:   meter,
 		Workers: opts.Workers,
 	}
+	selSpan := tr.StartSpan("selection", obs.Str("selector", opts.Selector.Name()))
 	cands, err := opts.Selector.Select(ctx)
+	selSpan.Set(obs.Int("candidates", len(cands)),
+		obs.Int("d1-rows-cached", len(ctx.D1Rows)), obs.Int("d2-rows-cached", len(ctx.D2Rows)))
+	selSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: candidate generation (%s): %w", opts.Selector.Name(), err)
 	}
@@ -152,6 +176,7 @@ func extractPairs(pair graph.SnapshotPair, ctx *candidates.Context, cands []int,
 	}
 	g1, g2 := pair.G1, pair.G2
 	n := g1.NumNodes()
+	tr := opts.Trace
 
 	// Charge exactly the BFS computations the caches cannot cover.
 	toCharge := 0
@@ -163,7 +188,10 @@ func extractPairs(pair graph.SnapshotPair, ctx *candidates.Context, cands []int,
 			toCharge++
 		}
 	}
+	extSpan := tr.StartSpan("extraction",
+		obs.Int("candidates", len(cands)), obs.Int("cache-misses", toCharge))
 	if err := meter.Charge(budget.PhaseTopK, toCharge); err != nil {
+		extSpan.End()
 		return nil, fmt.Errorf("core: extraction phase: %w", err)
 	}
 
@@ -190,57 +218,65 @@ func extractPairs(pair graph.SnapshotPair, ctx *candidates.Context, cands []int,
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			d1buf := make([]int32, n)
-			d2buf := make([]int32, n)
-			scratch := sssp.NewScratch(n)
-			var local []topk.Pair
-			for i := range next {
-				u := cands[i]
-				d1 := ctx.D1Rows[u]
-				if d1 == nil {
-					sssp.BFSWith(g1, u, d1buf, opts.Engine, scratch)
-					d1 = d1buf
+		// The pprof label splits CPU/goroutine profiles by subsystem, so an
+		// extraction-heavy run shows up as such in /debug/pprof.
+		go pprof.Do(context.Background(), pprof.Labels("subsystem", "core-extract"),
+			func(context.Context) {
+				defer wg.Done()
+				d1buf := make([]int32, n)
+				d2buf := make([]int32, n)
+				scratch := sssp.NewScratch(n)
+				var local []topk.Pair
+				for i := range next {
+					u := cands[i]
+					d1 := ctx.D1Rows[u]
+					if d1 == nil {
+						sssp.BFSWith(g1, u, d1buf, opts.Engine, scratch)
+						d1 = d1buf
+					}
+					d2 := ctx.D2Rows[u]
+					if d2 == nil {
+						sssp.BFSWith(g2, u, d2buf, opts.Engine, scratch)
+						d2 = d2buf
+					}
+					for v := 0; v < n; v++ {
+						if v == u || (inM[v] && v < u) {
+							continue // the pair is found from the smaller candidate
+						}
+						if d1[v] <= 0 {
+							continue
+						}
+						delta := d1[v] - d2[v]
+						if delta < floor {
+							continue
+						}
+						p := topk.Pair{U: int32(u), V: int32(v), D1: d1[v], D2: d2[v], Delta: delta}
+						if p.U > p.V {
+							p.U, p.V = p.V, p.U
+						}
+						local = append(local, p)
+					}
 				}
-				d2 := ctx.D2Rows[u]
-				if d2 == nil {
-					sssp.BFSWith(g2, u, d2buf, opts.Engine, scratch)
-					d2 = d2buf
-				}
-				for v := 0; v < n; v++ {
-					if v == u || (inM[v] && v < u) {
-						continue // the pair is found from the smaller candidate
-					}
-					if d1[v] <= 0 {
-						continue
-					}
-					delta := d1[v] - d2[v]
-					if delta < floor {
-						continue
-					}
-					p := topk.Pair{U: int32(u), V: int32(v), D1: d1[v], D2: d2[v], Delta: delta}
-					if p.U > p.V {
-						p.U, p.V = p.V, p.U
-					}
-					local = append(local, p)
-				}
-			}
-			mu.Lock()
-			all = append(all, local...)
-			mu.Unlock()
-		}()
+				mu.Lock()
+				all = append(all, local...)
+				mu.Unlock()
+			})
 	}
 	for i := range cands {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
+	extSpan.Set(obs.Int("raw-pairs", len(all)))
+	extSpan.End()
 
+	cutSpan := tr.StartSpan("sort-cut", obs.Int("pairs", len(all)))
 	topk.SortPairs(all)
 	if opts.K > 0 && len(all) > opts.K {
 		all = all[:opts.K]
 	}
+	cutSpan.Set(obs.Int("kept", len(all)))
+	cutSpan.End()
 	return all, nil
 }
 

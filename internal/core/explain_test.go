@@ -1,0 +1,124 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topk"
+)
+
+// explainPair builds the canonical shortcut scenario: G_t1 is the path
+// 0-1-2-3-4 plus a separate path 5-6-7; G_t2 adds the shortcuts 1-3 and 5-7.
+// Shortest paths over the shortcuts are unique, so Explain's output is
+// deterministic.
+func explainPair(t *testing.T) graph.SnapshotPair {
+	t.Helper()
+	old := []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4},
+		{U: 5, V: 6}, {U: 6, V: 7},
+	}
+	sp := graph.SnapshotPair{
+		G1: graph.FromEdges(8, old),
+		G2: graph.FromEdges(8, append(old, graph.Edge{U: 1, V: 3}, graph.Edge{U: 5, V: 7})),
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestExplainSplitsPathIntoOldAndNewEdges(t *testing.T) {
+	sp := explainPair(t)
+	exp, err := Explain(sp, topk.Pair{U: 0, V: 4, D1: 4, D2: 3, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPath := []int{0, 1, 3, 4}
+	if len(exp.Path) != len(wantPath) {
+		t.Fatalf("path = %v, want %v", exp.Path, wantPath)
+	}
+	for i := range wantPath {
+		if exp.Path[i] != wantPath[i] {
+			t.Fatalf("path = %v, want %v", exp.Path, wantPath)
+		}
+	}
+	if len(exp.NewEdges) != 1 || exp.NewEdges[0].Canon() != (graph.Edge{U: 1, V: 3}) {
+		t.Fatalf("new edges = %v, want [{1 3}]", exp.NewEdges)
+	}
+	if len(exp.OldEdges) != 2 {
+		t.Fatalf("old edges = %v, want the 0-1 and 3-4 hops", exp.OldEdges)
+	}
+}
+
+func TestExplanationStringMarksNewEdges(t *testing.T) {
+	sp := explainPair(t)
+	exp, err := Explain(sp, topk.Pair{U: 0, V: 4, D1: 4, D2: 3, Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := exp.String()
+	if !strings.Contains(s, "0 -- 1 == 3 -- 4") {
+		t.Fatalf("String() = %q, want the path with == marking the new 1-3 edge", s)
+	}
+	if !strings.Contains(s, "1 new edge") {
+		t.Fatalf("String() = %q, want the new-edge count legend", s)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	sp := explainPair(t)
+	cases := []struct {
+		name string
+		pair topk.Pair
+		want string
+	}{
+		{"out of range", topk.Pair{U: 0, V: 100, D2: 1}, "out of range"},
+		{"non-canonical", topk.Pair{U: 4, V: 0, D2: 3}, "non-canonical"},
+		{"negative", topk.Pair{U: -1, V: 2, D2: 1}, "out of range"},
+		{"unconnected", topk.Pair{U: 0, V: 7, D2: 2}, "not connected"},
+		{"stale distance", topk.Pair{U: 0, V: 4, D2: 4}, "stale"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Explain(sp, tc.pair)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+	// An invalid snapshot pair (G_t2 missing a G_t1 edge) fails validation
+	// before any path work.
+	bad := graph.SnapshotPair{
+		G1: graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}}),
+		G2: graph.FromEdges(2, nil),
+	}
+	if _, err := Explain(bad, topk.Pair{U: 0, V: 1, D2: 1}); err == nil {
+		t.Fatal("invalid snapshot pair should fail")
+	}
+}
+
+func TestCriticalNewEdgesRanksByImpact(t *testing.T) {
+	sp := explainPair(t)
+	pairs := []topk.Pair{
+		{U: 0, V: 4, D1: 4, D2: 3, Delta: 1}, // routes over 1-3
+		{U: 0, V: 3, D1: 3, D2: 2, Delta: 1}, // routes over 1-3
+		{U: 1, V: 4, D1: 3, D2: 2, Delta: 1}, // routes over 1-3
+		{U: 5, V: 7, D1: 2, D2: 1, Delta: 1}, // routes over 5-7
+		{U: 2, V: 4, D1: 2, D2: 9, Delta: 0}, // stale distance: skipped, not fatal
+	}
+	impacts := CriticalNewEdges(sp, pairs, 0)
+	if len(impacts) != 2 {
+		t.Fatalf("impacts = %v, want the two shortcut edges", impacts)
+	}
+	if impacts[0].Edge != (graph.Edge{U: 1, V: 3}) || impacts[0].Pairs != 3 {
+		t.Fatalf("top impact = %v, want edge 1-3 with 3 pairs", impacts[0])
+	}
+	if impacts[1].Edge != (graph.Edge{U: 5, V: 7}) || impacts[1].Pairs != 1 {
+		t.Fatalf("second impact = %v, want edge 5-7 with 1 pair", impacts[1])
+	}
+	// topN truncates after ranking.
+	if top := CriticalNewEdges(sp, pairs, 1); len(top) != 1 || top[0].Edge != (graph.Edge{U: 1, V: 3}) {
+		t.Fatalf("topN=1 = %v, want only edge 1-3", top)
+	}
+}

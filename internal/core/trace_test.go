@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/candidates"
+	"repro/internal/obs"
+)
+
+// TestTraceMatchesBudgetReport is the observability layer's core contract:
+// every SSSP the meter charges is attributed to a phase span via the budget
+// observer, so the trace's per-phase totals and the run's budget report are
+// two views of the same spending.
+func TestTraceMatchesBudgetReport(t *testing.T) {
+	sp := growingPair(t, 150, 21)
+	tr := obs.New("core-test")
+	res, err := TopK(sp, Options{
+		Selector: candidates.MMSD(), M: 20, L: 5, K: 10, Workers: 2, Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPhase := tr.SSSPByPhase()
+	if got := byPhase["candidate-generation"]; got != res.Budget.CandidateGen {
+		t.Errorf("traced candidate-generation = %d, budget report = %d", got, res.Budget.CandidateGen)
+	}
+	if got := byPhase["top-k-extraction"]; got != res.Budget.TopK {
+		t.Errorf("traced top-k-extraction = %d, budget report = %d", got, res.Budget.TopK)
+	}
+	if res.Budget.Total() == 0 {
+		t.Fatal("run spent no budget; the test is vacuous")
+	}
+
+	// The exported Chrome document must parse and contain all three phase
+	// spans of Algorithm 1 under the run span.
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+		Metadata struct {
+			SSSPByPhase map[string]int `json:"sssp-by-phase"`
+		} `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	spans := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "X" {
+			spans[e.Name] = true
+		}
+	}
+	for _, want := range []string{"algorithm1", "selection", "extraction", "sort-cut"} {
+		if !spans[want] {
+			t.Errorf("Chrome export is missing the %q span (have %v)", want, spans)
+		}
+	}
+	if doc.Metadata.SSSPByPhase["candidate-generation"] != res.Budget.CandidateGen {
+		t.Errorf("metadata sssp-by-phase = %v, want candidate-generation=%d",
+			doc.Metadata.SSSPByPhase, res.Budget.CandidateGen)
+	}
+}
+
+// TestTopKNilTrace pins that an untraced run takes the zero-overhead path:
+// Options.Trace == nil must not panic anywhere in the pipeline.
+func TestTopKNilTrace(t *testing.T) {
+	sp := growingPair(t, 60, 22)
+	res, err := TopK(sp, Options{Selector: candidates.Degree(), M: 10, K: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("expected some pairs")
+	}
+}

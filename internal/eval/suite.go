@@ -17,6 +17,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dataset"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/topk"
 )
 
@@ -37,6 +38,11 @@ type SuiteConfig struct {
 	L int
 	// Datasets restricts the suite to a subset of datagen.Names (nil = all).
 	Datasets []string
+	// Trace, when non-nil, records the phases of every budgeted end-to-end
+	// run the suite performs (currently the Table 1 rows) as spans —
+	// `experiments -exp table1 -trace out.json` captures the paper's budget
+	// split as a loadable timeline.
+	Trace *obs.Trace
 }
 
 func (c SuiteConfig) scale() float64 {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/dataset"
 	"repro/internal/incidence"
+	"repro/internal/obs"
 	"repro/internal/topk"
 )
 
@@ -52,10 +53,13 @@ func (s *Suite) Table1(name string) (*Table1Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		span := s.Config.Trace.StartSpan("table1-row", obs.Str("approach", selName))
 		run, err := core.TopK(pair, core.Options{
 			Selector: sel, M: m, L: l, K: 10,
 			Seed: s.Config.Seed, Workers: s.Config.Workers,
+			Trace: s.Config.Trace,
 		})
+		span.End()
 		if err != nil {
 			return nil, fmt.Errorf("eval: Table 1 run %s: %w", selName, err)
 		}

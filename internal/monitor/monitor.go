@@ -9,8 +9,10 @@
 package monitor
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/budget"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynsssp"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/topk"
 )
 
@@ -36,6 +39,10 @@ type Config struct {
 	Seed int64
 	// Workers bounds BFS parallelism.
 	Workers int
+	// Trace, when non-nil, records one span per monitoring window (with the
+	// per-phase spans of each window's Algorithm 1 run nested inside), so a
+	// long watch shows where its windows and SSSPs went.
+	Trace *obs.Trace
 }
 
 // WindowReport is the outcome of one monitoring window.
@@ -73,21 +80,35 @@ func Watch(ev *graph.Evolving, fractions []float64, cfg Config) ([]WindowReport,
 	var reports []WindowReport
 	for i := 1; i < len(fractions); i++ {
 		f1, f2 := fractions[i-1], fractions[i]
+		span := cfg.Trace.StartSpan("window",
+			obs.Int("index", i-1), obs.Float("start", f1), obs.Float("end", f2))
 		pair, err := ev.Pair(f1, f2)
 		if err != nil {
+			span.End()
 			return nil, fmt.Errorf("monitor: window [%v, %v]: %w", f1, f2, err)
 		}
-		res, err := core.TopK(pair, core.Options{
-			Selector: cfg.Selector,
-			M:        cfg.M,
-			L:        cfg.L,
-			MinDelta: minDelta,
-			Seed:     cfg.Seed + int64(i),
-			Workers:  cfg.Workers,
-		})
+		var res *core.Result
+		// The pprof label attributes each iteration's work to the monitor
+		// subsystem in profiles of long-running watches.
+		pprof.Do(context.Background(), pprof.Labels("subsystem", "monitor-window"),
+			func(context.Context) {
+				res, err = core.TopK(pair, core.Options{
+					Selector: cfg.Selector,
+					M:        cfg.M,
+					L:        cfg.L,
+					MinDelta: minDelta,
+					Seed:     cfg.Seed + int64(i),
+					Workers:  cfg.Workers,
+					Trace:    cfg.Trace,
+				})
+			})
 		if err != nil {
+			span.End()
 			return nil, fmt.Errorf("monitor: window [%v, %v]: %w", f1, f2, err)
 		}
+		span.Set(obs.Int("new-edges", pair.G2.NumEdges()-pair.G1.NumEdges()),
+			obs.Int("pairs", len(res.Pairs)))
+		span.End()
 		reports = append(reports, WindowReport{
 			StartFrac: f1,
 			EndFrac:   f2,

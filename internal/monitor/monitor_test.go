@@ -82,6 +82,41 @@ func TestWatchWindows(t *testing.T) {
 	}
 }
 
+// TestWatchMinDeltaDefault pins the documented default: MinDelta 0 means 2
+// (distance drops of 1 are usually noise), so a zero-value config behaves
+// exactly like an explicit MinDelta: 2 and never reports Δ=1 pairs.
+func TestWatchMinDeltaDefault(t *testing.T) {
+	ev := growingStream(t, 200, 8)
+	fractions := []float64{0.6, 0.8, 1.0}
+	cfg := Config{Selector: candidates.MMSD(), M: 20, L: 4, Seed: 3, Workers: 2}
+	defaulted, err := Watch(ev, fractions, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MinDelta = 2
+	explicit, err := Watch(ev, fractions, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defaulted) != len(explicit) {
+		t.Fatalf("window counts differ: %d vs %d", len(defaulted), len(explicit))
+	}
+	for i := range defaulted {
+		dp, ep := defaulted[i].Pairs, explicit[i].Pairs
+		if len(dp) != len(ep) {
+			t.Fatalf("window %d: default MinDelta found %d pairs, explicit 2 found %d", i, len(dp), len(ep))
+		}
+		for j := range dp {
+			if dp[j] != ep[j] {
+				t.Fatalf("window %d pair %d: %v vs %v", i, j, dp[j], ep[j])
+			}
+			if dp[j].Delta < 2 {
+				t.Fatalf("window %d reported Δ=%d pair %v under the default threshold", i, dp[j].Delta, dp[j])
+			}
+		}
+	}
+}
+
 func TestEvenWindows(t *testing.T) {
 	ws := EvenWindows(0.6, 4)
 	if len(ws) != 5 || ws[0] != 0.6 || ws[4] != 1 {

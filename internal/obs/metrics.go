@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// The metrics registry maps dotted names ("sssp.diropt.calls") to gauge
+// functions read at exposition time — the expvar pattern without the JSON
+// envelope, so `curl host/metrics` stays grep-able. Producers (the sssp
+// kernels' atomic counters, budget meters a CLI chooses to publish) register
+// once from init or setup code; WriteMetrics samples every gauge.
+var (
+	metricsMu sync.RWMutex
+	metrics   = map[string]func() int64{}
+)
+
+// RegisterMetric installs (or replaces) a named gauge. fn must be safe to
+// call from any goroutine; it is invoked on every exposition.
+func RegisterMetric(name string, fn func() int64) {
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	metrics[name] = fn
+}
+
+// UnregisterMetric removes a gauge (tests and short-lived meters).
+func UnregisterMetric(name string) {
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	delete(metrics, name)
+}
+
+// WriteMetrics samples every registered gauge and writes "name value" lines
+// in sorted name order.
+func WriteMetrics(w io.Writer) error {
+	metricsMu.RLock()
+	names := make([]string, 0, len(metrics))
+	fns := make([]func() int64, 0, len(metrics))
+	for name := range metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fns = append(fns, metrics[name])
+	}
+	metricsMu.RUnlock()
+	for i, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, fns[i]()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

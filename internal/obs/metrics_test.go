@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWriteMetricsSortedExposition(t *testing.T) {
+	RegisterMetric("ztest.calls", func() int64 { return 7 })
+	RegisterMetric("atest.calls", func() int64 { return 3 })
+	defer UnregisterMetric("ztest.calls")
+	defer UnregisterMetric("atest.calls")
+
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	out := buf.String()
+	ai := strings.Index(out, "atest.calls 3\n")
+	zi := strings.Index(out, "ztest.calls 7\n")
+	if ai < 0 || zi < 0 {
+		t.Fatalf("exposition missing registered metrics:\n%s", out)
+	}
+	if ai > zi {
+		t.Fatalf("exposition not sorted by name:\n%s", out)
+	}
+}
+
+func TestMetricsHandlerAndPprofMux(t *testing.T) {
+	RegisterMetric("handler.test", func() int64 { return 42 })
+	defer UnregisterMetric("handler.test")
+
+	srv := httptest.NewServer(NewServeMux())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "handler.test 42") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d (body %d bytes)", code, len(body))
+	}
+}

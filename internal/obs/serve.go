@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// MetricsHandler serves the text exposition of every registered metric.
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = WriteMetrics(w)
+	})
+}
+
+// NewServeMux returns a mux with the full observability surface:
+//
+//	/metrics        text exposition of the registered gauges
+//	/debug/pprof/*  the standard pprof endpoints (worker goroutines carry
+//	                pprof labels, so profiles split by subsystem)
+func NewServeMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeMetrics listens on addr and serves NewServeMux in a background
+// goroutine, returning the bound address (useful with ":0"). The server
+// lives until the process exits — it exists to observe a running
+// computation, not to outlast it.
+func ServeMetrics(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, NewServeMux()) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	s := tr.StartSpan("phase")
+	if s != nil {
+		t.Fatalf("nil trace returned non-nil span")
+	}
+	s.End()
+	s.Set(Int("k", 1))
+	tr.AddSSSP("candidate-generation", 3)
+	tr.Instant("event")
+	if got := tr.SSSPByPhase(); got != nil {
+		t.Fatalf("nil trace SSSPByPhase = %v, want nil", got)
+	}
+	if err := tr.WriteTree(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil trace WriteTree: %v", err)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := New("test")
+	root := tr.StartSpan("run")
+	sel := tr.StartSpan("selection")
+	tr.AddSSSP("candidate-generation", 10)
+	sel.End()
+	ext := tr.StartSpan("extraction")
+	tr.AddSSSP("top-k-extraction", 20)
+	ext.End()
+	root.End()
+
+	if tr.spans[1].parent != 0 || tr.spans[2].parent != 0 {
+		t.Fatalf("selection/extraction parents = %d,%d, want 0,0",
+			tr.spans[1].parent, tr.spans[2].parent)
+	}
+	totals := tr.SSSPByPhase()
+	if totals["candidate-generation"] != 10 || totals["top-k-extraction"] != 20 {
+		t.Fatalf("totals = %v", totals)
+	}
+	if tr.spans[1].sssp["candidate-generation"] != 10 {
+		t.Fatalf("selection span SSSP = %v", tr.spans[1].sssp)
+	}
+	if tr.spans[2].sssp["top-k-extraction"] != 20 {
+		t.Fatalf("extraction span SSSP = %v", tr.spans[2].sssp)
+	}
+}
+
+// Ending an outer span closes forgotten children so the tree stays sane.
+func TestEndClosesNestedSpans(t *testing.T) {
+	tr := New("test")
+	root := tr.StartSpan("run")
+	tr.StartSpan("inner") // never ended explicitly
+	root.End()
+	for _, s := range tr.spans {
+		if !s.ended {
+			t.Fatalf("span %q left open after ancestor End", s.name)
+		}
+	}
+	if len(tr.stack) != 0 {
+		t.Fatalf("stack not empty: %v", tr.stack)
+	}
+	// A sibling started afterwards is a root, not a child of the closed run.
+	next := tr.StartSpan("next")
+	if next.parent != -1 {
+		t.Fatalf("post-End span parent = %d, want -1", next.parent)
+	}
+}
+
+func TestWriteChromeIsValidJSON(t *testing.T) {
+	tr := New("convpairs")
+	s := tr.StartSpan("selection", Str("selector", "MMSD"))
+	tr.AddSSSP("candidate-generation", 20)
+	s.End()
+	e := tr.StartSpan("extraction")
+	tr.AddSSSP("top-k-extraction", 80)
+	tr.Instant("budget.charge", Int("n", 80))
+	e.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Metadata map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"selection", "extraction", "budget.charge", "process_name"} {
+		if !names[want] {
+			t.Errorf("trace JSON missing event %q (have %v)", want, names)
+		}
+	}
+	byPhase, ok := doc.Metadata["sssp-by-phase"].(map[string]any)
+	if !ok {
+		t.Fatalf("metadata sssp-by-phase missing: %v", doc.Metadata)
+	}
+	if byPhase["candidate-generation"].(float64) != 20 || byPhase["top-k-extraction"].(float64) != 80 {
+		t.Fatalf("metadata phase totals = %v", byPhase)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	tr := New("run")
+	root := tr.StartSpan("algorithm1", Str("selector", "MMSD"))
+	sel := tr.StartSpan("selection")
+	tr.AddSSSP("candidate-generation", 5)
+	sel.End()
+	root.End()
+	var buf bytes.Buffer
+	if err := tr.WriteTree(&buf); err != nil {
+		t.Fatalf("WriteTree: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"algorithm1", "selection", "selector=MMSD",
+		"sssp[candidate-generation]=5", "sssp: candidate-generation=5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Budget charges arrive from extraction worker goroutines; the trace must
+// tolerate concurrent AddSSSP (run under -race in CI).
+func TestConcurrentAddSSSP(t *testing.T) {
+	tr := New("race")
+	s := tr.StartSpan("extraction")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.AddSSSP("top-k-extraction", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	s.End()
+	if got := tr.SSSPByPhase()["top-k-extraction"]; got != 800 {
+		t.Fatalf("concurrent charges = %d, want 800", got)
+	}
+}

@@ -1,11 +1,25 @@
 package sssp
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"repro/internal/graph"
 )
+
+// sweepWorker runs body on a new goroutine labeled for pprof, so CPU and
+// goroutine profiles attribute multi-source sweep work to the sssp
+// subsystem (and the serving kernel) rather than to anonymous funcs.
+func sweepWorker(wg *sync.WaitGroup, kernel string, body func()) {
+	wg.Add(1)
+	go pprof.Do(context.Background(), pprof.Labels("subsystem", "sssp-sweep", "kernel", kernel),
+		func(context.Context) {
+			defer wg.Done()
+			body()
+		})
+}
 
 // AllSourcesFunc runs fn(src, dist) for every source in sources, spreading
 // the BFS work across workers goroutines (<=0 means GOMAXPROCS). Each worker
@@ -52,9 +66,7 @@ func AllSourcesEngineFunc(g *graph.Graph, sources []int, workers int, e Engine, 
 	var wg sync.WaitGroup
 	next := make(chan int, workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		sweepWorker(&wg, eng.String(), func() {
 			dist := make([]int32, n)
 			s := NewScratch(n)
 			for i := range next {
@@ -62,7 +74,7 @@ func AllSourcesEngineFunc(g *graph.Graph, sources []int, workers int, e Engine, 
 				BFSWith(g, src, dist, eng, s)
 				fn(src, dist)
 			}
-		}()
+		})
 	}
 	for i := range sources {
 		next <- i
@@ -113,9 +125,7 @@ func PairedSourcesEngineFunc(g1, g2 *graph.Graph, sources []int, workers int, e 
 	var wg sync.WaitGroup
 	next := make(chan int, workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		sweepWorker(&wg, eng.String(), func() {
 			d1 := make([]int32, g1.NumNodes())
 			d2 := make([]int32, g2.NumNodes())
 			s := NewScratch(g1.NumNodes())
@@ -125,7 +135,7 @@ func PairedSourcesEngineFunc(g1, g2 *graph.Graph, sources []int, workers int, e 
 				BFSWith(g2, src, d2, eng, s)
 				fn(src, d1, d2)
 			}
-		}()
+		})
 	}
 	for i := range sources {
 		next <- i
@@ -199,14 +209,13 @@ func forEachBatch(total, workers int, body func(w, start, end int)) {
 	var wg sync.WaitGroup
 	next := make(chan int, workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+		w := w
+		sweepWorker(&wg, BitParallel64.String(), func() {
 			for b := range next {
 				start, end := chunk(b)
 				body(w, start, end)
 			}
-		}(w)
+		})
 	}
 	for b := 0; b < numBatches; b++ {
 		next <- b

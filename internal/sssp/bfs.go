@@ -126,9 +126,22 @@ func MultiSourceBFSWith(g *graph.Graph, sources []int, dist []int32, s *Scratch)
 			q = append(q, int32(src))
 		}
 	}
+	// Metrics accumulate in registers; the queue is level-ordered, so runs
+	// of equal distances bound the frontier peak.
+	var edges int64
+	peak, runLen := 0, 0
+	runLevel := int32(0)
 	for head := 0; head < len(q); head++ {
 		u := q[head]
 		du := dist[u]
+		if du != runLevel {
+			if runLen > peak {
+				peak = runLen
+			}
+			runLen, runLevel = 0, du
+		}
+		runLen++
+		edges += int64(offsets[u+1] - offsets[u])
 		for _, v := range neighbors[offsets[u]:offsets[u+1]] {
 			if dist[v] == Unreachable {
 				dist[v] = du + 1
@@ -136,6 +149,15 @@ func MultiSourceBFSWith(g *graph.Graph, sources []int, dist []int32, s *Scratch)
 			}
 		}
 	}
+	if runLen > peak {
+		peak = runLen
+	}
+	km := &kernelMetrics[kEnvelope]
+	km.calls.Add(1)
+	km.sources.Add(int64(len(sources)))
+	km.nodes.Add(int64(len(q)))
+	km.edges.Add(edges)
+	peakMax(&km.frontierPeak, int64(peak))
 	s.queue = q[:0]
 }
 

@@ -80,6 +80,7 @@ func Dijkstra(g *graph.Weighted, src int, dist []int32) {
 	h := make(minHeap, 0, 256)
 	dist[src] = 0
 	h.push(heapItem{node: int32(src), dist: 0})
+	var settled, edges int64
 	for len(h) > 0 {
 		it := h.pop()
 		u := it.node
@@ -87,7 +88,9 @@ func Dijkstra(g *graph.Weighted, src int, dist []int32) {
 			continue // stale entry
 		}
 		done[u] = true
+		settled++
 		adj, ws := g.Neighbors(int(u))
+		edges += int64(len(adj))
 		for i, v := range adj {
 			nd := it.dist + ws[i]
 			if dist[v] == Unreachable || nd < dist[v] {
@@ -96,6 +99,11 @@ func Dijkstra(g *graph.Weighted, src int, dist []int32) {
 			}
 		}
 	}
+	km := &kernelMetrics[kDijkstra]
+	km.calls.Add(1)
+	km.sources.Add(1)
+	km.nodes.Add(settled)
+	km.edges.Add(edges)
 }
 
 // WeightedDistances is a convenience wrapper around Dijkstra that allocates

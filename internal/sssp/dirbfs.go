@@ -35,12 +35,25 @@ func topDownBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int,
 	q = append(q, int32(src))
 	dist[src] = 0
 	reached = 1
+	// Metrics accumulate in registers; the queue is level-ordered, so a run
+	// of equal distances is one frontier and its length bounds the peak.
+	var edges int64
+	peak, runLen := 0, 0
+	runLevel := int32(0)
 	for head := 0; head < len(q); head++ {
 		u := q[head]
 		du := dist[u]
 		if du > ecc {
 			ecc = du
 		}
+		if du != runLevel {
+			if runLen > peak {
+				peak = runLen
+			}
+			runLen, runLevel = 0, du
+		}
+		runLen++
+		edges += int64(offsets[u+1] - offsets[u])
 		for _, v := range neighbors[offsets[u]:offsets[u+1]] {
 			if dist[v] == Unreachable {
 				dist[v] = du + 1
@@ -49,7 +62,16 @@ func topDownBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int,
 			}
 		}
 	}
+	if runLen > peak {
+		peak = runLen
+	}
 	s.queue = q[:0]
+	km := &kernelMetrics[kTopDown]
+	km.calls.Add(1)
+	km.sources.Add(1)
+	km.nodes.Add(int64(reached))
+	km.edges.Add(edges)
+	peakMax(&km.frontierPeak, int64(peak))
 	return reached, ecc
 }
 
@@ -77,6 +99,10 @@ func dirOptBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int, 
 	bottomUp := false
 	nf := 1 // frontier node count
 
+	// Metrics accumulate in registers and flush once on return.
+	var edges, tdSteps, buSteps, switches int64
+	peak := 1
+
 	for {
 		if !bottomUp && mf > mu/dirOptAlpha && nf > 1 {
 			// Switch: materialize the frontier as a bitmap.
@@ -85,6 +111,7 @@ func dirOptBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int, 
 				s.cur[u>>6] |= 1 << (uint(u) & 63)
 			}
 			bottomUp = true
+			switches++
 		} else if bottomUp && nf < n/dirOptBeta {
 			// Switch back: collect the bitmap frontier into the queue.
 			levelStart = len(q)
@@ -96,13 +123,16 @@ func dirOptBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int, 
 			}
 			levelEnd = len(q)
 			bottomUp = false
+			switches++
 		}
 
 		if !bottomUp {
 			// Top-down step: expand the frontier's adjacency.
+			tdSteps++
 			var mfNext int64
 			for head := levelStart; head < levelEnd; head++ {
 				u := q[head]
+				edges += int64(offsets[u+1] - offsets[u])
 				for _, v := range neighbors[offsets[u]:offsets[u+1]] {
 					if dist[v] == Unreachable {
 						dist[v] = level + 1
@@ -120,6 +150,7 @@ func dirOptBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int, 
 		} else {
 			// Bottom-up step: every unvisited node looks for a parent in
 			// the current frontier bitmap.
+			buSteps++
 			clearWords(s.nxt[:words])
 			nfNext := 0
 			var mfNext int64
@@ -128,6 +159,7 @@ func dirOptBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int, 
 					continue
 				}
 				for _, w := range neighbors[offsets[v]:offsets[v+1]] {
+					edges++
 					if s.cur[w>>6]&(1<<(uint(w)&63)) != 0 {
 						dist[v] = level + 1
 						reached++
@@ -144,6 +176,9 @@ func dirOptBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int, 
 			nf = nfNext
 			mf = mfNext
 		}
+		if nf > peak {
+			peak = nf
+		}
 		if nf == 0 {
 			break
 		}
@@ -151,5 +186,14 @@ func dirOptBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int, 
 		ecc = level
 	}
 	s.queue = q[:0]
+	km := &kernelMetrics[kDirOpt]
+	km.calls.Add(1)
+	km.sources.Add(1)
+	km.nodes.Add(int64(reached))
+	km.edges.Add(edges)
+	km.tdSteps.Add(tdSteps)
+	km.buSteps.Add(buSteps)
+	km.switches.Add(switches)
+	peakMax(&km.frontierPeak, int64(peak))
 	return reached, ecc
 }

@@ -1,0 +1,196 @@
+package sssp
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Kernel metrics: every BFS/Dijkstra kernel accumulates plain-int counters
+// in registers during the traversal and flushes them with a handful of
+// atomic adds when the call returns — one flush per source (or per 64-source
+// batch), never per edge, so instrumentation stays invisible next to the
+// traversal itself and the //convlint:hotpath kernels remain allocation-free
+// (backed by TestBFSWithZeroAllocs).
+//
+// Counters are attributed per kernel so a run shows where its SSSPs really
+// executed: an Auto sweep lands on diropt or bitparallel64 depending on
+// shape, and the paper's cost model (1 SSSP = 1 unit) can be compared
+// against the machine-level work (edges scanned) each engine actually did.
+
+// kernelIndex identifies one instrumented kernel.
+type kernelIndex int
+
+const (
+	kTopDown kernelIndex = iota
+	kDirOpt
+	kBitParallel
+	kEnvelope // MultiSourceBFS lower-envelope sweep
+	kDijkstra
+	numKernels
+)
+
+// kernelCounters is the live atomic counter block of one kernel.
+type kernelCounters struct {
+	calls        atomic.Int64
+	sources      atomic.Int64
+	nodes        atomic.Int64
+	edges        atomic.Int64
+	tdSteps      atomic.Int64
+	buSteps      atomic.Int64
+	switches     atomic.Int64
+	frontierPeak atomic.Int64
+}
+
+var kernelMetrics [numKernels]kernelCounters
+
+// peakMax raises a high-water-mark counter to v if v is larger.
+func peakMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// KernelCounters is a point-in-time copy of one kernel's counters.
+type KernelCounters struct {
+	// Calls counts kernel invocations (for BitParallel64, batches).
+	Calls int64
+	// Sources counts BFS sources served; equals Calls except for batched
+	// kernels, where Sources/Calls is the average batch occupancy.
+	Sources int64
+	// Nodes and Edges count node visits and edge examinations.
+	Nodes int64
+	Edges int64
+	// TopDownSteps and BottomUpSteps count DirectionOpt levels executed in
+	// each mode; Switches counts direction changes.
+	TopDownSteps  int64
+	BottomUpSteps int64
+	Switches      int64
+	// FrontierPeak is the largest single-level frontier ever seen (a
+	// high-water mark, not a rate).
+	FrontierPeak int64
+}
+
+// BatchFill is the average MS-BFS lane occupancy in [0, 1]: how full the
+// 64-lane batches ran. Meaningful for the BitParallel64 kernel only.
+func (k KernelCounters) BatchFill() float64 {
+	if k.Calls == 0 {
+		return 0
+	}
+	return float64(k.Sources) / float64(k.Calls*msBatchBits)
+}
+
+// sub subtracts a previous snapshot counter-wise; high-water marks keep the
+// current value (they are not rates and cannot be diffed).
+func (k KernelCounters) sub(prev KernelCounters) KernelCounters {
+	return KernelCounters{
+		Calls:         k.Calls - prev.Calls,
+		Sources:       k.Sources - prev.Sources,
+		Nodes:         k.Nodes - prev.Nodes,
+		Edges:         k.Edges - prev.Edges,
+		TopDownSteps:  k.TopDownSteps - prev.TopDownSteps,
+		BottomUpSteps: k.BottomUpSteps - prev.BottomUpSteps,
+		Switches:      k.Switches - prev.Switches,
+		FrontierPeak:  k.FrontierPeak,
+	}
+}
+
+// add accumulates counters; high-water marks take the max.
+func (k KernelCounters) add(o KernelCounters) KernelCounters {
+	peak := k.FrontierPeak
+	if o.FrontierPeak > peak {
+		peak = o.FrontierPeak
+	}
+	return KernelCounters{
+		Calls:         k.Calls + o.Calls,
+		Sources:       k.Sources + o.Sources,
+		Nodes:         k.Nodes + o.Nodes,
+		Edges:         k.Edges + o.Edges,
+		TopDownSteps:  k.TopDownSteps + o.TopDownSteps,
+		BottomUpSteps: k.BottomUpSteps + o.BottomUpSteps,
+		Switches:      k.Switches + o.Switches,
+		FrontierPeak:  peak,
+	}
+}
+
+// MetricsSnapshot is a consistent-enough copy of every kernel's counters
+// (each field is read atomically; a snapshot taken mid-sweep may split one
+// call's flush). Diff two snapshots with Sub to attribute work to a region
+// of a run.
+type MetricsSnapshot struct {
+	TopDown       KernelCounters
+	DirectionOpt  KernelCounters
+	BitParallel64 KernelCounters
+	Envelope      KernelCounters
+	Dijkstra      KernelCounters
+}
+
+// SnapshotMetrics reads the live kernel counters.
+func SnapshotMetrics() MetricsSnapshot {
+	read := func(i kernelIndex) KernelCounters {
+		c := &kernelMetrics[i]
+		return KernelCounters{
+			Calls:         c.calls.Load(),
+			Sources:       c.sources.Load(),
+			Nodes:         c.nodes.Load(),
+			Edges:         c.edges.Load(),
+			TopDownSteps:  c.tdSteps.Load(),
+			BottomUpSteps: c.buSteps.Load(),
+			Switches:      c.switches.Load(),
+			FrontierPeak:  c.frontierPeak.Load(),
+		}
+	}
+	return MetricsSnapshot{
+		TopDown:       read(kTopDown),
+		DirectionOpt:  read(kDirOpt),
+		BitParallel64: read(kBitParallel),
+		Envelope:      read(kEnvelope),
+		Dijkstra:      read(kDijkstra),
+	}
+}
+
+// Sub returns the per-kernel work done between prev and s. FrontierPeak
+// fields keep s's high-water marks.
+func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
+	return MetricsSnapshot{
+		TopDown:       s.TopDown.sub(prev.TopDown),
+		DirectionOpt:  s.DirectionOpt.sub(prev.DirectionOpt),
+		BitParallel64: s.BitParallel64.sub(prev.BitParallel64),
+		Envelope:      s.Envelope.sub(prev.Envelope),
+		Dijkstra:      s.Dijkstra.sub(prev.Dijkstra),
+	}
+}
+
+// Total sums the kernels (FrontierPeak takes the max across kernels).
+func (s MetricsSnapshot) Total() KernelCounters {
+	return s.TopDown.add(s.DirectionOpt).add(s.BitParallel64).add(s.Envelope).add(s.Dijkstra)
+}
+
+// init publishes the kernel counters to the obs metrics registry so
+// `convpairs -metricsaddr` (and anything else serving obs.WriteMetrics)
+// exposes them without further wiring.
+func init() {
+	names := [numKernels]string{
+		kTopDown:     "topdown",
+		kDirOpt:      "diropt",
+		kBitParallel: "bitparallel64",
+		kEnvelope:    "envelope",
+		kDijkstra:    "dijkstra",
+	}
+	for i := kernelIndex(0); i < numKernels; i++ {
+		c := &kernelMetrics[i]
+		prefix := "sssp." + names[i] + "."
+		obs.RegisterMetric(prefix+"calls", c.calls.Load)
+		obs.RegisterMetric(prefix+"sources", c.sources.Load)
+		obs.RegisterMetric(prefix+"nodes_visited", c.nodes.Load)
+		obs.RegisterMetric(prefix+"edges_scanned", c.edges.Load)
+		obs.RegisterMetric(prefix+"frontier_peak", c.frontierPeak.Load)
+	}
+	dir := &kernelMetrics[kDirOpt]
+	obs.RegisterMetric("sssp.diropt.topdown_steps", dir.tdSteps.Load)
+	obs.RegisterMetric("sssp.diropt.bottomup_steps", dir.buSteps.Load)
+	obs.RegisterMetric("sssp.diropt.switches", dir.switches.Load)
+}

@@ -1,0 +1,156 @@
+package sssp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// path5 builds the path 0-1-2-3-4.
+func path5(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}})
+}
+
+func TestKernelMetricsTopDown(t *testing.T) {
+	g := path5(t)
+	dist := make([]int32, 5)
+	before := SnapshotMetrics()
+	BFSWith(g, 0, dist, TopDown, nil)
+	d := SnapshotMetrics().Sub(before)
+	if d.TopDown.Calls != 1 || d.TopDown.Sources != 1 {
+		t.Fatalf("topdown calls/sources = %d/%d, want 1/1", d.TopDown.Calls, d.TopDown.Sources)
+	}
+	if d.TopDown.Nodes != 5 {
+		t.Fatalf("topdown nodes = %d, want 5", d.TopDown.Nodes)
+	}
+	// Every directed edge is examined exactly once: 2*4 = 8.
+	if d.TopDown.Edges != 8 {
+		t.Fatalf("topdown edges = %d, want 8", d.TopDown.Edges)
+	}
+	// Path frontiers are single nodes; the peak is a process-wide high-water
+	// mark so other tests may have pushed it higher, but it must be >= 1.
+	if SnapshotMetrics().TopDown.FrontierPeak < 1 {
+		t.Fatalf("topdown frontier peak = %d, want >= 1", SnapshotMetrics().TopDown.FrontierPeak)
+	}
+}
+
+func TestKernelMetricsAttributePerEngine(t *testing.T) {
+	g := path5(t)
+	dist := make([]int32, 5)
+	before := SnapshotMetrics()
+	BFSWith(g, 0, dist, DirectionOpt, nil)
+	BFSWith(g, 0, dist, BitParallel64, nil)
+	d := SnapshotMetrics().Sub(before)
+	if d.DirectionOpt.Calls != 1 {
+		t.Errorf("diropt calls = %d, want 1", d.DirectionOpt.Calls)
+	}
+	if d.BitParallel64.Calls != 1 || d.BitParallel64.Sources != 1 {
+		t.Errorf("bitparallel calls/sources = %d/%d, want 1/1",
+			d.BitParallel64.Calls, d.BitParallel64.Sources)
+	}
+	if d.TopDown.Calls != 0 {
+		t.Errorf("topdown calls = %d, want 0 (no topdown work ran)", d.TopDown.Calls)
+	}
+	if tot := d.Total(); tot.Calls != 2 {
+		t.Errorf("total calls = %d, want 2", tot.Calls)
+	}
+}
+
+// A star traversed from its center forces the Beamer heuristic to switch to
+// bottom-up (frontier edges = n >> unexplored edges / alpha), so the
+// direction-switch counter must move.
+func TestDirectionOptSwitchCounter(t *testing.T) {
+	const n = 512
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: v})
+	}
+	g := graph.FromEdges(n, edges)
+	dist := make([]int32, n)
+	before := SnapshotMetrics()
+	BFSWith(g, 0, dist, DirectionOpt, nil)
+	d := SnapshotMetrics().Sub(before)
+	if d.DirectionOpt.Switches < 1 {
+		t.Fatalf("diropt switches = %d, want >= 1 on a star from its center", d.DirectionOpt.Switches)
+	}
+	if d.DirectionOpt.BottomUpSteps < 1 {
+		t.Fatalf("diropt bottom-up steps = %d, want >= 1", d.DirectionOpt.BottomUpSteps)
+	}
+	if d.DirectionOpt.Nodes != n {
+		t.Fatalf("diropt nodes = %d, want %d", d.DirectionOpt.Nodes, n)
+	}
+}
+
+func TestBatchFillMetric(t *testing.T) {
+	g := path5(t)
+	sources := []int{0, 1, 2}
+	before := SnapshotMetrics()
+	AllSourcesEngineFunc(g, sources, 1, BitParallel64, func(src int, dist []int32) {})
+	d := SnapshotMetrics().Sub(before)
+	if d.BitParallel64.Calls != 1 || d.BitParallel64.Sources != 3 {
+		t.Fatalf("batch calls/sources = %d/%d, want 1/3", d.BitParallel64.Calls, d.BitParallel64.Sources)
+	}
+	want := 3.0 / 64.0
+	if fill := d.BitParallel64.BatchFill(); fill != want {
+		t.Fatalf("batch fill = %v, want %v", fill, want)
+	}
+	// Every (source, node) pair on a connected graph is one visit.
+	if d.BitParallel64.Nodes != 15 {
+		t.Fatalf("batch visits = %d, want 15", d.BitParallel64.Nodes)
+	}
+}
+
+func TestEnvelopeMetrics(t *testing.T) {
+	g := path5(t)
+	dist := make([]int32, 5)
+	before := SnapshotMetrics()
+	MultiSourceBFS(g, []int{0, 4}, dist)
+	d := SnapshotMetrics().Sub(before)
+	if d.Envelope.Calls != 1 || d.Envelope.Sources != 2 {
+		t.Fatalf("envelope calls/sources = %d/%d, want 1/2", d.Envelope.Calls, d.Envelope.Sources)
+	}
+	if d.Envelope.Nodes != 5 {
+		t.Fatalf("envelope nodes = %d, want 5", d.Envelope.Nodes)
+	}
+}
+
+func TestDijkstraMetrics(t *testing.T) {
+	g, err := graph.NewWeighted(3, []graph.WeightedEdge{
+		{U: 0, V: 1, Weight: 2}, {U: 1, V: 2, Weight: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := make([]int32, 3)
+	before := SnapshotMetrics()
+	Dijkstra(g, 0, dist)
+	d := SnapshotMetrics().Sub(before)
+	if d.Dijkstra.Calls != 1 || d.Dijkstra.Nodes != 3 {
+		t.Fatalf("dijkstra calls/nodes = %d/%d, want 1/3", d.Dijkstra.Calls, d.Dijkstra.Nodes)
+	}
+}
+
+// The kernels register their counters with the obs registry at init; the
+// exposition must include them after any BFS ran.
+func TestMetricsExposedThroughObs(t *testing.T) {
+	g := path5(t)
+	dist := make([]int32, 5)
+	BFSWith(g, 0, dist, TopDown, nil)
+	var buf bytes.Buffer
+	if err := obs.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"sssp.topdown.calls", "sssp.diropt.switches", "sssp.bitparallel64.sources",
+		"sssp.envelope.edges_scanned", "sssp.dijkstra.calls",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("obs exposition missing %q", want)
+		}
+	}
+}

@@ -52,12 +52,20 @@ func msBFSBatch(g *graph.Graph, sources []int, rows [][]int32, s *Scratch) {
 		front[src] |= bit
 	}
 
+	// Metrics accumulate in registers and flush once per batch. A "node"
+	// here is one (source, node) visit — the scalar-equivalent work the
+	// batch saves is visits versus edges actually scanned.
+	var edges int64
+	visits := int64(len(sources))
+	peak := len(q)
+
 	nextQ := s.nextQ[:0]
 	for level := int32(1); len(q) > 0; level++ {
 		nextQ = nextQ[:0]
 		for _, u := range q {
 			fu := front[u]
 			front[u] = 0
+			edges += int64(offsets[u+1] - offsets[u])
 			for _, v := range neighbors[offsets[u]:offsets[u+1]] {
 				new := fu &^ seen[v]
 				if new == 0 {
@@ -72,10 +80,14 @@ func msBFSBatch(g *graph.Graph, sources []int, rows [][]int32, s *Scratch) {
 		}
 		for _, v := range nextQ {
 			w := next[v]
+			visits += int64(bits.OnesCount64(w))
 			for w != 0 {
 				rows[bits.TrailingZeros64(w)][v] = level
 				w &= w - 1
 			}
+		}
+		if len(nextQ) > peak {
+			peak = len(nextQ)
 		}
 		front, next = next, front
 		q, nextQ = nextQ, q
@@ -84,4 +96,10 @@ func msBFSBatch(g *graph.Graph, sources []int, rows [][]int32, s *Scratch) {
 	// front and next are all-zero again at this point.
 	s.front, s.next = front, next
 	s.queue, s.nextQ = q[:0], nextQ[:0]
+	km := &kernelMetrics[kBitParallel]
+	km.calls.Add(1)
+	km.sources.Add(int64(len(sources)))
+	km.nodes.Add(visits)
+	km.edges.Add(edges)
+	peakMax(&km.frontierPeak, int64(peak))
 }
