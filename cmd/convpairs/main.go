@@ -6,9 +6,13 @@
 //	convpairs -in data/Facebook.txt -selector MMSD -m 100 -k 20
 //	convpairs -in data/DBLP.txt -selector MaxAvg -m 50 -delta 3
 //	convpairs -in data/Actors.txt -exact -k 10          # unbudgeted baseline
+//	convpairs -in data/Facebook.txt -weighted -m 100 -k 20
 //
 // The input is a "u v t" edge-list file (see cmd/gendata); the snapshots are
-// the -f1 and -f2 fractions of the stream (defaults 0.8 and 1.0).
+// the -f1 and -f2 fractions of the stream (defaults 0.8 and 1.0). With
+// -weighted the input must be the 4-column "u v t w" format (gendata
+// -weighted) and the run goes through the same Algorithm 1 pipeline with
+// Dijkstra distances; -trace and -metricsaddr work identically.
 package main
 
 import (
@@ -38,6 +42,7 @@ func main() {
 	f2 := flag.Float64("f2", 1.0, "second snapshot fraction of the edge stream")
 	seed := flag.Int64("seed", 1, "seed for randomized selectors")
 	exact := flag.Bool("exact", false, "run the unbudgeted all-pairs baseline instead")
+	weightedRun := flag.Bool("weighted", false, "use edge weights (4-column input) and Dijkstra distances")
 	list := flag.Bool("list", false, "list available selectors and exit")
 	explain := flag.Bool("explain", false, "trace each found pair's shortest path and mark the new edges behind it")
 	dotOut := flag.String("dot", "", "write a GraphViz DOT rendering of G_t2 with the found pairs highlighted")
@@ -75,6 +80,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *weightedRun {
+		if *exact || *modelPath != "" || *explain || *dotOut != "" {
+			fatal(fmt.Errorf("-weighted runs the budgeted name-based pipeline only (drop -exact, -model, -explain, and -dot)"))
+		}
+		runWeighted(ds, *selName, *m, *l, *k, int32(*delta), *f1, *f2, *seed, *workers, *traceOut, *jsonOut)
+		return
+	}
+
 	pair, err := ds.Ev.Pair(*f1, *f2)
 	if err != nil {
 		fatal(err)
@@ -166,6 +180,53 @@ func main() {
 	}
 }
 
+// runWeighted is the -weighted leg: the same Algorithm 1 run on the unified
+// pipeline with Dijkstra distances, sharing the trace verification and
+// output plumbing with the unweighted path.
+func runWeighted(ds *dataset.Dataset, selName string, m, l, k int, delta int32, f1, f2 float64, seed int64, workers int, traceOut, jsonOut string) {
+	sp, err := ds.WeightedPair(f1, f2)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dataset %s (weighted): G_t1 %d edges, G_t2 %d edges over %d nodes\n",
+		ds.Name, sp.G1.NumEdges(), sp.G2.NumEdges(), sp.G1.NumNodes())
+	opts := convergence.WeightedOptions{Selector: selName, M: m, L: l, Seed: seed, Workers: workers}
+	if delta > 0 {
+		opts.MinDelta = delta
+	} else {
+		opts.K = k
+	}
+	var tr *convergence.Trace
+	var kernelsBefore sssp.MetricsSnapshot
+	if traceOut != "" {
+		tr = convergence.NewTrace("convpairs " + ds.Name + " (weighted)")
+		opts.Trace = tr
+		kernelsBefore = sssp.SnapshotMetrics()
+	}
+	res, err := convergence.WeightedTopK(sp, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if tr != nil {
+		if err := writeTrace(tr, traceOut, res.Budget, kernelsBefore); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("selector %s (Dijkstra distances), budget: %s\n", res.SelectorName, res.Budget)
+	fmt.Printf("found %d converging pairs from %d candidate endpoints:\n",
+		len(res.Pairs), len(res.Candidates))
+	printPairs(res.Pairs)
+	if jsonOut != "" {
+		if err := writeFileWith(jsonOut, func(w io.Writer) error {
+			return export.WriteJSON(w, res.SelectorName, m,
+				res.Budget.Total(), res.Budget.Limit, res.Candidates, res.Pairs)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("JSON report written to %s\n", jsonOut)
+	}
+}
+
 // writeTrace verifies the trace against the budget report, annotates it
 // with the kernel work the run performed, writes the Chrome JSON, and prints
 // the phase tree. The verification is the observability layer's own
@@ -185,7 +246,7 @@ func writeTrace(tr *convergence.Trace, path string, report convergence.BudgetRep
 	work := sssp.SnapshotMetrics().Sub(before)
 	total := work.Total()
 	tr.Instant("kernel-work",
-		obs.Int64("bfs-calls", total.Calls),
+		obs.Int64("kernel-calls", total.Calls),
 		obs.Int64("nodes-visited", total.Nodes),
 		obs.Int64("edges-scanned", total.Edges),
 		obs.Int64("diropt-switches", work.DirectionOpt.Switches),

@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	gendata -out ./data -scale 0.25 -seed 42 [-dataset Facebook]
+//	gendata -out ./data -scale 0.25 -seed 42 [-dataset Facebook] [-weighted]
 //
 // Each dataset is written to <out>/<name>.txt in the "u v t" edge-list
-// format understood by the other commands.
+// format understood by the other commands. With -weighted, every edge also
+// gets a fixed weight drawn uniformly from [1, -maxweight] and the files use
+// the 4-column "u v t w" format, ready for convpairs -weighted.
 package main
 
 import (
@@ -24,6 +26,8 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "dataset size relative to the paper (1.0 = full size)")
 	seed := flag.Int64("seed", 42, "generation seed")
 	only := flag.String("dataset", "", "generate a single dataset (Actors, InternetLinks, Facebook, DBLP); empty = all")
+	weightedOut := flag.Bool("weighted", false, "attach uniform random edge weights and emit the 4-column format")
+	maxWeight := flag.Int("maxweight", 10, "largest edge weight with -weighted (weights are uniform in [1, maxweight])")
 	flag.Parse()
 
 	names := datagen.Names
@@ -38,12 +42,21 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *weightedOut {
+			if err := ds.AssignUniformWeights(*seed, int32(*maxWeight)); err != nil {
+				fatal(err)
+			}
+		}
 		path := filepath.Join(*out, name+".txt")
 		if err := ds.SaveFile(path); err != nil {
 			fatal(err)
 		}
 		full := ds.Ev.SnapshotFraction(1.0)
-		fmt.Printf("%-14s -> %s (%d nodes, %d edges)\n", name, path, full.NumNodes(), full.NumEdges())
+		kind := ""
+		if *weightedOut {
+			kind = fmt.Sprintf(", weights 1..%d", *maxWeight)
+		}
+		fmt.Printf("%-14s -> %s (%d nodes, %d edges%s)\n", name, path, full.NumNodes(), full.NumEdges(), kind)
 	}
 }
 

@@ -143,7 +143,10 @@ func MustSelector(name string) Selector {
 	return sel
 }
 
-// Selectors lists the available selector names.
+// Selectors lists the available selector names. Every listed selector runs
+// on both pipelines — unweighted TopK and WeightedTopK — because selection
+// reads only degrees and metered distance rows through the shared distance
+// engine.
 func Selectors() []string { return candidates.Names() }
 
 // SelectorDescription returns the one-line description of a selector

@@ -61,11 +61,19 @@ type (
 )
 
 // WeightedTopK runs the budgeted converging-pairs algorithm with Dijkstra
-// distances. Supported selectors: Degree, DegDiff, DegRel, MaxMin, MaxAvg,
-// SumDiff, MaxDiff, MMSD.
+// distances. It is the same Algorithm 1 implementation as TopK — selection,
+// extraction, budget metering, and tracing run generically over a distance
+// engine — so every registry selector works (see WeightedSelectors); an
+// empty Options.Selector means weighted.DefaultSelector ("Degree"), and
+// unknown names error listing the valid set.
 func WeightedTopK(pair WeightedSnapshotPair, opts WeightedOptions) (*WeightedResult, error) {
 	return weighted.TopK(pair, opts)
 }
+
+// WeightedSelectors lists the selector names WeightedTopK accepts, sorted.
+// Because the pipeline is metric-agnostic, this is the full single-feature
+// registry — the same names Selectors reports.
+func WeightedSelectors() []string { return weighted.Selectors() }
 
 // WeightedGroundTruth runs the exact weighted all-pairs sweep.
 func WeightedGroundTruth(pair WeightedSnapshotPair, workers int) (*GroundTruth, error) {

@@ -11,14 +11,19 @@ import (
 // unit (one SSSP computation).
 const ssspPkgPath = "repro/internal/sssp"
 
+// distPkgPath is the distance-engine abstraction; its query entry points
+// cost the same one unit per source as the sssp kernels they dispatch to.
+const distPkgPath = "repro/internal/dist"
+
 // budgetPkgPath is the package whose Meter accounts for that spending.
 const budgetPkgPath = "repro/internal/budget"
 
 // budgetExemptPkgs are allowed to call SSSP entry points freely: sssp's own
-// wrappers compose each other, and the oracle package is the budget's
-// ground-truth referee.
+// wrappers compose each other, dist is the abstraction layer routing to
+// them, and the oracle package is the budget's ground-truth referee.
 var budgetExemptPkgs = map[string]bool{
 	ssspPkgPath:             true,
+	distPkgPath:             true,
 	"repro/internal/oracle": true,
 }
 
@@ -40,6 +45,17 @@ func budgetEntryPoint(name string) bool {
 	}
 	switch name {
 	case "DistanceMatrix", "Distances", "WeightedDistances":
+		return true
+	}
+	return false
+}
+
+// distEntryPoint reports whether a dist-package function or method named
+// name costs budget: one unit per DistancesInto call (Source or Session),
+// one per source for the batched sweeps and DistanceMatrix.
+func distEntryPoint(name string) bool {
+	switch name {
+	case "DistancesInto", "DistanceMatrix", "Sweep", "PairedSweep":
 		return true
 	}
 	return false
@@ -68,10 +84,22 @@ func runBudgetCheck(pass *Pass) error {
 				return true
 			}
 			fn := calleeFunc(pass.TypesInfo, call)
-			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != ssspPkgPath {
+			if fn == nil || fn.Pkg() == nil {
 				return true
 			}
-			if !budgetEntryPoint(fn.Name()) {
+			var pkgName string
+			switch fn.Pkg().Path() {
+			case ssspPkgPath:
+				if !budgetEntryPoint(fn.Name()) {
+					return true
+				}
+				pkgName = "sssp"
+			case distPkgPath:
+				if !distEntryPoint(fn.Name()) {
+					return true
+				}
+				pkgName = "dist"
+			default:
 				return true
 			}
 			decl := enclosingFuncDecl(file, call.Pos())
@@ -84,9 +112,9 @@ func runBudgetCheck(pass *Pass) error {
 				}
 			}
 			pass.Reportf(call.Pos(),
-				"call to sssp.%s without a budget.Meter charge on the path; "+
+				"call to %s.%s without a budget.Meter charge on the path; "+
 					"charge the meter or annotate the enclosing function with "+
-					"//convlint:unbudgeted <reason>", fn.Name())
+					"//convlint:unbudgeted <reason>", pkgName, fn.Name())
 			return true
 		})
 	}

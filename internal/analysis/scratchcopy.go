@@ -5,15 +5,17 @@ import (
 	"go/types"
 )
 
-// noCopyTypes are the repo's share-by-pointer types: sssp.Scratch owns
-// kernel buffers that must not be duplicated mid-traversal, budget.Meter
-// embeds a mutex, and graph.Graph is the CSR view whose slice headers must
-// stay aliased to one owner. Copying any of them by value silently forks
-// state.
+// noCopyTypes are the repo's share-by-pointer types: sssp.Scratch and
+// sssp.DijkstraScratch own kernel buffers that must not be duplicated
+// mid-traversal, budget.Meter embeds a mutex, and graph.Graph and
+// graph.Weighted are CSR views whose slice headers must stay aliased to one
+// owner. Copying any of them by value silently forks state.
 var noCopyTypes = []struct{ pkg, name string }{
 	{ssspPkgPath, "Scratch"},
+	{ssspPkgPath, "DijkstraScratch"},
 	{budgetPkgPath, "Meter"},
 	{"repro/internal/graph", "Graph"},
+	{"repro/internal/graph", "Weighted"},
 }
 
 // ScratchCopy is a copylocks-style analyzer for the repo's no-copy types.
@@ -23,7 +25,7 @@ var noCopyTypes = []struct{ pkg, name string }{
 // the struct) instead.
 var ScratchCopy = &Analyzer{
 	Name: "scratchcopy",
-	Doc:  "flag by-value copies of sssp.Scratch, budget.Meter, and graph.Graph",
+	Doc:  "flag by-value copies of the sssp scratch types, budget.Meter, and the graph CSR views",
 	Run:  runScratchCopy,
 }
 

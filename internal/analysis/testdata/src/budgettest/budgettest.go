@@ -5,6 +5,7 @@ package budgettest
 
 import (
 	"repro/internal/budget"
+	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/sssp"
 )
@@ -57,4 +58,36 @@ func suppressed(g *graph.Graph, dist []int32) {
 // freeCalls never touch budget-relevant entry points and need nothing.
 func freeCalls(g *graph.Graph, dist []int32) []int {
 	return sssp.Path(g, 0, 0)
+}
+
+// The dist abstraction's query entry points cost budget exactly like the
+// sssp kernels they dispatch to.
+
+func unmeteredSource(s dist.Source, row []int32) {
+	s.DistancesInto(0, row) // want `call to dist.DistancesInto without a budget.Meter charge`
+}
+
+func unmeteredSweep(s dist.Source) {
+	dist.Sweep(s, []int{0}, 1, func(src int, d []int32) {}) // want `call to dist.Sweep without`
+}
+
+func meteredSession(s dist.Source, m *budget.Meter, row []int32) error {
+	if err := m.Charge(budget.PhaseTopK, 1); err != nil {
+		return err
+	}
+	dist.NewSession(s).DistancesInto(0, row)
+	return nil
+}
+
+func meteredPaired(p dist.Pair, m *budget.Meter) error {
+	if err := m.Charge(budget.PhaseCandidateGen, 2); err != nil {
+		return err
+	}
+	dist.PairedSweep(p, []int{0}, 1, func(src int, d1, d2 []int32) {})
+	return nil
+}
+
+// freeStructural reads only degrees and adjacency, which cost nothing.
+func freeStructural(s dist.Source) int {
+	return s.Degree(0) + len(s.NeighborIDs(0)) + s.NumEdges()
 }

@@ -1,5 +1,5 @@
-// Package scratchtest exercises the scratchcopy analyzer: sssp.Scratch,
-// budget.Meter, and the graph.Graph CSR view travel by pointer only.
+// Package scratchtest exercises the scratchcopy analyzer: the sssp scratch
+// types, budget.Meter, and the graph CSR views travel by pointer only.
 package scratchtest
 
 import (
@@ -48,4 +48,16 @@ func construction() sssp.Scratch { // want `result declared as Scratch value`
 	var s sssp.Scratch
 	_ = s
 	return sssp.Scratch{}
+}
+
+func dijkstraByValue(s sssp.DijkstraScratch) {} // want `parameter declared as DijkstraScratch value`
+
+func copyDijkstra(s *sssp.DijkstraScratch) {
+	v := *s // want `assignment copies DijkstraScratch by value`
+	_ = v
+}
+
+func weightedByValue(g *graph.Weighted) {
+	v := *g // want `assignment copies Weighted by value`
+	_ = v
 }

@@ -39,7 +39,11 @@ func (s betweennessSelector) Select(ctx *Context) ([]int, error) {
 	if ctx.RNG == nil {
 		return nil, fmt.Errorf("candidates: BetDiff requires an RNG for pivot sampling")
 	}
-	g1, g2 := ctx.Pair.G1, ctx.Pair.G2
+	pair, err := ctx.Unweighted()
+	if err != nil {
+		return nil, fmt.Errorf("BetDiff: %w", err)
+	}
+	g1, g2 := pair.G1, pair.G2
 	bc1 := betweenness.NodesSampled(g1, s.samples, ctx.RNG, ctx.Workers)
 	bc2 := betweenness.NodesSampled(g2, s.samples, ctx.RNG, ctx.Workers)
 	n := g1.NumNodes()

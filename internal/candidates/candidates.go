@@ -4,12 +4,15 @@
 // four hybrids (MMSD, MMMD, MASD, MAMD), a uniform-random baseline, and the
 // classification-based selectors built on internal/ml.
 //
-// A Selector consumes a Context — the snapshot pair, the endpoint budget m,
-// the landmark count l, an RNG, and a budget meter — and returns at most m
-// candidate node IDs. All shortest-path work is charged to the meter; BFS
-// rows on G_t1 computed during selection are cached in the Context so the
-// top-k extraction phase can reuse them, reproducing the paper's Table 1
-// budget split exactly.
+// A Selector consumes a Context — the snapshot pair as a pair of abstract
+// distance sources (dist.Source), the endpoint budget m, the landmark count
+// l, an RNG, and a budget meter — and returns at most m candidate node IDs.
+// Because selection only reads degrees, adjacency, and metered distance
+// rows, every selector here runs unchanged on BFS distances (unweighted
+// snapshots) and Dijkstra distances (weighted snapshots). All shortest-path
+// work is charged to the meter; distance rows on G_t1 computed during
+// selection are cached in the Context so the top-k extraction phase can
+// reuse them, reproducing the paper's Table 1 budget split exactly.
 package candidates
 
 import (
@@ -19,8 +22,10 @@ import (
 	"sort"
 
 	"repro/internal/budget"
+	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/landmark"
+	"repro/internal/sssp"
 )
 
 // DefaultLandmarks is the paper's landmark-set size (Section 5.1 fixes
@@ -29,8 +34,15 @@ const DefaultLandmarks = 10
 
 // Context carries the inputs of one candidate-generation run.
 type Context struct {
-	// Pair is the (G_t1, G_t2) snapshot pair.
+	// Pair is the unweighted (G_t1, G_t2) snapshot pair. Optional when S1/S2
+	// are set directly: only the structural selectors (BetDiff, Incidence,
+	// EmbedSum) and classifier training need raw graphs; the paper's thirteen
+	// selectors run on the abstract sources alone.
 	Pair graph.SnapshotPair
+	// S1 and S2 are the snapshots as abstract distance sources. When nil,
+	// Validate derives BFS sources from Pair, so unweighted callers can keep
+	// constructing Contexts from a pair only.
+	S1, S2 dist.Source
 	// M is the endpoint budget: at most M candidates, 2M SSSPs total.
 	M int
 	// L is the landmark-set size; 0 means DefaultLandmarks.
@@ -39,11 +51,11 @@ type Context struct {
 	RNG *rand.Rand
 	// Meter receives every SSSP charge. nil disables budget enforcement.
 	Meter *budget.Meter
-	// Workers bounds BFS parallelism; <=0 means GOMAXPROCS.
+	// Workers bounds SSSP parallelism; <=0 means GOMAXPROCS.
 	Workers int
 
-	// D1Rows and D2Rows cache BFS rows on G_t1 / G_t2 keyed by source node,
-	// filled by selectors whose selection work already computed them
+	// D1Rows and D2Rows cache distance rows on G_t1 / G_t2 keyed by source
+	// node, filled by selectors whose selection work already computed them
 	// (dispersion picks, hybrid landmark rows). The extraction phase
 	// consults these caches before spending more budget, which is what
 	// makes the overall cost land exactly on the paper's 2m.
@@ -59,7 +71,27 @@ func (ctx *Context) Landmarks() int {
 	return DefaultLandmarks
 }
 
-// CacheD1 records a BFS row on G_t1 for later reuse.
+// Sources returns the snapshot pair as a dist.Pair (valid after Validate).
+func (ctx *Context) Sources() dist.Pair { return dist.Pair{S1: ctx.S1, S2: ctx.S2} }
+
+// Unweighted returns the raw unweighted snapshot pair for structural
+// selectors that need more than distances (betweenness, embeddings,
+// incidence). It fails with a clear error when the run is driven by a
+// non-BFS distance source, e.g. a weighted pipeline run.
+func (ctx *Context) Unweighted() (graph.SnapshotPair, error) {
+	if ctx.Pair.G1 != nil && ctx.Pair.G2 != nil {
+		return ctx.Pair, nil
+	}
+	if g1, ok := dist.UnweightedGraph(ctx.S1); ok {
+		if g2, ok2 := dist.UnweightedGraph(ctx.S2); ok2 {
+			return graph.SnapshotPair{G1: g1, G2: g2}, nil
+		}
+	}
+	return graph.SnapshotPair{}, errors.New(
+		"candidates: selector requires unweighted snapshots (structural graph access)")
+}
+
+// CacheD1 records a distance row on G_t1 for later reuse.
 func (ctx *Context) CacheD1(node int, row []int32) {
 	if ctx.D1Rows == nil {
 		ctx.D1Rows = make(map[int][]int32)
@@ -67,7 +99,7 @@ func (ctx *Context) CacheD1(node int, row []int32) {
 	ctx.D1Rows[node] = row
 }
 
-// CacheD2 records a BFS row on G_t2 for later reuse.
+// CacheD2 records a distance row on G_t2 for later reuse.
 func (ctx *Context) CacheD2(node int, row []int32) {
 	if ctx.D2Rows == nil {
 		ctx.D2Rows = make(map[int][]int32)
@@ -75,10 +107,18 @@ func (ctx *Context) CacheD2(node int, row []int32) {
 	ctx.D2Rows[node] = row
 }
 
-// Validate checks the Context invariants shared by all selectors.
+// Validate checks the Context invariants shared by all selectors, deriving
+// the distance sources from Pair when the caller did not set them.
 func (ctx *Context) Validate() error {
-	if err := ctx.Pair.Validate(); err != nil {
-		return err
+	if ctx.S1 == nil || ctx.S2 == nil {
+		if err := ctx.Pair.Validate(); err != nil {
+			return err
+		}
+		ctx.S1 = dist.NewBFS(ctx.Pair.G1, sssp.Auto)
+		ctx.S2 = dist.NewBFS(ctx.Pair.G2, sssp.Auto)
+	}
+	if n1, n2 := ctx.S1.NumNodes(), ctx.S2.NumNodes(); n1 != n2 {
+		return fmt.Errorf("candidates: node universes differ: %d vs %d", n1, n2)
 	}
 	if ctx.M <= 0 {
 		return fmt.Errorf("candidates: non-positive endpoint budget m=%d", ctx.M)
@@ -143,12 +183,12 @@ func (s degreeSelector) Select(ctx *Context) ([]int, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
 	}
-	g1, g2 := ctx.Pair.G1, ctx.Pair.G2
-	n := g1.NumNodes()
+	s1, s2 := ctx.S1, ctx.S2
+	n := s1.NumNodes()
 	score := make([]float64, n)
 	eligible := make([]int, 0, n)
 	for u := 0; u < n; u++ {
-		d1, d2 := g1.Degree(u), g2.Degree(u)
+		d1, d2 := s1.Degree(u), s2.Degree(u)
 		switch s.kind {
 		case byDegree:
 			if d1 == 0 {
@@ -197,10 +237,10 @@ func (randomSelector) Select(ctx *Context) ([]int, error) {
 	if ctx.RNG == nil {
 		return nil, errors.New("candidates: Random selector requires an RNG")
 	}
-	g1 := ctx.Pair.G1
-	present := make([]int, 0, g1.NumNodes())
-	for u := 0; u < g1.NumNodes(); u++ {
-		if g1.Degree(u) > 0 {
+	s1 := ctx.S1
+	present := make([]int, 0, s1.NumNodes())
+	for u := 0; u < s1.NumNodes(); u++ {
+		if s1.Degree(u) > 0 {
 			present = append(present, u)
 		}
 	}
@@ -243,9 +283,10 @@ func (s dispersionSelector) Select(ctx *Context) ([]int, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
 	}
-	// Each greedy pick costs one BFS on G_t1, charged inside landmark.Select;
-	// the rows double as the D1 rows of the extraction phase.
-	set, err := landmark.Select(s.strategy, ctx.Pair.G1, ctx.M, ctx.RNG, ctx.Meter)
+	// Each greedy pick costs one SSSP on G_t1, charged inside
+	// landmark.SelectSource; the rows double as the D1 rows of the
+	// extraction phase.
+	set, err := landmark.SelectSource(s.strategy, ctx.S1, ctx.M, ctx.RNG, ctx.Meter)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", s.Name(), err)
 	}
@@ -291,11 +332,11 @@ func (s landmarkSelector) Select(ctx *Context) ([]int, error) {
 		// coverage. Returning no candidates models it faithfully.
 		return nil, fmt.Errorf("%w: m=%d <= l=%d random landmarks", ErrBudgetTooSmall, ctx.M, l)
 	}
-	set, err := landmark.Select(landmark.Random, ctx.Pair.G1, l, ctx.RNG, ctx.Meter)
+	set, err := landmark.SelectSource(landmark.Random, ctx.S1, l, ctx.RNG, ctx.Meter)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", s.Name(), err)
 	}
-	norms, d1, d2, err := landmark.ComputeNormsRows(set, ctx.Pair, ctx.Meter, ctx.Workers)
+	norms, d1, d2, err := landmark.ComputeNormsSource(set, ctx.Sources(), ctx.Meter, ctx.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", s.Name(), err)
 	}
@@ -354,11 +395,11 @@ func (s hybridSelector) Select(ctx *Context) ([]int, error) {
 		// unlike the random-landmark methods the budget is not wasted.
 		return dispersionSelector{s.strategy}.Select(ctx)
 	}
-	set, err := landmark.Select(s.strategy, ctx.Pair.G1, l, ctx.RNG, ctx.Meter)
+	set, err := landmark.SelectSource(s.strategy, ctx.S1, l, ctx.RNG, ctx.Meter)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", s.Name(), err)
 	}
-	norms, d1, d2, err := landmark.ComputeNormsRows(set, ctx.Pair, ctx.Meter, ctx.Workers)
+	norms, d1, d2, err := landmark.ComputeNormsSource(set, ctx.Sources(), ctx.Meter, ctx.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", s.Name(), err)
 	}

@@ -3,8 +3,10 @@ package candidates
 import (
 	"fmt"
 
+	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/landmark"
+	"repro/internal/sssp"
 )
 
 // Feature layout for the classification-based selectors (Section 5.3): the
@@ -53,11 +55,13 @@ func FeatureNames(global bool) []string {
 }
 
 // BuildFeatures computes the classifier feature matrix for every node of the
-// snapshot pair (rows indexed by node ID, unscaled). It consumes the
-// classifier's setup budget: three landmark sets of l nodes each, costing
-// 3·2l SSSP computations (Table 1). The landmark rows are cached in ctx for
-// potential reuse by the extraction phase. When global is true the four
-// dataset-level features are appended to every row.
+// snapshot pair (rows indexed by node ID, unscaled). Features are built from
+// degrees and metered distance rows only, so the same matrix layout works
+// for BFS and Dijkstra distance sources. It consumes the classifier's setup
+// budget: three landmark sets of l nodes each, costing 3·2l SSSP
+// computations (Table 1). The landmark rows are cached in ctx for potential
+// reuse by the extraction phase. When global is true the four dataset-level
+// features are appended to every row.
 func BuildFeatures(ctx *Context, global bool) ([][]float64, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
@@ -65,8 +69,8 @@ func BuildFeatures(ctx *Context, global bool) ([][]float64, error) {
 	if ctx.RNG == nil {
 		return nil, fmt.Errorf("candidates: feature extraction requires an RNG for random landmarks")
 	}
-	g1, g2 := ctx.Pair.G1, ctx.Pair.G2
-	n := g1.NumNodes()
+	s1, s2 := ctx.S1, ctx.S2
+	n := s1.NumNodes()
 	width := NumNodeFeatures
 	if global {
 		width = NumGlobalFeatures
@@ -75,7 +79,7 @@ func BuildFeatures(ctx *Context, global bool) ([][]float64, error) {
 	backing := make([]float64, n*width)
 	for u := 0; u < n; u++ {
 		x[u] = backing[u*width : (u+1)*width : (u+1)*width]
-		d1, d2 := g1.Degree(u), g2.Degree(u)
+		d1, d2 := s1.Degree(u), s2.Degree(u)
 		x[u][FeatDeg1] = float64(d1)
 		x[u][FeatDegDiff] = float64(d2 - d1)
 		if d1 > 0 {
@@ -92,11 +96,11 @@ func BuildFeatures(ctx *Context, global bool) ([][]float64, error) {
 		{landmark.MaxMin, FeatL1MaxMin, FeatLInfMaxMin},
 		{landmark.MaxAvg, FeatL1MaxAvg, FeatLInfMaxAvg},
 	} {
-		set, err := landmark.Select(spec.strategy, g1, ctx.Landmarks(), ctx.RNG, ctx.Meter)
+		set, err := landmark.SelectSource(spec.strategy, s1, ctx.Landmarks(), ctx.RNG, ctx.Meter)
 		if err != nil {
 			return nil, fmt.Errorf("candidates: %v landmarks: %w", spec.strategy, err)
 		}
-		norms, d1rows, d2rows, err := landmark.ComputeNormsRows(set, ctx.Pair, ctx.Meter, ctx.Workers)
+		norms, d1rows, d2rows, err := landmark.ComputeNormsSource(set, ctx.Sources(), ctx.Meter, ctx.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("candidates: %v norms: %w", spec.strategy, err)
 		}
@@ -111,7 +115,7 @@ func BuildFeatures(ctx *Context, global bool) ([][]float64, error) {
 	}
 
 	if global {
-		gf := GlobalFeatures(ctx.Pair)
+		gf := GlobalFeaturesSources(ctx.Sources())
 		for u := 0; u < n; u++ {
 			copy(x[u][NumNodeFeatures:], gf)
 		}
@@ -119,17 +123,24 @@ func BuildFeatures(ctx *Context, global bool) ([][]float64, error) {
 	return x, nil
 }
 
-// GlobalFeatures returns the four dataset-level features of a snapshot pair:
-// density of both snapshots and maximum degree normalized by node count.
+// GlobalFeatures returns the four dataset-level features of an unweighted
+// snapshot pair: density of both snapshots and maximum degree normalized by
+// node count.
 func GlobalFeatures(pair graph.SnapshotPair) []float64 {
-	n := float64(pair.G1.NumNodes())
+	return GlobalFeaturesSources(dist.BFSPair(pair, sssp.Auto))
+}
+
+// GlobalFeaturesSources is GlobalFeatures over any distance-source pair;
+// the features are structural (degree-derived), hence metric-independent.
+func GlobalFeaturesSources(p dist.Pair) []float64 {
+	n := float64(p.NumNodes())
 	if n == 0 {
 		n = 1
 	}
 	return []float64{
-		pair.G1.Density(),
-		pair.G2.Density(),
-		float64(pair.G1.MaxDegree()) / n,
-		float64(pair.G2.MaxDegree()) / n,
+		dist.Density(p.S1),
+		dist.Density(p.S2),
+		float64(dist.MaxDegree(p.S1)) / n,
+		float64(dist.MaxDegree(p.S2)) / n,
 	}
 }

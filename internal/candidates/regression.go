@@ -116,12 +116,12 @@ func (s regressionSelector) Select(ctx *Context) ([]int, error) {
 	ctx.D1Rows = fctx.D1Rows
 	ctx.D2Rows = fctx.D2Rows
 
-	g1 := ctx.Pair.G1
-	n := g1.NumNodes()
+	s1 := ctx.S1
+	n := s1.NumNodes()
 	score := make([]float64, n)
 	exclude := make(map[int]bool)
 	for u := 0; u < n; u++ {
-		if g1.Degree(u) == 0 {
+		if s1.Degree(u) == 0 {
 			exclude[u] = true
 			continue
 		}

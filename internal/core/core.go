@@ -5,6 +5,12 @@
 // pairwise distance differences, and return the k pairs that converged the
 // most. Every shortest-path computation is charged to a budget meter, so a
 // run's total cost is provably at most 2m SSSPs.
+//
+// The algorithm is metric-agnostic: it runs over any dist.Pair of distance
+// sources. TopK wires up BFS engines for unweighted snapshots; TopKSources
+// accepts arbitrary sources (Dijkstra over weighted snapshots, or anything
+// else satisfying dist.Source), so the unweighted and weighted pipelines
+// share one implementation of selection, extraction, and ranking.
 package core
 
 import (
@@ -19,6 +25,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/candidates"
+	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/sssp"
@@ -44,10 +51,11 @@ type Options struct {
 	Seed int64
 	// RNG overrides the seeded RNG.
 	RNG *rand.Rand
-	// Workers bounds BFS parallelism; <=0 means GOMAXPROCS.
+	// Workers bounds SSSP parallelism; <=0 means GOMAXPROCS.
 	Workers int
 	// Engine selects the BFS kernel for the extraction phase's shortest
 	// paths (ablations pin one); the zero value Auto picks the fastest.
+	// Ignored by TopKSources, whose sources carry their own kernels.
 	Engine sssp.Engine
 	// Meter overrides the default budget meter of 2M SSSPs. Useful for
 	// tests; normal callers leave it nil.
@@ -85,17 +93,41 @@ func (r *Result) Coverage(truePairs []topk.Pair) float64 {
 // ErrNoSelector reports Options without a selector.
 var ErrNoSelector = errors.New("core: no selector configured")
 
-// TopK runs Algorithm 1 on the snapshot pair.
+// TopK runs Algorithm 1 on the unweighted snapshot pair with BFS distance
+// engines.
 func TopK(pair graph.SnapshotPair, opts Options) (*Result, error) {
+	if err := pair.Validate(); err != nil {
+		return nil, err
+	}
+	return run(dist.BFSPair(pair, opts.Engine), pair, opts)
+}
+
+// TopKSources runs Algorithm 1 over an arbitrary pair of distance sources —
+// the single implementation behind both the unweighted (BFS) and weighted
+// (Dijkstra) pipelines. Structural selectors that need raw adjacency (e.g.
+// BetDiff, EmbedSum) work only when the sources unwrap to unweighted graphs.
+func TopKSources(src dist.Pair, opts Options) (*Result, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	var pair graph.SnapshotPair
+	if g1, ok := dist.UnweightedGraph(src.S1); ok {
+		if g2, ok := dist.UnweightedGraph(src.S2); ok {
+			pair = graph.SnapshotPair{G1: g1, G2: g2}
+		}
+	}
+	return run(src, pair, opts)
+}
+
+// run is the shared body of Algorithm 1. pair is the structural view of src
+// when one exists (unweighted sources); it is zero for metric-only sources.
+func run(src dist.Pair, pair graph.SnapshotPair, opts Options) (*Result, error) {
 	if opts.Selector == nil {
 		return nil, ErrNoSelector
 	}
 	if (opts.K > 0) == (opts.MinDelta > 0) {
 		return nil, fmt.Errorf("core: exactly one of K (%d) and MinDelta (%d) must be positive",
 			opts.K, opts.MinDelta)
-	}
-	if err := pair.Validate(); err != nil {
-		return nil, err
 	}
 	if opts.M <= 0 {
 		return nil, fmt.Errorf("core: non-positive endpoint budget m=%d", opts.M)
@@ -118,10 +150,12 @@ func TopK(pair graph.SnapshotPair, opts Options) (*Result, error) {
 	run := tr.StartSpan("algorithm1",
 		obs.Str("selector", opts.Selector.Name()),
 		obs.Int("m", opts.M), obs.Int("k", opts.K),
-		obs.Int("nodes", pair.G1.NumNodes()))
+		obs.Int("nodes", src.NumNodes()))
 	defer run.End()
 	ctx := &candidates.Context{
 		Pair:    pair,
+		S1:      src.S1,
+		S2:      src.S2,
 		M:       opts.M,
 		L:       opts.L,
 		RNG:     rng,
@@ -145,7 +179,7 @@ func TopK(pair graph.SnapshotPair, opts Options) (*Result, error) {
 	seen := make(map[int]bool, len(cands))
 	uniq := cands[:0]
 	for _, u := range cands {
-		if u < 0 || u >= pair.G1.NumNodes() {
+		if u < 0 || u >= src.NumNodes() {
 			return nil, fmt.Errorf("core: selector %s returned out-of-range candidate %d",
 				opts.Selector.Name(), u)
 		}
@@ -155,7 +189,7 @@ func TopK(pair graph.SnapshotPair, opts Options) (*Result, error) {
 		}
 	}
 	cands = uniq
-	pairs, err := extractPairs(pair, ctx, cands, opts, meter)
+	pairs, err := extractPairs(src, ctx, cands, opts, meter)
 	if err != nil {
 		return nil, err
 	}
@@ -170,15 +204,14 @@ func TopK(pair graph.SnapshotPair, opts Options) (*Result, error) {
 // extractPairs implements lines 2-5 of Algorithm 1: compute D1 and D2 rows
 // for the candidate set (reusing rows the selector cached), form the
 // pairwise deltas, and keep the top pairs.
-func extractPairs(pair graph.SnapshotPair, ctx *candidates.Context, cands []int, opts Options, meter *budget.Meter) ([]topk.Pair, error) {
+func extractPairs(src dist.Pair, ctx *candidates.Context, cands []int, opts Options, meter *budget.Meter) ([]topk.Pair, error) {
 	if len(cands) == 0 {
 		return nil, nil
 	}
-	g1, g2 := pair.G1, pair.G2
-	n := g1.NumNodes()
+	n := src.NumNodes()
 	tr := opts.Trace
 
-	// Charge exactly the BFS computations the caches cannot cover.
+	// Charge exactly the SSSP computations the caches cannot cover.
 	toCharge := 0
 	for _, u := range cands {
 		if _, ok := ctx.D1Rows[u]; !ok {
@@ -225,18 +258,19 @@ func extractPairs(pair graph.SnapshotPair, ctx *candidates.Context, cands []int,
 				defer wg.Done()
 				d1buf := make([]int32, n)
 				d2buf := make([]int32, n)
-				scratch := sssp.NewScratch(n)
+				sess1 := dist.NewSession(src.S1)
+				sess2 := dist.NewSession(src.S2)
 				var local []topk.Pair
 				for i := range next {
 					u := cands[i]
 					d1 := ctx.D1Rows[u]
 					if d1 == nil {
-						sssp.BFSWith(g1, u, d1buf, opts.Engine, scratch)
+						sess1.DistancesInto(u, d1buf)
 						d1 = d1buf
 					}
 					d2 := ctx.D2Rows[u]
 					if d2 == nil {
-						sssp.BFSWith(g2, u, d2buf, opts.Engine, scratch)
+						sess2.DistancesInto(u, d2buf)
 						d2 = d2buf
 					}
 					for v := 0; v < n; v++ {

@@ -2,18 +2,25 @@
 // the paper's evaluation (Section 5.1): the test pair is (80%, 100%) of the
 // edge stream, classifier training uses (60%, 70%), and per-dataset
 // characteristics reproduce Table 2. It also provides a plain-text edge-list
-// format so generated datasets can be saved and reloaded by the CLIs.
+// format so generated datasets can be saved and reloaded by the CLIs:
+// "u v t" lines for unweighted streams, "u v t w" for weighted ones (w is
+// the edge's fixed positive weight; snapshots then feed the Dijkstra-backed
+// pipeline via WeightedPair).
 package dataset
 
 import (
 	"bufio"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/datagen"
 	"repro/internal/graph"
 	"repro/internal/topk"
+	"repro/internal/weighted"
 )
 
 // Snapshot fractions used across the evaluation.
@@ -24,11 +31,20 @@ const (
 	TestFrac2  = 1.0
 )
 
-// Dataset is a named evolving graph.
+// Dataset is a named evolving graph, optionally with per-edge weights.
 type Dataset struct {
 	Name string
 	Ev   *graph.Evolving
+	// Weights, when non-nil, holds one fixed positive weight per stream edge
+	// (parallel to Ev.Stream()). Because every edge keeps its weight across
+	// snapshots and evolution is insertion-only, any later weighted snapshot
+	// automatically dominates any earlier one — the Delta >= 0 invariant of
+	// the weighted pipeline holds by construction. nil means unit weights.
+	Weights []int32
 }
+
+// Weighted reports whether the dataset carries per-edge weights.
+func (d *Dataset) Weighted() bool { return d.Weights != nil }
 
 // Generate builds one of the four synthetic paper datasets.
 func Generate(name string, cfg datagen.Config) (*Dataset, error) {
@@ -112,14 +128,24 @@ func (d *Dataset) Characteristics(pair graph.SnapshotPair, gt *topk.GroundTruth)
 	return c
 }
 
-// Save writes the dataset as "u v t" lines preceded by a name header.
+// Save writes the dataset as "u v t" lines (or "u v t w" when weighted)
+// preceded by a name header.
 func (d *Dataset) Save(w io.Writer) error {
+	if d.Weights != nil && len(d.Weights) != len(d.Ev.Stream()) {
+		return fmt.Errorf("dataset: %d weights for %d stream edges", len(d.Weights), len(d.Ev.Stream()))
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintf(bw, "# dataset %s\n", d.Name); err != nil {
 		return err
 	}
-	for _, te := range d.Ev.Stream() {
-		if _, err := fmt.Fprintf(bw, "%d %d %d\n", te.U, te.V, te.Time); err != nil {
+	for i, te := range d.Ev.Stream() {
+		var err error
+		if d.Weights != nil {
+			_, err = fmt.Fprintf(bw, "%d %d %d %d\n", te.U, te.V, te.Time, d.Weights[i])
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d %d\n", te.U, te.V, te.Time)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -139,13 +165,16 @@ func (d *Dataset) SaveFile(path string) error {
 	return f.Close()
 }
 
-// Load reads a dataset written by Save. Lines starting with '#' other than
-// the name header are ignored; a missing header yields the fallback name.
+// Load reads a dataset written by Save, auto-detecting the 3-column
+// unweighted and 4-column weighted formats (the column count must be
+// consistent across the file). Lines starting with '#' other than the name
+// header are ignored; a missing header yields the fallback name.
 func Load(r io.Reader, fallbackName string) (*Dataset, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	name := fallbackName
 	var stream []graph.TimedEdge
+	var weights []int32
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -160,10 +189,27 @@ func Load(r io.Reader, fallbackName string) (*Dataset, error) {
 			}
 			continue
 		}
-		var u, v int
-		var tm int64
-		if _, err := fmt.Sscanf(line, "%d %d %d", &u, &v, &tm); err != nil {
-			return nil, fmt.Errorf("dataset: line %d: %v", lineNo, err)
+		fields := strings.Fields(line)
+		if len(fields) != 3 && len(fields) != 4 {
+			return nil, fmt.Errorf("dataset: line %d: %d fields, want 3 (u v t) or 4 (u v t w)", lineNo, len(fields))
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		tm, err3 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("dataset: line %d: malformed edge %q", lineNo, line)
+		}
+		if len(fields) == 4 {
+			if len(stream) != len(weights) {
+				return nil, fmt.Errorf("dataset: line %d: weighted line in an unweighted file", lineNo)
+			}
+			w, err := strconv.ParseInt(fields[3], 10, 32)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("dataset: line %d: bad weight %q", lineNo, fields[3])
+			}
+			weights = append(weights, int32(w))
+		} else if weights != nil {
+			return nil, fmt.Errorf("dataset: line %d: unweighted line in a weighted file", lineNo)
 		}
 		stream = append(stream, graph.TimedEdge{U: u, V: v, Time: tm})
 	}
@@ -174,7 +220,69 @@ func Load(r io.Reader, fallbackName string) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Dataset{Name: name, Ev: ev}, nil
+	return &Dataset{Name: name, Ev: ev, Weights: weights}, nil
+}
+
+// AssignUniformWeights attaches per-edge weights drawn uniformly from
+// [1, max], replacing any existing weights. The draw is deterministic in the
+// seed and in stream order, so saved and regenerated datasets agree.
+func (d *Dataset) AssignUniformWeights(seed int64, max int32) error {
+	if max < 1 {
+		return fmt.Errorf("dataset: max weight %d, want >= 1", max)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	weights := make([]int32, d.Ev.NumEdges())
+	for i := range weights {
+		weights[i] = 1 + rng.Int31n(max)
+	}
+	d.Weights = weights
+	return nil
+}
+
+// weightedPrefix builds the weighted snapshot containing the first count
+// stream edges, over the full node universe (mirroring SnapshotPrefix).
+func (d *Dataset) weightedPrefix(count int) (*graph.Weighted, error) {
+	if count < 0 {
+		count = 0
+	}
+	if count > d.Ev.NumEdges() {
+		count = d.Ev.NumEdges()
+	}
+	edges := make([]graph.WeightedEdge, count)
+	for i, te := range d.Ev.Stream()[:count] {
+		edges[i] = graph.WeightedEdge{U: te.U, V: te.V, Weight: d.Weights[i]}
+	}
+	return graph.NewWeighted(d.Ev.NumNodes(), edges)
+}
+
+// WeightedPair returns the weighted snapshot pair at fractions (f1, f2) of
+// the edge stream, the Dijkstra-pipeline analogue of Evolving.Pair. Each edge
+// keeps its fixed weight in both snapshots, so the later snapshot dominates
+// the earlier one by construction. The dataset must be weighted.
+func (d *Dataset) WeightedPair(f1, f2 float64) (weighted.SnapshotPair, error) {
+	if d.Weights == nil {
+		return weighted.SnapshotPair{}, fmt.Errorf("dataset: %s has no edge weights (load a 4-column file or call AssignUniformWeights)", d.Name)
+	}
+	if len(d.Weights) != d.Ev.NumEdges() {
+		return weighted.SnapshotPair{}, fmt.Errorf("dataset: %d weights for %d stream edges", len(d.Weights), d.Ev.NumEdges())
+	}
+	if !(f1 < f2) || f1 < 0 || f2 > 1 {
+		return weighted.SnapshotPair{}, fmt.Errorf("dataset: bad fractions (%v, %v), want 0 <= f1 < f2 <= 1", f1, f2)
+	}
+	total := float64(d.Ev.NumEdges())
+	g1, err := d.weightedPrefix(int(f1 * total))
+	if err != nil {
+		return weighted.SnapshotPair{}, err
+	}
+	g2, err := d.weightedPrefix(int(f2 * total))
+	if err != nil {
+		return weighted.SnapshotPair{}, err
+	}
+	sp := weighted.SnapshotPair{G1: g1, G2: g2}
+	if err := sp.Validate(); err != nil {
+		return weighted.SnapshotPair{}, err
+	}
+	return sp, nil
 }
 
 // LoadFile reads a dataset from the given path, using the path as the

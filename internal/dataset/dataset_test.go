@@ -143,6 +143,89 @@ func TestLoadErrors(t *testing.T) {
 	}
 }
 
+func TestWeightedRoundTrip(t *testing.T) {
+	ds := tinyDataset(t)
+	if ds.Weighted() {
+		t.Fatal("generated dataset should start unweighted")
+	}
+	if _, err := ds.WeightedPair(TestFrac1, TestFrac2); err == nil {
+		t.Fatal("WeightedPair on an unweighted dataset should fail")
+	}
+	if err := ds.AssignUniformWeights(3, 0); err == nil {
+		t.Fatal("max weight 0 should fail")
+	}
+	if err := ds.AssignUniformWeights(3, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Weighted() || len(ds.Weights) != ds.Ev.NumEdges() {
+		t.Fatalf("weights not assigned: %d for %d edges", len(ds.Weights), ds.Ev.NumEdges())
+	}
+	for i, w := range ds.Weights {
+		if w < 1 || w > 10 {
+			t.Fatalf("weight[%d] = %d outside [1, 10]", i, w)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, "fallback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Weighted() {
+		t.Fatal("weights lost in round trip")
+	}
+	for i := range ds.Weights {
+		if loaded.Weights[i] != ds.Weights[i] {
+			t.Fatalf("weight diverges at %d: %d vs %d", i, loaded.Weights[i], ds.Weights[i])
+		}
+	}
+
+	sp, err := loaded.WeightedPair(TestFrac1, TestFrac2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The snapshots must mirror the unweighted fractions exactly: same node
+	// universe, same prefix edge counts, G2 dominating G1 (checked by
+	// WeightedPair via Validate).
+	up := loaded.TestPair()
+	if sp.G1.NumNodes() != up.G1.NumNodes() || sp.G2.NumNodes() != up.G2.NumNodes() {
+		t.Fatal("weighted snapshots have a different node universe")
+	}
+	if sp.G1.NumEdges() != up.G1.NumEdges() || sp.G2.NumEdges() != up.G2.NumEdges() {
+		t.Fatalf("weighted prefixes (%d, %d edges) differ from unweighted (%d, %d)",
+			sp.G1.NumEdges(), sp.G2.NumEdges(), up.G1.NumEdges(), up.G2.NumEdges())
+	}
+
+	if _, err := loaded.WeightedPair(0.9, 0.4); err == nil {
+		t.Fatal("inverted fractions should fail")
+	}
+}
+
+func TestLoadMixedColumns(t *testing.T) {
+	if _, err := Load(strings.NewReader("0 1 0\n1 2 1 7\n"), "x"); err == nil {
+		t.Fatal("weighted line after unweighted lines should fail")
+	}
+	if _, err := Load(strings.NewReader("0 1 0 7\n1 2 1\n"), "x"); err == nil {
+		t.Fatal("unweighted line after weighted lines should fail")
+	}
+	if _, err := Load(strings.NewReader("0 1 0 0\n"), "x"); err == nil {
+		t.Fatal("non-positive weight should fail")
+	}
+	if _, err := Load(strings.NewReader("0 1 0 1 9\n"), "x"); err == nil {
+		t.Fatal("five columns should fail")
+	}
+	ds, err := Load(strings.NewReader("# dataset W\n0 1 0 3\n1 2 1 5\n"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "W" || !ds.Weighted() || ds.Weights[0] != 3 || ds.Weights[1] != 5 {
+		t.Fatalf("parsed %q weights %v", ds.Name, ds.Weights)
+	}
+}
+
 func TestGenerateUnknown(t *testing.T) {
 	if _, err := Generate("nope", datagen.Config{}); err == nil {
 		t.Fatal("unknown dataset should fail")

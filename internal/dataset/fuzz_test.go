@@ -17,6 +17,9 @@ func FuzzLoad(f *testing.F) {
 	f.Add("1 2 5\n3 4 2\n") // unsorted times
 	f.Add("-1 2 0\n")
 	f.Add("999999999999999999999 1 0\n")
+	f.Add("0 1 0 5\n1 2 1 9\n") // weighted format
+	f.Add("0 1 0 5\n1 2 1\n")   // mixed columns (rejected)
+	f.Add("0 1 0 -3\n")         // non-positive weight (rejected)
 	f.Fuzz(func(t *testing.T, input string) {
 		ds, err := Load(strings.NewReader(input), "fuzz")
 		if err != nil {
@@ -38,6 +41,14 @@ func FuzzLoad(f *testing.F) {
 		for i := range a {
 			if a[i] != b[i] {
 				t.Fatalf("round trip changed stream at %d", i)
+			}
+		}
+		if ds.Weighted() != again.Weighted() {
+			t.Fatal("round trip changed weightedness")
+		}
+		for i := range ds.Weights {
+			if ds.Weights[i] != again.Weights[i] {
+				t.Fatalf("round trip changed weight at %d", i)
 			}
 		}
 	})

@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+// BFS is the unweighted distance source: hop distances on a graph.Graph via
+// the sssp BFS kernels. The zero engine (sssp.Auto) picks the fastest kernel
+// per call; ablations pin one.
+type BFS struct {
+	g      *graph.Graph
+	engine sssp.Engine
+}
+
+// NewBFS wraps g as a distance source computing distances with the given
+// BFS kernel (sssp.Auto for automatic selection).
+func NewBFS(g *graph.Graph, engine sssp.Engine) *BFS {
+	return &BFS{g: g, engine: engine}
+}
+
+// BFSPair wraps an unweighted snapshot pair as a dist.Pair sharing one
+// engine choice. The caller validates the pair (supergraph invariant).
+func BFSPair(pair graph.SnapshotPair, engine sssp.Engine) Pair {
+	return Pair{S1: NewBFS(pair.G1, engine), S2: NewBFS(pair.G2, engine)}
+}
+
+// NumNodes returns the node-universe size.
+func (s *BFS) NumNodes() int { return s.g.NumNodes() }
+
+// NumEdges returns the undirected edge count.
+func (s *BFS) NumEdges() int { return s.g.NumEdges() }
+
+// Degree returns the neighbor count of u.
+func (s *BFS) Degree(u int) int { return s.g.Degree(u) }
+
+// NeighborIDs returns u's adjacency; aliases internal storage.
+func (s *BFS) NeighborIDs(u int) []int32 { return s.g.Neighbors(u) }
+
+// Graph returns the underlying unweighted graph, for structural consumers
+// (betweenness, embeddings, DOT export) that need more than distances.
+func (s *BFS) Graph() *graph.Graph { return s.g }
+
+// Engine returns the configured BFS kernel.
+func (s *BFS) Engine() sssp.Engine { return s.engine }
+
+// DistancesInto runs one BFS from src, borrowing pooled scratch.
+func (s *BFS) DistancesInto(src int, dst []int32) {
+	sssp.BFSWith(s.g, src, dst, s.engine, nil)
+}
+
+// NewSession returns a handle owning a private sssp.Scratch.
+func (s *BFS) NewSession() Session {
+	return &bfsSession{src: s, scratch: sssp.NewScratch(s.g.NumNodes())}
+}
+
+// Sweep drives the batched multi-source kernels (bit-parallel BFS when the
+// engine resolution picks it), amortizing traversals across sources.
+func (s *BFS) Sweep(sources []int, workers int, fn func(src int, dst []int32)) {
+	sssp.AllSourcesEngineFunc(s.g, sources, workers, s.engine, fn)
+}
+
+// pairedSweep implements the paired fast path when both snapshots are
+// BFS-backed with the same engine, reusing one traversal state for the
+// (G_t1, G_t2) row pair per source.
+func (s *BFS) pairedSweep(other Source, sources []int, workers int, fn func(src int, d1, d2 []int32)) bool {
+	o, ok := other.(*BFS)
+	if !ok || o.engine != s.engine {
+		return false
+	}
+	sssp.PairedSourcesEngineFunc(s.g, o.g, sources, workers, s.engine, fn)
+	return true
+}
+
+// bfsSession reuses one scratch across queries from a single goroutine.
+type bfsSession struct {
+	src     *BFS
+	scratch *sssp.Scratch
+}
+
+func (s *bfsSession) DistancesInto(src int, dst []int32) {
+	sssp.BFSWith(s.src.g, src, dst, s.src.engine, s.scratch)
+}
+
+// UnweightedGraph unwraps a Source to its underlying *graph.Graph when it is
+// BFS-backed. Structural selectors (betweenness, embedding, incidence) use
+// this to detect — and cleanly reject — metrics they do not generalize to.
+func UnweightedGraph(s Source) (*graph.Graph, bool) {
+	if b, ok := s.(*BFS); ok {
+		return b.g, true
+	}
+	return nil, false
+}

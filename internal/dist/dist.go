@@ -1,0 +1,251 @@
+// Package dist is the distance-engine abstraction behind the paper's
+// Algorithm 1. The algorithm is metric-agnostic — select m endpoints,
+// compute their single-source distances on both snapshots, rank the pairwise
+// decreases — so everything above the traversal kernels (selectors, budget
+// metering, extraction, tracing) is written once against Source and runs
+// unchanged on unweighted BFS distances and weighted Dijkstra distances.
+//
+// A Source is a read-only view of one snapshot that answers single-source
+// distance queries; the paper's cost model charges one budget unit per
+// DistancesInto call (callers charge their budget.Meter before invoking, a
+// discipline convlint's budgetcheck enforces mechanically). Batched helpers
+// (Sweep, PairedSweep, DistanceMatrix) let engine implementations amortize
+// work across sources — the BFS source routes them to sssp's multi-source
+// kernels — while the generic fallback uses per-worker Sessions so scratch
+// state is reused across calls rather than reallocated per source.
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+// Unreachable re-exports the distance value marking disconnected pairs, so
+// dist callers need not import sssp for the sentinel.
+const Unreachable = sssp.Unreachable
+
+// Source is one snapshot under some distance metric. Implementations must be
+// safe for concurrent DistancesInto calls with distinct buffers.
+//
+// The structural methods (NumEdges, Degree, NeighborIDs) expose the
+// weight-less adjacency every selector heuristic ranks on; NeighborIDs makes
+// every Source a graph.AdjacencyLister, so component analysis is shared too.
+type Source interface {
+	// NumNodes returns the node-universe size.
+	NumNodes() int
+	// NumEdges returns the undirected edge count.
+	NumEdges() int
+	// Degree returns the neighbor count of u.
+	Degree(u int) int
+	// NeighborIDs returns u's adjacency (without weights); the slice aliases
+	// internal storage and must not be modified.
+	NeighborIDs(u int) []int32
+	// DistancesInto fills dst (length NumNodes) with the distances from src,
+	// Unreachable for no path. One call costs one unit of the paper's SSSP
+	// budget; callers charge their meter before invoking.
+	DistancesInto(src int, dst []int32)
+}
+
+// Session is a single-goroutine handle for repeated distance queries on one
+// Source, reusing traversal scratch state across calls. Obtain one per
+// worker with NewSession.
+type Session interface {
+	// DistancesInto behaves like Source.DistancesInto and costs the same one
+	// budget unit per call.
+	DistancesInto(src int, dst []int32)
+}
+
+// sessioner is the optional capability of sources that provide scratch-
+// reusing sessions.
+type sessioner interface {
+	NewSession() Session
+}
+
+// NewSession returns a scratch-reusing query handle for s. Sources without
+// native sessions fall back to the source itself (correct, just without
+// scratch reuse).
+func NewSession(s Source) Session {
+	if sp, ok := s.(sessioner); ok {
+		return sp.NewSession()
+	}
+	return s
+}
+
+// sweeper is the optional capability of sources with a batched multi-source
+// driver (e.g. the BFS source's bit-parallel kernel path).
+type sweeper interface {
+	Sweep(sources []int, workers int, fn func(src int, dst []int32))
+}
+
+// Sweep computes the distances from every source in sources, invoking
+// fn(src, dst) once per source from at most workers goroutines; dst is only
+// valid during the call. Sources with a batched kernel drive the sweep
+// themselves; others get a generic session-per-worker pool. The sweep costs
+// len(sources) budget units.
+func Sweep(s Source, sources []int, workers int, fn func(src int, dst []int32)) {
+	if sw, ok := s.(sweeper); ok {
+		sw.Sweep(sources, workers, fn)
+		return
+	}
+	n := s.NumNodes()
+	workers = clampWorkers(workers, len(sources))
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go pprof.Do(context.Background(), pprof.Labels("subsystem", "dist-sweep"),
+			func(context.Context) {
+				defer wg.Done()
+				sess := NewSession(s)
+				dst := make([]int32, n)
+				for i := range next {
+					src := sources[i]
+					sess.DistancesInto(src, dst)
+					fn(src, dst)
+				}
+			})
+	}
+	for i := range sources {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// DistanceMatrix computes the full rows-by-n distance matrix from the given
+// sources (row i = distances from sources[i]). Intended for candidate and
+// landmark sets (small m), not all-pairs sweeps. Costs one budget unit per
+// distinct source.
+func DistanceMatrix(s Source, sources []int, workers int) [][]int32 {
+	rows := make([][]int32, len(sources))
+	index := make(map[int]int, len(sources))
+	for i, src := range sources {
+		index[src] = i
+	}
+	Sweep(s, sources, workers, func(src int, dst []int32) {
+		row := make([]int32, len(dst))
+		copy(row, dst)
+		rows[index[src]] = row
+	})
+	// Duplicate sources all map to one computed row; alias it to the rest.
+	for i, src := range sources {
+		if rows[i] == nil {
+			rows[i] = rows[index[src]]
+		}
+	}
+	return rows
+}
+
+// Pair is a snapshot pair under one distance metric — the generic form of
+// (G_t1, G_t2) that Algorithm 1 runs on.
+type Pair struct {
+	S1, S2 Source
+}
+
+// Validate checks that both sources exist over the same node universe. The
+// metric-specific domination invariant (distances may only decrease) is the
+// concrete constructors' responsibility: graph.SnapshotPair.Validate for
+// BFS, weighted.SnapshotPair.Validate for Dijkstra.
+func (p Pair) Validate() error {
+	if p.S1 == nil || p.S2 == nil {
+		return errors.New("dist: nil source in pair")
+	}
+	if n1, n2 := p.S1.NumNodes(), p.S2.NumNodes(); n1 != n2 {
+		return fmt.Errorf("dist: node universes differ: %d vs %d", n1, n2)
+	}
+	return nil
+}
+
+// NumNodes returns the shared node-universe size.
+func (p Pair) NumNodes() int { return p.S1.NumNodes() }
+
+// pairedSweeper is the optional capability of source pairs with a shared
+// batched driver (both BFS-backed on the same engine).
+type pairedSweeper interface {
+	pairedSweep(other Source, sources []int, workers int, fn func(src int, d1, d2 []int32)) bool
+}
+
+// PairedSweep computes, for every source, its distance rows on both
+// snapshots and invokes fn(src, d1, d2); the buffers are only valid during
+// the call. BFS pairs route to sssp's paired multi-source kernels; anything
+// else runs the generic session pool. Costs 2·len(sources) budget units.
+func PairedSweep(p Pair, sources []int, workers int, fn func(src int, d1, d2 []int32)) {
+	if ps, ok := p.S1.(pairedSweeper); ok && ps.pairedSweep(p.S2, sources, workers, fn) {
+		return
+	}
+	n := p.NumNodes()
+	workers = clampWorkers(workers, len(sources))
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go pprof.Do(context.Background(), pprof.Labels("subsystem", "dist-sweep"),
+			func(context.Context) {
+				defer wg.Done()
+				s1 := NewSession(p.S1)
+				s2 := NewSession(p.S2)
+				d1 := make([]int32, n)
+				d2 := make([]int32, n)
+				for i := range next {
+					src := sources[i]
+					s1.DistancesInto(src, d1)
+					s2.DistancesInto(src, d2)
+					fn(src, d1, d2)
+				}
+			})
+	}
+	for i := range sources {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// LargestComponent returns the nodes of s's largest connected component,
+// sorted ascending, with the total component count. Component analysis is
+// structural (free in the paper's cost model), shared across metrics via
+// graph.LargestComponentOf.
+func LargestComponent(s Source) (nodes []int, components int) {
+	return graph.LargestComponentOf(s)
+}
+
+// Density returns the edge density 2E / (N (N-1)) of a source's snapshot.
+func Density(s Source) float64 {
+	n := s.NumNodes()
+	if n < 2 {
+		return 0
+	}
+	return 2 * float64(s.NumEdges()) / (float64(n) * float64(n-1))
+}
+
+// MaxDegree returns the largest degree of a source's snapshot.
+func MaxDegree(s Source) int {
+	max := 0
+	for u := 0; u < s.NumNodes(); u++ {
+		if d := s.Degree(u); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// clampWorkers resolves a worker-count request against the job count.
+func clampWorkers(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}

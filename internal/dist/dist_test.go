@@ -1,0 +1,204 @@
+package dist
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+// randomGraph builds a connected-ish random graph over n nodes.
+func randomGraph(t testing.TB, n int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: i, V: rng.Intn(i)})
+		if i > 2 && rng.Intn(3) == 0 {
+			edges = append(edges, graph.Edge{U: i, V: rng.Intn(i)})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// TestBFSMatchesUnitWeightDijkstra is the unification's keystone: on a graph
+// where every edge weighs 1, the Dijkstra source must produce bit-identical
+// rows to the BFS source — same distances, same Unreachable sentinel, same 0
+// on the diagonal. Everything above dist (selectors, extraction, budget)
+// then behaves identically by construction.
+func TestBFSMatchesUnitWeightDijkstra(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g := randomGraph(t, 60, seed)
+		b := NewBFS(g, sssp.Auto)
+		d := NewDijkstra(graph.FromUnweighted(g))
+		if b.NumNodes() != d.NumNodes() || b.NumEdges() != d.NumEdges() {
+			t.Fatalf("seed %d: structural views differ", seed)
+		}
+		n := g.NumNodes()
+		rowB := make([]int32, n)
+		rowD := make([]int32, n)
+		for u := 0; u < n; u++ {
+			if b.Degree(u) != d.Degree(u) {
+				t.Fatalf("seed %d: degree(%d) differs", seed, u)
+			}
+			b.DistancesInto(u, rowB)
+			d.DistancesInto(u, rowD)
+			if !reflect.DeepEqual(rowB, rowD) {
+				t.Fatalf("seed %d: rows from %d differ:\nbfs      %v\ndijkstra %v",
+					seed, u, rowB, rowD)
+			}
+		}
+	}
+}
+
+// TestSessionsMatchDirectQueries pins that scratch-reusing sessions return
+// the same rows as one-shot queries, for both engines.
+func TestSessionsMatchDirectQueries(t *testing.T) {
+	g := randomGraph(t, 50, 7)
+	for _, src := range []Source{NewBFS(g, sssp.Auto), NewDijkstra(graph.FromUnweighted(g))} {
+		sess := NewSession(src)
+		n := src.NumNodes()
+		direct := make([]int32, n)
+		viaSess := make([]int32, n)
+		for u := 0; u < n; u += 3 {
+			src.DistancesInto(u, direct)
+			sess.DistancesInto(u, viaSess)
+			if !reflect.DeepEqual(direct, viaSess) {
+				t.Fatalf("%T: session row from %d differs", src, u)
+			}
+		}
+	}
+}
+
+// TestSweepAndMatrix checks the batched helpers against direct queries,
+// including duplicate-source aliasing in DistanceMatrix.
+func TestSweepAndMatrix(t *testing.T) {
+	g := randomGraph(t, 40, 3)
+	for _, src := range []Source{NewBFS(g, sssp.Auto), NewDijkstra(graph.FromUnweighted(g))} {
+		n := src.NumNodes()
+		sources := []int{0, 5, 9, 5} // includes a duplicate
+		rows := DistanceMatrix(src, sources, 2)
+		if len(rows) != len(sources) {
+			t.Fatalf("%T: %d rows, want %d", src, len(rows), len(sources))
+		}
+		want := make([]int32, n)
+		for i, u := range sources {
+			src.DistancesInto(u, want)
+			if !reflect.DeepEqual(rows[i], want) {
+				t.Fatalf("%T: matrix row %d (source %d) differs", src, i, u)
+			}
+		}
+		// Sweep visits every source exactly once. The callback runs on
+		// worker goroutines, so guard the tally.
+		var mu sync.Mutex
+		visited := map[int]int{}
+		Sweep(src, []int{1, 2, 3}, 2, func(s int, dst []int32) {
+			mu.Lock()
+			visited[s]++
+			mu.Unlock()
+		})
+		if len(visited) != 3 || visited[1] != 1 || visited[2] != 1 || visited[3] != 1 {
+			t.Fatalf("%T: sweep visits = %v", src, visited)
+		}
+	}
+}
+
+// TestPairedSweepFastAndGenericAgree compares the BFS pair's kernel-backed
+// paired sweep against the generic session-pool fallback (forced by mixing
+// engines), and against a Dijkstra pair on unit weights.
+func TestPairedSweepFastAndGenericAgree(t *testing.T) {
+	g1 := randomGraph(t, 45, 11)
+	// G2 = G1 plus a few edges (insertion-only evolution).
+	var extra []graph.Edge
+	for u := 0; u < 45; u += 7 {
+		extra = append(extra, graph.Edge{U: u, V: (u + 20) % 45})
+	}
+	edges := append(append([]graph.Edge{}, g1.Edges()...), extra...)
+	g2 := graph.FromEdges(45, edges)
+
+	sources := []int{0, 3, 8, 21, 44}
+	collect := func(p Pair) map[int][2][]int32 {
+		var mu sync.Mutex
+		out := map[int][2][]int32{}
+		PairedSweep(p, sources, 2, func(src int, d1, d2 []int32) {
+			c1 := append([]int32(nil), d1...)
+			c2 := append([]int32(nil), d2...)
+			mu.Lock()
+			out[src] = [2][]int32{c1, c2}
+			mu.Unlock()
+		})
+		return out
+	}
+	fast := collect(BFSPair(graph.SnapshotPair{G1: g1, G2: g2}, sssp.Auto))
+	// Different engines on each side force the generic fallback path.
+	generic := collect(Pair{S1: NewBFS(g1, sssp.TopDown), S2: NewBFS(g2, sssp.Auto)})
+	dijkstra := collect(DijkstraPair(graph.FromUnweighted(g1), graph.FromUnweighted(g2)))
+	if !reflect.DeepEqual(fast, generic) {
+		t.Fatal("paired kernel sweep and generic fallback disagree")
+	}
+	if !reflect.DeepEqual(fast, dijkstra) {
+		t.Fatal("BFS pair and unit-weight Dijkstra pair disagree")
+	}
+}
+
+// TestStructuralHelpers covers the shared component/density/degree helpers.
+func TestStructuralHelpers(t *testing.T) {
+	// Three components: a triangle {0,1,2}, an edge {3,4}, and the isolated
+	// node 5 (a singleton component).
+	g := graph.FromEdges(6, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 3, V: 4}})
+	for _, src := range []Source{NewBFS(g, sssp.Auto), NewDijkstra(graph.FromUnweighted(g))} {
+		comp, count := LargestComponent(src)
+		sort.Ints(comp)
+		if count != 3 || !reflect.DeepEqual(comp, []int{0, 1, 2}) {
+			t.Fatalf("%T: largest component = %v (count %d)", src, comp, count)
+		}
+		if MaxDegree(src) != 2 {
+			t.Fatalf("%T: max degree = %d", src, MaxDegree(src))
+		}
+		if Density(src) <= 0 {
+			t.Fatalf("%T: density = %v", src, Density(src))
+		}
+	}
+}
+
+// TestPairValidate covers the shared pair checks.
+func TestPairValidate(t *testing.T) {
+	g := randomGraph(t, 10, 1)
+	if err := (Pair{}).Validate(); err == nil {
+		t.Fatal("nil sources should fail")
+	}
+	small := randomGraph(t, 5, 1)
+	p := Pair{S1: NewBFS(g, sssp.Auto), S2: NewBFS(small, sssp.Auto)}
+	if err := p.Validate(); err == nil {
+		t.Fatal("mismatched universes should fail")
+	}
+	ok := Pair{S1: NewBFS(g, sssp.Auto), S2: NewBFS(g, sssp.Auto)}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ok.NumNodes() != 10 {
+		t.Fatalf("NumNodes = %d", ok.NumNodes())
+	}
+}
+
+// TestUnwrappers pins the structural escape hatches both ways.
+func TestUnwrappers(t *testing.T) {
+	g := randomGraph(t, 8, 2)
+	w := graph.FromUnweighted(g)
+	if got, ok := UnweightedGraph(NewBFS(g, sssp.Auto)); !ok || got != g {
+		t.Fatal("UnweightedGraph failed on a BFS source")
+	}
+	if _, ok := UnweightedGraph(NewDijkstra(w)); ok {
+		t.Fatal("UnweightedGraph should reject a Dijkstra source")
+	}
+	if got, ok := WeightedGraph(NewDijkstra(w)); !ok || got != w {
+		t.Fatal("WeightedGraph failed on a Dijkstra source")
+	}
+	if _, ok := WeightedGraph(NewBFS(g, sssp.Auto)); ok {
+		t.Fatal("WeightedGraph should reject a BFS source")
+	}
+}

@@ -42,34 +42,40 @@ func (s selector) Select(ctx *candidates.Context) ([]int, error) {
 	if ctx.M <= l {
 		return nil, fmt.Errorf("%w: m=%d <= l=%d anchors", candidates.ErrBudgetTooSmall, ctx.M, l)
 	}
+	// The embedding optimizer consumes raw adjacency, so this selector only
+	// runs on unweighted (BFS-backed) snapshots.
+	pair, err := ctx.Unweighted()
+	if err != nil {
+		return nil, fmt.Errorf("EmbedSum: %w", err)
+	}
 	// Dispersed anchors; selection BFS rows double as the G_t1 rows.
-	set, err := landmark.Select(landmark.MaxMin, ctx.Pair.G1, l, ctx.RNG, ctx.Meter)
+	set, err := landmark.Select(landmark.MaxMin, pair.G1, l, ctx.RNG, ctx.Meter)
 	if err != nil {
 		return nil, fmt.Errorf("EmbedSum: %w", err)
 	}
 	if err := ctx.Meter.Charge(budget.PhaseCandidateGen, len(set.Nodes)); err != nil {
 		return nil, fmt.Errorf("EmbedSum: G_t2 anchor rows: %w", err)
 	}
-	d2rows := sssp.DistanceMatrix(ctx.Pair.G2, set.Nodes, ctx.Workers)
+	d2rows := sssp.DistanceMatrix(pair.G2, set.Nodes, ctx.Workers)
 	for i, w := range set.Nodes {
 		ctx.CacheD1(w, set.D1[i])
 		ctx.CacheD2(w, d2rows[i])
 	}
 
-	e1, err := Embed(ctx.Pair.G1, set.Nodes, set.D1, s.opts, ctx.RNG)
+	e1, err := Embed(pair.G1, set.Nodes, set.D1, s.opts, ctx.RNG)
 	if err != nil {
 		return nil, fmt.Errorf("EmbedSum: embed G_t1: %w", err)
 	}
-	e2, err := Embed(ctx.Pair.G2, set.Nodes, d2rows, s.opts, ctx.RNG)
+	e2, err := Embed(pair.G2, set.Nodes, d2rows, s.opts, ctx.RNG)
 	if err != nil {
 		return nil, fmt.Errorf("EmbedSum: embed G_t2: %w", err)
 	}
 
 	// Probe sample: random nodes present in G_t1.
-	n := ctx.Pair.G1.NumNodes()
+	n := pair.G1.NumNodes()
 	present := make([]int, 0, n)
 	for u := 0; u < n; u++ {
-		if ctx.Pair.G1.Degree(u) > 0 {
+		if pair.G1.Degree(u) > 0 {
 			present = append(present, u)
 		}
 	}

@@ -1,9 +1,18 @@
 package graph
 
-// Components labels each node with a connected-component ID in [0, count) and
-// returns the label slice together with the number of components. Isolated
-// nodes form singleton components.
-func Components(g *Graph) (labels []int32, count int) {
+// AdjacencyLister is the structural view shared by Graph and Weighted: the
+// node universe plus weight-less adjacency. Component analysis only needs
+// connectivity, so it runs identically on both representations (and on any
+// distance source wrapping them).
+type AdjacencyLister interface {
+	NumNodes() int
+	NeighborIDs(u int) []int32
+}
+
+// ComponentsOf labels each node of any adjacency-listing graph with a
+// connected-component ID in [0, count) and returns the label slice together
+// with the number of components. Isolated nodes form singleton components.
+func ComponentsOf(g AdjacencyLister) (labels []int32, count int) {
 	n := g.NumNodes()
 	labels = make([]int32, n)
 	for i := range labels {
@@ -20,7 +29,7 @@ func Components(g *Graph) (labels []int32, count int) {
 		for len(queue) > 0 {
 			u := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
-			for _, v := range g.Neighbors(int(u)) {
+			for _, v := range g.NeighborIDs(int(u)) {
 				if labels[v] < 0 {
 					labels[v] = next
 					queue = append(queue, v)
@@ -32,10 +41,16 @@ func Components(g *Graph) (labels []int32, count int) {
 	return labels, int(next)
 }
 
-// LargestComponent returns the nodes of the largest connected component,
-// sorted ascending, together with the component count of the whole graph.
-func LargestComponent(g *Graph) (nodes []int, components int) {
-	labels, count := Components(g)
+// Components labels each node with a connected-component ID in [0, count) and
+// returns the label slice together with the number of components. Isolated
+// nodes form singleton components.
+func Components(g *Graph) (labels []int32, count int) { return ComponentsOf(g) }
+
+// LargestComponentOf returns the nodes of the largest connected component of
+// any adjacency-listing graph, sorted ascending, together with the component
+// count of the whole graph.
+func LargestComponentOf(g AdjacencyLister) (nodes []int, components int) {
+	labels, count := ComponentsOf(g)
 	if count == 0 {
 		return nil, 0
 	}
@@ -56,6 +71,12 @@ func LargestComponent(g *Graph) (nodes []int, components int) {
 		}
 	}
 	return nodes, count
+}
+
+// LargestComponent returns the nodes of the largest connected component,
+// sorted ascending, together with the component count of the whole graph.
+func LargestComponent(g *Graph) (nodes []int, components int) {
+	return LargestComponentOf(g)
 }
 
 // SameComponent returns a predicate telling whether two nodes are connected

@@ -66,6 +66,10 @@ func (g *Graph) Neighbors(u int) []int32 {
 	return g.neighbors[g.offsets[u]:g.offsets[u+1]]
 }
 
+// NeighborIDs is Neighbors under the AdjacencyLister interface name, so the
+// unweighted graph plugs into the generic component analysis directly.
+func (g *Graph) NeighborIDs(u int) []int32 { return g.Neighbors(u) }
+
 // CSR exposes the raw compressed-sparse-row arrays: offsets has length
 // NumNodes()+1 and neighbors holds the concatenated sorted adjacency lists
 // (node u's neighbors are neighbors[offsets[u]:offsets[u+1]]). Both slices

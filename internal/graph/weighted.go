@@ -114,6 +114,12 @@ func (g *Weighted) Neighbors(u int) (adj, weights []int32) {
 	return g.neighbors[g.offsets[u]:g.offsets[u+1]], g.weights[g.offsets[u]:g.offsets[u+1]]
 }
 
+// NeighborIDs returns u's adjacency without the weights, satisfying
+// AdjacencyLister so component analysis works on weighted graphs too.
+func (g *Weighted) NeighborIDs(u int) []int32 {
+	return g.neighbors[g.offsets[u]:g.offsets[u+1]]
+}
+
 // FromUnweighted lifts an unweighted graph to a Weighted with unit weights;
 // shortest paths coincide with BFS distances, which tests exploit.
 func FromUnweighted(g *Graph) *Weighted {

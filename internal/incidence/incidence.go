@@ -259,10 +259,14 @@ func (incDeg) Select(ctx *candidates.Context) ([]int, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
 	}
-	active := ActiveNodes(ctx.Pair)
+	pair, err := ctx.Unweighted()
+	if err != nil {
+		return nil, fmt.Errorf("IncDeg: %w", err)
+	}
+	active := ActiveNodes(pair)
 	sort.Slice(active, func(i, j int) bool {
-		di := ctx.Pair.G2.Degree(active[i]) - ctx.Pair.G1.Degree(active[i])
-		dj := ctx.Pair.G2.Degree(active[j]) - ctx.Pair.G1.Degree(active[j])
+		di := pair.G2.Degree(active[i]) - pair.G1.Degree(active[i])
+		dj := pair.G2.Degree(active[j]) - pair.G1.Degree(active[j])
 		if di != dj {
 			return di > dj
 		}
@@ -290,19 +294,23 @@ func (incBet) Select(ctx *candidates.Context) ([]int, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
 	}
-	eb1 := betweenness.Edges(ctx.Pair.G1, ctx.Workers)
-	eb2 := betweenness.Edges(ctx.Pair.G2, ctx.Workers)
+	pair, err := ctx.Unweighted()
+	if err != nil {
+		return nil, fmt.Errorf("IncBet: %w", err)
+	}
+	eb1 := betweenness.Edges(pair.G1, ctx.Workers)
+	eb2 := betweenness.Edges(pair.G2, ctx.Workers)
 	score := func(u int) float64 {
 		var s float64
-		for _, v := range ctx.Pair.G2.Neighbors(u) {
+		for _, v := range pair.G2.Neighbors(u) {
 			s += eb2[graph.Edge{U: u, V: int(v)}.Canon()]
 		}
-		for _, v := range ctx.Pair.G1.Neighbors(u) {
+		for _, v := range pair.G1.Neighbors(u) {
 			s -= eb1[graph.Edge{U: u, V: int(v)}.Canon()]
 		}
 		return s
 	}
-	active := ActiveNodes(ctx.Pair)
+	active := ActiveNodes(pair)
 	scores := make(map[int]float64, len(active))
 	for _, u := range active {
 		scores[u] = score(u)

@@ -4,9 +4,15 @@
 // SumDiff and MaxDiff ranking scores, and dispersion-selected landmark sets
 // (MaxMin / MaxAvg) power the hybrid algorithms.
 //
-// Budget discipline follows the paper's Table 1: every BFS performed here is
-// charged to the caller's budget meter in the candidate-generation phase —
-// l BFS per snapshot for the landmark rows, with dispersion selection's G_t1
+// Selection and norm computation are metric-generic: they run over
+// dist.Source / dist.Pair, so the same code serves BFS distances on
+// unweighted snapshots and Dijkstra distances on weighted ones. The
+// *graph.Graph entry points (Select, ComputeNorms, ComputeNormsRows) remain
+// as thin BFS-source wrappers.
+//
+// Budget discipline follows the paper's Table 1: every SSSP performed here
+// is charged to the caller's budget meter in the candidate-generation phase
+// — l per snapshot for the landmark rows, with dispersion selection's G_t1
 // rows cached and reused so hybrids pay 2l total, not 3l.
 package landmark
 
@@ -17,6 +23,7 @@ import (
 	"sort"
 
 	"repro/internal/budget"
+	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/sssp"
 )
@@ -58,7 +65,7 @@ func (s Strategy) String() string {
 var ErrNoLandmarks = errors.New("landmark: no landmarks selectable")
 
 // Set is a selected landmark set. For dispersion strategies, D1 caches the
-// BFS rows on G_t1 computed during selection (row i is distances from
+// distance rows on G_t1 computed during selection (row i is distances from
 // Nodes[i]); reusing them halves the landmark budget of hybrids.
 type Set struct {
 	Strategy Strategy
@@ -66,16 +73,23 @@ type Set struct {
 	D1       [][]int32
 }
 
-// Select picks l landmarks from g1 with the given strategy. Landmarks come
-// from the largest connected component, where pairwise dispersion distances
-// are well defined. Dispersion strategies charge one BFS per pick to meter
-// (candidate-generation phase); Random and HighDegree are free. rng is used
-// by Random only and may be nil for the other strategies.
+// Select picks l landmarks from the unweighted g1; it is SelectSource over a
+// BFS distance source, kept for structural callers (oracle, ablations).
 func Select(strategy Strategy, g1 *graph.Graph, l int, rng *rand.Rand, meter *budget.Meter) (Set, error) {
+	return SelectSource(strategy, dist.NewBFS(g1, sssp.Auto), l, rng, meter)
+}
+
+// SelectSource picks l landmarks from a snapshot under any distance metric.
+// Landmarks come from the largest connected component, where pairwise
+// dispersion distances are well defined. Dispersion strategies charge one
+// SSSP per pick to meter (candidate-generation phase); Random and HighDegree
+// are free. rng is used by Random only and may be nil for the other
+// strategies.
+func SelectSource(strategy Strategy, s1 dist.Source, l int, rng *rand.Rand, meter *budget.Meter) (Set, error) {
 	if l <= 0 {
 		return Set{}, fmt.Errorf("landmark: non-positive landmark count %d", l)
 	}
-	comp, _ := graph.LargestComponent(g1)
+	comp, _ := dist.LargestComponent(s1)
 	if len(comp) == 0 {
 		return Set{}, fmt.Errorf("%w: empty graph", ErrNoLandmarks)
 	}
@@ -97,7 +111,7 @@ func Select(strategy Strategy, g1 *graph.Graph, l int, rng *rand.Rand, meter *bu
 	case HighDegree:
 		sorted := append([]int(nil), comp...)
 		sort.Slice(sorted, func(i, j int) bool {
-			di, dj := g1.Degree(sorted[i]), g1.Degree(sorted[j])
+			di, dj := s1.Degree(sorted[i]), s1.Degree(sorted[j])
 			if di != dj {
 				return di > dj
 			}
@@ -105,7 +119,7 @@ func Select(strategy Strategy, g1 *graph.Graph, l int, rng *rand.Rand, meter *bu
 		})
 		return Set{Strategy: HighDegree, Nodes: sorted[:l]}, nil
 	case MaxMin, MaxAvg:
-		return selectDispersed(strategy, g1, comp, l, meter)
+		return selectDispersed(strategy, s1, comp, l, meter)
 	default:
 		return Set{}, fmt.Errorf("landmark: unknown strategy %v", strategy)
 	}
@@ -115,14 +129,14 @@ func Select(strategy Strategy, g1 *graph.Graph, l int, rng *rand.Rand, meter *bu
 // MaxAvg. The first pick is the highest-degree node of the component (a
 // deterministic, central anchor); each subsequent pick maximizes the
 // min (MaxMin) or sum (MaxAvg) of distances to the already-selected set.
-func selectDispersed(strategy Strategy, g1 *graph.Graph, comp []int, l int, meter *budget.Meter) (Set, error) {
+func selectDispersed(strategy Strategy, s1 dist.Source, comp []int, l int, meter *budget.Meter) (Set, error) {
 	first := comp[0]
 	for _, u := range comp {
-		if g1.Degree(u) > g1.Degree(first) {
+		if s1.Degree(u) > s1.Degree(first) {
 			first = u
 		}
 	}
-	n := g1.NumNodes()
+	n := s1.NumNodes()
 	inComp := make([]bool, n)
 	for _, u := range comp {
 		inComp[u] = true
@@ -131,14 +145,14 @@ func selectDispersed(strategy Strategy, g1 *graph.Graph, comp []int, l int, mete
 	isSelected := make([]bool, n)
 	score := make([]int64, n) // min- or sum-distance to selected
 	rows := make([][]int32, 0, l)
-	scratch := sssp.NewScratch(n)
+	sess := dist.NewSession(s1)
 
 	pick := func(u int) error {
 		if err := meter.Charge(budget.PhaseCandidateGen, 1); err != nil {
 			return err
 		}
 		row := make([]int32, n)
-		sssp.BFSWith(g1, u, row, sssp.Auto, scratch)
+		sess.DistancesInto(u, row)
 		rows = append(rows, row)
 		selected = append(selected, u)
 		isSelected[u] = true
@@ -188,7 +202,7 @@ type Norms struct {
 }
 
 // ComputeNorms evaluates the delta-vector norms of every node for the given
-// landmark set. It charges one BFS per landmark on G_t2, plus one per
+// landmark set. It charges one SSSP per landmark on G_t2, plus one per
 // landmark on G_t1 when the set carries no cached D1 rows.
 func ComputeNorms(set Set, pair graph.SnapshotPair, meter *budget.Meter, workers int) (Norms, error) {
 	norms, _, _, err := ComputeNormsRows(set, pair, meter, workers)
@@ -200,6 +214,13 @@ func ComputeNorms(set Set, pair graph.SnapshotPair, meter *budget.Meter, workers
 // selectors cache these rows so the extraction phase re-spends nothing on
 // landmark sources, preserving the paper's exact 2m SSSP budget.
 func ComputeNormsRows(set Set, pair graph.SnapshotPair, meter *budget.Meter, workers int) (Norms, [][]int32, [][]int32, error) {
+	return ComputeNormsSource(set, dist.BFSPair(pair, sssp.Auto), meter, workers)
+}
+
+// ComputeNormsSource is the metric-generic ComputeNormsRows: it evaluates
+// the delta-vector norms over any distance-source pair, with the same
+// charging discipline.
+func ComputeNormsSource(set Set, p dist.Pair, meter *budget.Meter, workers int) (Norms, [][]int32, [][]int32, error) {
 	l := len(set.Nodes)
 	if l == 0 {
 		return Norms{}, nil, nil, ErrNoLandmarks
@@ -209,16 +230,16 @@ func ComputeNormsRows(set Set, pair graph.SnapshotPair, meter *budget.Meter, wor
 		if err := meter.Charge(budget.PhaseCandidateGen, l); err != nil {
 			return Norms{}, nil, nil, fmt.Errorf("landmark: G_t1 rows: %w", err)
 		}
-		d1 = sssp.DistanceMatrix(pair.G1, set.Nodes, workers)
+		d1 = dist.DistanceMatrix(p.S1, set.Nodes, workers)
 	} else if len(d1) != l {
 		return Norms{}, nil, nil, fmt.Errorf("landmark: cached D1 has %d rows for %d landmarks", len(d1), l)
 	}
 	if err := meter.Charge(budget.PhaseCandidateGen, l); err != nil {
 		return Norms{}, nil, nil, fmt.Errorf("landmark: G_t2 rows: %w", err)
 	}
-	d2 := sssp.DistanceMatrix(pair.G2, set.Nodes, workers)
+	d2 := dist.DistanceMatrix(p.S2, set.Nodes, workers)
 
-	n := pair.G1.NumNodes()
+	n := p.NumNodes()
 	norms := Norms{L1: make([]int64, n), LInf: make([]int32, n)}
 	for i := 0; i < l; i++ {
 		r1, r2 := d1[i], d2[i]

@@ -62,10 +62,43 @@ func (h *minHeap) pop() heapItem {
 	return top
 }
 
+// DijkstraScratch holds the reusable working state of repeated Dijkstra
+// calls from one goroutine: the settled bitmap and the priority queue's
+// backing array. Like sssp.Scratch it is share-by-pointer (scratchcopy
+// enforces no by-value copies) and not safe for concurrent use.
+type DijkstraScratch struct {
+	done []bool
+	heap minHeap
+}
+
+// NewDijkstraScratch allocates a scratch sized for n-node graphs; it grows
+// transparently if later used on a larger graph.
+func NewDijkstraScratch(n int) *DijkstraScratch {
+	return &DijkstraScratch{done: make([]bool, n), heap: make(minHeap, 0, 256)}
+}
+
+// ensure resets the scratch for a fresh run over n nodes.
+func (s *DijkstraScratch) ensure(n int) {
+	if cap(s.done) < n {
+		s.done = make([]bool, n)
+	} else {
+		s.done = s.done[:n]
+		clear(s.done)
+	}
+	s.heap = s.heap[:0]
+}
+
 // Dijkstra computes weighted shortest-path distances from src into dist,
 // which must have length g.NumNodes(). Unreached nodes get Unreachable.
 // Weights must be non-negative (enforced by graph.NewWeighted).
 func Dijkstra(g *graph.Weighted, src int, dist []int32) {
+	DijkstraWith(g, src, dist, nil)
+}
+
+// DijkstraWith is Dijkstra with an explicit scratch, so repeated calls from
+// one goroutine reuse the settled bitmap and heap storage (the weighted
+// analogue of BFSWith). A nil scratch allocates a fresh one.
+func DijkstraWith(g *graph.Weighted, src int, dist []int32, s *DijkstraScratch) {
 	n := g.NumNodes()
 	if len(dist) != n {
 		panic(fmt.Sprintf("sssp: dist buffer length %d, graph has %d nodes", len(dist), n))
@@ -73,15 +106,21 @@ func Dijkstra(g *graph.Weighted, src int, dist []int32) {
 	if src < 0 || src >= n {
 		panic(fmt.Sprintf("sssp: source %d out of range [0,%d)", src, n))
 	}
+	if s == nil {
+		s = NewDijkstraScratch(n)
+	}
+	s.ensure(n)
+	done, h := s.done, &s.heap
 	for i := range dist {
 		dist[i] = Unreachable
 	}
-	done := make([]bool, n)
-	h := make(minHeap, 0, 256)
 	dist[src] = 0
 	h.push(heapItem{node: int32(src), dist: 0})
-	var settled, edges int64
-	for len(h) > 0 {
+	var settled, edges, heapPeak int64
+	for len(*h) > 0 {
+		if hl := int64(len(*h)); hl > heapPeak {
+			heapPeak = hl
+		}
 		it := h.pop()
 		u := it.node
 		if done[u] {
@@ -99,11 +138,13 @@ func Dijkstra(g *graph.Weighted, src int, dist []int32) {
 			}
 		}
 	}
+	s.heap = *h
 	km := &kernelMetrics[kDijkstra]
 	km.calls.Add(1)
 	km.sources.Add(1)
 	km.nodes.Add(settled)
 	km.edges.Add(edges)
+	peakMax(&km.frontierPeak, heapPeak)
 }
 
 // WeightedDistances is a convenience wrapper around Dijkstra that allocates

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/sssp"
 )
@@ -63,20 +64,32 @@ type GroundTruth struct {
 // Compute runs the exact all-pairs sweep for the snapshot pair. It validates
 // the pair first: G_t2 must be a supergraph of G_t1 on the same universe,
 // which guarantees Delta >= 0 for every connected pair.
-//
-//convlint:unbudgeted exact ground-truth sweep; the paper's 2m budget is defined relative to this quadratic baseline
 func Compute(pair graph.SnapshotPair, opts Options) (*GroundTruth, error) {
 	if err := pair.Validate(); err != nil {
 		return nil, err
 	}
-	g1, g2 := pair.G1, pair.G2
-	n := g1.NumNodes()
+	return ComputeSources(dist.BFSPair(pair, sssp.Auto), opts)
+}
+
+// ComputeSources runs the exact all-pairs sweep over an arbitrary pair of
+// distance sources — the metric-agnostic form shared by the unweighted (BFS)
+// and weighted (Dijkstra) ground truths. The caller validates the
+// metric-specific domination invariant; here only the shared universe is
+// checked.
+//
+//convlint:unbudgeted exact ground-truth sweep; the paper's 2m budget is defined relative to this quadratic baseline
+func ComputeSources(p dist.Pair, opts Options) (*GroundTruth, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.NumNodes()
+	s1, s2 := p.S1, p.S2
 
 	// Only sources with at least one edge in G_t1 can participate in a
 	// connected pair of G_t1.
 	sources := make([]int, 0, n)
 	for u := 0; u < n; u++ {
-		if g1.Degree(u) > 0 {
+		if s1.Degree(u) > 0 {
 			sources = append(sources, u)
 		}
 	}
@@ -84,28 +97,22 @@ func Compute(pair graph.SnapshotPair, opts Options) (*GroundTruth, error) {
 	// pair, yet they may carry G_t2's diameter: sweep them separately.
 	var extra []int
 	for u := 0; u < n; u++ {
-		if g1.Degree(u) == 0 && g2.Degree(u) > 0 {
+		if s1.Degree(u) == 0 && s2.Degree(u) > 0 {
 			extra = append(extra, u)
 		}
 	}
 	return ComputeEngine(PairEngine{
 		NumNodes: n,
 		Sources:  sources,
-		Paired: func(src int, d1, d2 []int32) {
-			sssp.BFS(g1, src, d1)
-			sssp.BFS(g2, src, d2)
-		},
-		// The batch drivers let sssp's bit-parallel kernel sweep 64
-		// sources per traversal — the all-pairs phase's hot path.
+		// The batch drivers let engines amortize traversals across sources
+		// (the BFS pair routes to sssp's bit-parallel paired kernel — the
+		// all-pairs phase's hot path; Dijkstra runs a session pool).
 		PairedAll: func(srcs []int, workers int, fn func(src int, d1, d2 []int32)) {
-			sssp.PairedSourcesFunc(g1, g2, srcs, workers, fn)
+			dist.PairedSweep(p, srcs, workers, fn)
 		},
 		ExtraDiam2Sources: extra,
-		Dist2: func(src int, dist []int32) {
-			sssp.BFS(g2, src, dist)
-		},
-		Dist2All: func(srcs []int, workers int, fn func(src int, dist []int32)) {
-			sssp.AllSourcesFunc(g2, srcs, workers, fn)
+		Dist2All: func(srcs []int, workers int, fn func(src int, d []int32)) {
+			dist.Sweep(s2, srcs, workers, fn)
 		},
 	}, opts)
 }

@@ -1,0 +1,167 @@
+package weighted
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/candidates"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/topk"
+)
+
+// unitWeightPair mirrors an unweighted snapshot pair as a weighted pair with
+// every edge at weight 1, where hop distance and weighted distance coincide.
+func unitWeightPair(sp graph.SnapshotPair) SnapshotPair {
+	return SnapshotPair{G1: graph.FromUnweighted(sp.G1), G2: graph.FromUnweighted(sp.G2)}
+}
+
+// growingPair builds a random insertion-only snapshot pair (same shape as
+// the core package's test fixture).
+func growingPair(t testing.TB, n int, seed int64) graph.SnapshotPair {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[graph.Edge]struct{}{}
+	var stream []graph.TimedEdge
+	add := func(u, v int) {
+		if u == v {
+			return
+		}
+		c := graph.Edge{U: u, V: v}.Canon()
+		if _, dup := seen[c]; dup {
+			return
+		}
+		seen[c] = struct{}{}
+		stream = append(stream, graph.TimedEdge{U: u, V: v, Time: int64(len(stream))})
+	}
+	for i := 1; i < n; i++ {
+		add(i, rng.Intn(i))
+		if i > 2 && rng.Intn(3) == 0 {
+			add(i, rng.Intn(i))
+		}
+	}
+	ev, err := graph.NewEvolving(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := ev.Pair(0.8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestDifferentialUnitWeights is the unification's acceptance test: on
+// all-weights-1 graphs, the weighted pipeline must produce bit-identical
+// results to the unweighted pipeline — same Pairs, same Candidates, same
+// per-phase budget report — for every registry selector and both the top-K
+// and δ-threshold formulations. The two runs share one implementation of
+// Algorithm 1; only the distance engine differs, and at unit weights BFS and
+// Dijkstra compute the same metric.
+func TestDifferentialUnitWeights(t *testing.T) {
+	const (
+		m = 16
+		l = 4
+	)
+	for seed := int64(1); seed <= 3; seed++ {
+		sp := growingPair(t, 80, seed)
+		wsp := unitWeightPair(sp)
+		if err := wsp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range candidates.Names() {
+			sel, err := candidates.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []struct {
+				label    string
+				k        int
+				minDelta int32
+			}{
+				{label: "topk", k: 10},
+				{label: "delta", minDelta: 1},
+			} {
+				unw, err := core.TopK(sp, core.Options{
+					Selector: sel, M: m, L: l, K: mode.k, MinDelta: mode.minDelta,
+					Seed: seed, Workers: 2,
+				})
+				if err != nil {
+					t.Fatalf("seed %d %s/%s unweighted: %v", seed, name, mode.label, err)
+				}
+				w, err := TopK(wsp, Options{
+					Selector: name, M: m, L: l, K: mode.k, MinDelta: mode.minDelta,
+					Seed: seed, Workers: 2,
+				})
+				if err != nil {
+					t.Fatalf("seed %d %s/%s weighted: %v", seed, name, mode.label, err)
+				}
+				if !reflect.DeepEqual(unw.Pairs, w.Pairs) {
+					t.Errorf("seed %d %s/%s: pairs diverge\nunweighted %v\nweighted   %v",
+						seed, name, mode.label, unw.Pairs, w.Pairs)
+				}
+				if !reflect.DeepEqual(unw.Candidates, w.Candidates) {
+					t.Errorf("seed %d %s/%s: candidates diverge\nunweighted %v\nweighted   %v",
+						seed, name, mode.label, unw.Candidates, w.Candidates)
+				}
+				if unw.Budget != w.Budget {
+					t.Errorf("seed %d %s/%s: budget reports diverge: %+v vs %+v",
+						seed, name, mode.label, unw.Budget, w.Budget)
+				}
+				if unw.SelectorName != w.SelectorName {
+					t.Errorf("seed %d %s/%s: selector names diverge: %q vs %q",
+						seed, name, mode.label, unw.SelectorName, w.SelectorName)
+				}
+				if unw.Budget.Total() > 2*m {
+					t.Errorf("seed %d %s/%s: overspent budget %v", seed, name, mode.label, unw.Budget)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialClassifier extends the equivalence to a trained
+// classification selector, driven through core.TopKSources directly (the
+// name-based weighted adapter only covers the registry).
+func TestDifferentialClassifier(t *testing.T) {
+	sp := growingPair(t, 80, 9)
+	wsp := unitWeightPair(sp)
+	gt, err := topk.Compute(sp, topk.Options{Workers: 2, Slack: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	positives := map[int32]bool{}
+	for _, p := range gt.Pairs {
+		positives[p.U] = true
+		positives[p.V] = true
+	}
+	model, err := candidates.Train(
+		[]candidates.TrainSample{{Pair: sp, Positives: positives}},
+		candidates.TrainOptions{L: 3, Seed: 5, Workers: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := candidates.Classifier("L-Classifier", model)
+	opts := core.Options{Selector: sel, M: 14, L: 3, K: 8, Seed: 5, Workers: 2}
+	unw, err := core.TopK(sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := core.TopKSources(dist.DijkstraPair(wsp.G1, wsp.G2), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(unw.Pairs, w.Pairs) {
+		t.Errorf("classifier pairs diverge\nunweighted %v\nweighted   %v", unw.Pairs, w.Pairs)
+	}
+	if !reflect.DeepEqual(unw.Candidates, w.Candidates) {
+		t.Errorf("classifier candidates diverge\nunweighted %v\nweighted   %v",
+			unw.Candidates, w.Candidates)
+	}
+	if unw.Budget != w.Budget {
+		t.Errorf("classifier budget reports diverge: %+v vs %+v", unw.Budget, w.Budget)
+	}
+}

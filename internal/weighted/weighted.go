@@ -5,21 +5,27 @@
 // new edge may also arrive with a smaller weight than an existing one
 // (e.g. a road upgrade), which likewise only decreases distances.
 //
-// The package provides exact ground truth (via topk's generic engine) and a
-// budgeted Algorithm 1 whose candidate generation offers the selectors that
-// translate directly to weighted graphs: degree heuristics, weighted
-// dispersion, and weighted landmark rankings.
+// The package is a thin adapter over the unified pipeline: it validates the
+// weighted domination invariant, wraps the snapshots as Dijkstra distance
+// sources (dist.DijkstraPair), and delegates both the exact ground truth
+// (topk.ComputeSources) and the budgeted Algorithm 1 (core.TopKSources) to
+// the same code the unweighted pipeline runs — one algorithm, two metrics.
+// Every selector in the candidates registry works here; only the structural
+// extras (BetDiff, EmbedSum, Incidence policies) are unweighted-only, and
+// they reject weighted sources with a clear error.
 package weighted
 
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"repro/internal/budget"
+	"repro/internal/candidates"
+	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/graph"
-	"repro/internal/sssp"
+	"repro/internal/obs"
 	"repro/internal/topk"
 )
 
@@ -57,41 +63,27 @@ func (sp SnapshotPair) Validate() error {
 	return nil
 }
 
+// Sources wraps the validated pair as Dijkstra distance sources, the form
+// the unified pipeline consumes.
+func (sp SnapshotPair) Sources() dist.Pair { return dist.DijkstraPair(sp.G1, sp.G2) }
+
 // Compute runs the exact weighted all-pairs sweep (Dijkstra per source on
-// both snapshots), producing the same GroundTruth structure as the
-// unweighted sweep. Diameters are weighted eccentricities.
-//
-//convlint:unbudgeted exact weighted ground-truth sweep; budget-free by definition
+// both snapshots) through topk's generic engine, producing the same
+// GroundTruth structure as the unweighted sweep. Diameters are weighted
+// eccentricities.
 func Compute(sp SnapshotPair, opts topk.Options) (*topk.GroundTruth, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
-	n := sp.G1.NumNodes()
-	sources := make([]int, 0, n)
-	var extra []int
-	for u := 0; u < n; u++ {
-		switch {
-		case sp.G1.Degree(u) > 0:
-			sources = append(sources, u)
-		case sp.G2.Degree(u) > 0:
-			extra = append(extra, u)
-		}
-	}
-	return topk.ComputeEngine(topk.PairEngine{
-		NumNodes: n,
-		Sources:  sources,
-		Paired: func(src int, d1, d2 []int32) {
-			sssp.Dijkstra(sp.G1, src, d1)
-			sssp.Dijkstra(sp.G2, src, d2)
-		},
-		ExtraDiam2Sources: extra,
-		Dist2: func(src int, dist []int32) {
-			sssp.Dijkstra(sp.G2, src, dist)
-		},
-	}, opts)
+	return topk.ComputeSources(sp.Sources(), opts)
 }
 
-// Selector names supported by the weighted pipeline.
+// DefaultSelector is the selector an empty Options.Selector resolves to.
+const DefaultSelector = SelDegree
+
+// Selector names for the weighted pipeline. These are plain names into the
+// unified candidates registry, kept as constants for compatibility; every
+// registry selector (see Selectors) is accepted, not only these.
 const (
 	SelDegree  = "Degree"
 	SelDegDiff = "DegDiff"
@@ -101,10 +93,21 @@ const (
 	SelSumDiff = "SumDiff"
 	SelMaxDiff = "MaxDiff"
 	SelMMSD    = "MMSD"
+	SelMMMD    = "MMMD"
+	SelMASD    = "MASD"
+	SelMAMD    = "MAMD"
+	SelRandom  = "Random"
 )
+
+// Selectors lists every selector name the weighted pipeline accepts, sorted —
+// the full candidates registry, since selection runs on abstract distance
+// sources.
+func Selectors() []string { return candidates.Names() }
 
 // Options configures a budgeted weighted run; semantics mirror core.Options.
 type Options struct {
+	// Selector names a candidates-registry selector; "" means
+	// DefaultSelector. Unknown names error, listing the valid set.
 	Selector string
 	M        int
 	L        int
@@ -112,6 +115,9 @@ type Options struct {
 	MinDelta int32
 	Seed     int64
 	Workers  int
+	// Trace, when non-nil, records the run's phases and budget charges
+	// exactly like the unweighted pipeline (same span names, same phases).
+	Trace *obs.Trace
 }
 
 // Result mirrors core.Result for the weighted pipeline.
@@ -119,331 +125,43 @@ type Result struct {
 	Pairs      []topk.Pair
 	Candidates []int
 	Budget     budget.Report
+	// SelectorName records which algorithm generated the candidates.
+	SelectorName string
 }
 
-// TopK runs the budgeted converging-pairs algorithm on a weighted pair.
+// TopK runs the budgeted converging-pairs algorithm on a weighted pair by
+// delegating to the generic core over Dijkstra sources. Selection,
+// extraction, budget metering, and tracing are the exact same code as the
+// unweighted core.TopK.
 func TopK(sp SnapshotPair, opts Options) (*Result, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.M <= 0 {
-		return nil, fmt.Errorf("weighted: non-positive budget m=%d", opts.M)
+	name := opts.Selector
+	if name == "" {
+		name = DefaultSelector
 	}
-	if (opts.K > 0) == (opts.MinDelta > 0) {
-		return nil, fmt.Errorf("weighted: exactly one of K (%d) and MinDelta (%d) must be positive",
-			opts.K, opts.MinDelta)
+	sel, err := candidates.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("weighted: %w", err)
 	}
-	if opts.L <= 0 {
-		opts.L = 10
-	}
-	meter := budget.NewMeter(opts.M)
-	rng := rand.New(rand.NewSource(opts.Seed))
-
-	cands, d1rows, d2rows, err := selectCandidates(sp, opts, meter, rng)
+	res, err := core.TopKSources(sp.Sources(), core.Options{
+		Selector: sel,
+		M:        opts.M,
+		L:        opts.L,
+		K:        opts.K,
+		MinDelta: opts.MinDelta,
+		Seed:     opts.Seed,
+		Workers:  opts.Workers,
+		Trace:    opts.Trace,
+	})
 	if err != nil {
 		return nil, err
 	}
-	pairs, err := extract(sp, cands, d1rows, d2rows, opts, meter)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Pairs: pairs, Candidates: cands, Budget: meter.Report()}, nil
-}
-
-// selectCandidates implements the weighted selector suite. The returned row
-// caches map candidate -> precomputed Dijkstra rows (may be nil).
-func selectCandidates(sp SnapshotPair, opts Options, meter *budget.Meter, rng *rand.Rand) ([]int, map[int][]int32, map[int][]int32, error) {
-	n := sp.G1.NumNodes()
-	switch opts.Selector {
-	case SelDegree, SelDegDiff, SelDegRel, "":
-		type scored struct {
-			node  int
-			score float64
-		}
-		var nodes []scored
-		for u := 0; u < n; u++ {
-			d1, d2 := sp.G1.Degree(u), sp.G2.Degree(u)
-			if d1 == 0 {
-				continue
-			}
-			var s float64
-			switch opts.Selector {
-			case SelDegDiff:
-				s = float64(d2 - d1)
-			case SelDegRel:
-				s = float64(d2-d1) / float64(d1)
-			default:
-				s = float64(d1)
-			}
-			nodes = append(nodes, scored{u, s})
-		}
-		sort.Slice(nodes, func(i, j int) bool {
-			if nodes[i].score != nodes[j].score {
-				return nodes[i].score > nodes[j].score
-			}
-			return nodes[i].node < nodes[j].node
-		})
-		m := opts.M
-		if m > len(nodes) {
-			m = len(nodes)
-		}
-		out := make([]int, m)
-		for i := range out {
-			out[i] = nodes[i].node
-		}
-		return out, nil, nil, nil
-
-	case SelMaxMin, SelMaxAvg:
-		nodes, rows, err := dispersed(sp.G1, opts.M, opts.Selector == SelMaxAvg, meter)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		d1rows := map[int][]int32{}
-		for i, u := range nodes {
-			d1rows[u] = rows[i]
-		}
-		return nodes, d1rows, nil, nil
-
-	case SelSumDiff, SelMaxDiff, SelMMSD:
-		l := opts.L
-		if opts.M <= l {
-			return nil, nil, nil, fmt.Errorf("weighted: m=%d <= l=%d landmarks", opts.M, l)
-		}
-		var lms []int
-		var rows1 [][]int32
-		if opts.Selector == SelMMSD {
-			var err error
-			lms, rows1, err = dispersed(sp.G1, l, false, meter)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-		} else {
-			present := make([]int, 0, n)
-			for u := 0; u < n; u++ {
-				if sp.G1.Degree(u) > 0 {
-					present = append(present, u)
-				}
-			}
-			if len(present) == 0 {
-				return nil, nil, nil, errors.New("weighted: empty G1")
-			}
-			if l > len(present) {
-				l = len(present)
-			}
-			for _, i := range rng.Perm(len(present))[:l] {
-				lms = append(lms, present[i])
-			}
-			if err := meter.Charge(budget.PhaseCandidateGen, len(lms)); err != nil {
-				return nil, nil, nil, err
-			}
-			rows1 = make([][]int32, len(lms))
-			for i, w := range lms {
-				rows1[i] = make([]int32, n)
-				sssp.Dijkstra(sp.G1, w, rows1[i])
-			}
-		}
-		if err := meter.Charge(budget.PhaseCandidateGen, len(lms)); err != nil {
-			return nil, nil, nil, err
-		}
-		rows2 := make([][]int32, len(lms))
-		l1 := make([]int64, n)
-		linf := make([]int32, n)
-		for i, w := range lms {
-			rows2[i] = make([]int32, n)
-			sssp.Dijkstra(sp.G2, w, rows2[i])
-			for v := 0; v < n; v++ {
-				if rows1[i][v] <= 0 {
-					continue
-				}
-				delta := rows1[i][v] - rows2[i][v]
-				if delta <= 0 {
-					continue
-				}
-				l1[v] += int64(delta)
-				if delta > linf[v] {
-					linf[v] = delta
-				}
-			}
-		}
-		score := l1
-		if opts.Selector == SelMaxDiff {
-			score = make([]int64, n)
-			for v, d := range linf {
-				score[v] = int64(d)
-			}
-		}
-		inLms := map[int]bool{}
-		for _, w := range lms {
-			inLms[w] = true
-		}
-		type scored struct {
-			node  int
-			score int64
-		}
-		var ranked []scored
-		for u := 0; u < n; u++ {
-			if sp.G1.Degree(u) == 0 || (opts.Selector == SelMMSD && inLms[u]) {
-				continue
-			}
-			ranked = append(ranked, scored{u, score[u]})
-		}
-		sort.Slice(ranked, func(i, j int) bool {
-			if ranked[i].score != ranked[j].score {
-				return ranked[i].score > ranked[j].score
-			}
-			return ranked[i].node < ranked[j].node
-		})
-		var out []int
-		d1rows := map[int][]int32{}
-		d2rows := map[int][]int32{}
-		// The landmark rows consumed 2l of the budget either way; only the
-		// hybrid gets to count its (dispersed, meaningful) landmarks as
-		// candidates, because their rows are cached for the extraction.
-		take := opts.M - len(lms)
-		if opts.Selector == SelMMSD {
-			out = append(out, lms...)
-			for i, w := range lms {
-				d1rows[w] = rows1[i]
-				d2rows[w] = rows2[i]
-			}
-			take = opts.M - len(out)
-		}
-		if take > len(ranked) {
-			take = len(ranked)
-		}
-		for i := 0; i < take; i++ {
-			out = append(out, ranked[i].node)
-		}
-		return out, d1rows, d2rows, nil
-
-	default:
-		return nil, nil, nil, fmt.Errorf("weighted: unknown selector %q", opts.Selector)
-	}
-}
-
-// dispersed greedily picks m nodes maximizing the min (or average) weighted
-// distance to the already-selected set, charging one Dijkstra per pick.
-func dispersed(g *graph.Weighted, m int, avg bool, meter *budget.Meter) ([]int, [][]int32, error) {
-	n := g.NumNodes()
-	first := -1
-	for u := 0; u < n; u++ {
-		if g.Degree(u) > 0 && (first < 0 || g.Degree(u) > g.Degree(first)) {
-			first = u
-		}
-	}
-	if first < 0 {
-		return nil, nil, errors.New("weighted: empty graph")
-	}
-	var nodes []int
-	var rows [][]int32
-	selected := make([]bool, n)
-	score := make([]int64, n)
-	pick := func(u int) error {
-		if err := meter.Charge(budget.PhaseCandidateGen, 1); err != nil {
-			return err
-		}
-		row := make([]int32, n)
-		sssp.Dijkstra(g, u, row)
-		nodes = append(nodes, u)
-		rows = append(rows, row)
-		selected[u] = true
-		for v := 0; v < n; v++ {
-			if row[v] < 0 {
-				continue
-			}
-			d := int64(row[v])
-			if avg {
-				score[v] += d
-			} else if len(nodes) == 1 || d < score[v] {
-				score[v] = d
-			}
-		}
-		return nil
-	}
-	if err := pick(first); err != nil {
-		return nil, nil, err
-	}
-	for len(nodes) < m {
-		best, bestScore := -1, int64(-1)
-		for v := 0; v < n; v++ {
-			if selected[v] || g.Degree(v) == 0 {
-				continue
-			}
-			if score[v] > bestScore {
-				best, bestScore = v, score[v]
-			}
-		}
-		if best < 0 {
-			break
-		}
-		if err := pick(best); err != nil {
-			return nil, nil, err
-		}
-	}
-	return nodes, rows, nil
-}
-
-// extract is the weighted Algorithm 1 extraction phase.
-func extract(sp SnapshotPair, cands []int, d1rows, d2rows map[int][]int32, opts Options, meter *budget.Meter) ([]topk.Pair, error) {
-	if len(cands) == 0 {
-		return nil, nil
-	}
-	n := sp.G1.NumNodes()
-	toCharge := 0
-	for _, u := range cands {
-		if d1rows[u] == nil {
-			toCharge++
-		}
-		if d2rows[u] == nil {
-			toCharge++
-		}
-	}
-	if err := meter.Charge(budget.PhaseTopK, toCharge); err != nil {
-		return nil, err
-	}
-	inM := map[int]bool{}
-	for _, u := range cands {
-		inM[u] = true
-	}
-	floor := opts.MinDelta
-	if floor <= 0 {
-		floor = 1
-	}
-	var all []topk.Pair
-	d1buf := make([]int32, n)
-	d2buf := make([]int32, n)
-	for _, u := range cands {
-		d1 := d1rows[u]
-		if d1 == nil {
-			sssp.Dijkstra(sp.G1, u, d1buf)
-			d1 = d1buf
-		}
-		d2 := d2rows[u]
-		if d2 == nil {
-			sssp.Dijkstra(sp.G2, u, d2buf)
-			d2 = d2buf
-		}
-		for v := 0; v < n; v++ {
-			if v == u || (inM[v] && v < u) {
-				continue
-			}
-			if d1[v] <= 0 {
-				continue
-			}
-			delta := d1[v] - d2[v]
-			if delta < floor {
-				continue
-			}
-			p := topk.Pair{U: int32(u), V: int32(v), D1: d1[v], D2: d2[v], Delta: delta}
-			if p.U > p.V {
-				p.U, p.V = p.V, p.U
-			}
-			all = append(all, p)
-		}
-	}
-	topk.SortPairs(all)
-	if opts.K > 0 && len(all) > opts.K {
-		all = all[:opts.K]
-	}
-	return all, nil
+	return &Result{
+		Pairs:        res.Pairs,
+		Candidates:   res.Candidates,
+		Budget:       res.Budget,
+		SelectorName: res.SelectorName,
+	}, nil
 }
