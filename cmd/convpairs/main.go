@@ -49,6 +49,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write the run result as a JSON report")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "BFS parallelism")
 	engine := flag.String("engine", "auto", "BFS kernel: auto|topdown|diropt|bitparallel64")
+	paired := flag.String("paired", "full", "extraction paired mode: full (re-traverse G_t2) | incremental (derive G_t2 rows from the edge delta); same results and budget either way")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run's phases (load at chrome://tracing or ui.perfetto.dev)")
 	metricsAddr := flag.String("metricsaddr", "", "serve /metrics (kernel counters) and /debug/pprof on this address during the run, e.g. :6060")
 	flag.Parse()
@@ -58,6 +59,10 @@ func main() {
 		fatal(err)
 	}
 	sssp.SetDefaultEngine(eng)
+	pairedMode, err := convergence.ParsePairedMode(*paired)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *metricsAddr != "" {
 		bound, err := obs.ServeMetrics(*metricsAddr)
@@ -85,7 +90,7 @@ func main() {
 		if *exact || *modelPath != "" || *explain || *dotOut != "" {
 			fatal(fmt.Errorf("-weighted runs the budgeted name-based pipeline only (drop -exact, -model, -explain, and -dot)"))
 		}
-		runWeighted(ds, *selName, *m, *l, *k, int32(*delta), *f1, *f2, *seed, *workers, *traceOut, *jsonOut)
+		runWeighted(ds, *selName, *m, *l, *k, int32(*delta), *f1, *f2, *seed, *workers, pairedMode, *traceOut, *jsonOut)
 		return
 	}
 
@@ -122,6 +127,7 @@ func main() {
 	}
 	opts := convergence.Options{
 		Selector: sel, M: *m, L: *l, Seed: *seed, Workers: *workers,
+		PairedMode: pairedMode,
 	}
 	if *delta > 0 {
 		opts.MinDelta = int32(*delta)
@@ -183,14 +189,14 @@ func main() {
 // runWeighted is the -weighted leg: the same Algorithm 1 run on the unified
 // pipeline with Dijkstra distances, sharing the trace verification and
 // output plumbing with the unweighted path.
-func runWeighted(ds *dataset.Dataset, selName string, m, l, k int, delta int32, f1, f2 float64, seed int64, workers int, traceOut, jsonOut string) {
+func runWeighted(ds *dataset.Dataset, selName string, m, l, k int, delta int32, f1, f2 float64, seed int64, workers int, pairedMode convergence.PairedMode, traceOut, jsonOut string) {
 	sp, err := ds.WeightedPair(f1, f2)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("dataset %s (weighted): G_t1 %d edges, G_t2 %d edges over %d nodes\n",
 		ds.Name, sp.G1.NumEdges(), sp.G2.NumEdges(), sp.G1.NumNodes())
-	opts := convergence.WeightedOptions{Selector: selName, M: m, L: l, Seed: seed, Workers: workers}
+	opts := convergence.WeightedOptions{Selector: selName, M: m, L: l, Seed: seed, Workers: workers, PairedMode: pairedMode}
 	if delta > 0 {
 		opts.MinDelta = delta
 	} else {
@@ -250,7 +256,12 @@ func writeTrace(tr *convergence.Trace, path string, report convergence.BudgetRep
 		obs.Int64("nodes-visited", total.Nodes),
 		obs.Int64("edges-scanned", total.Edges),
 		obs.Int64("diropt-switches", work.DirectionOpt.Switches),
-		obs.Int64("frontier-peak", total.FrontierPeak))
+		obs.Int64("frontier-peak", total.FrontierPeak),
+		// Incremental paired extraction: traversal the delta repair did in
+		// place of full second BFSes (zero in -paired=full runs).
+		obs.Int64("repair-calls", work.Repair.Calls),
+		obs.Int64("repair-nodes", work.Repair.Nodes),
+		obs.Int64("repair-edges", work.Repair.Edges))
 	if err := tr.WriteChromeFile(path); err != nil {
 		return err
 	}

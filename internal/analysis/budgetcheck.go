@@ -15,6 +15,12 @@ const ssspPkgPath = "repro/internal/sssp"
 // cost the same one unit per source as the sssp kernels they dispatch to.
 const distPkgPath = "repro/internal/dist"
 
+// dynssspPkgPath holds the incremental repair kernels; batch-applying a
+// delta re-derives a distance row, which the cost model prices the same one
+// unit as computing the row fresh (charges count rows produced, not
+// traversal work).
+const dynssspPkgPath = "repro/internal/dynsssp"
+
 // budgetPkgPath is the package whose Meter accounts for that spending.
 const budgetPkgPath = "repro/internal/budget"
 
@@ -55,7 +61,20 @@ func budgetEntryPoint(name string) bool {
 // one per source for the batched sweeps and DistanceMatrix.
 func distEntryPoint(name string) bool {
 	switch name {
-	case "DistancesInto", "DistanceMatrix", "Sweep", "PairedSweep":
+	case "DistancesInto", "DistanceMatrix", "Sweep", "PairedSweep",
+		"DistancesPairInto", "DeriveInto", "IncrementalPairedSweep":
+		return true
+	}
+	return false
+}
+
+// dynssspEntryPoint reports whether a dynsssp function or method named name
+// re-derives distance rows and therefore costs budget under the
+// rows-produced accounting: the batch repairs (one row each per call) and
+// the per-edge insertion they generalize.
+func dynssspEntryPoint(name string) bool {
+	switch name {
+	case "ApplyAll", "ApplyBatch", "ApplyStream", "InsertEdge":
 		return true
 	}
 	return false
@@ -99,6 +118,11 @@ func runBudgetCheck(pass *Pass) error {
 					return true
 				}
 				pkgName = "dist"
+			case dynssspPkgPath:
+				if !dynssspEntryPoint(fn.Name()) {
+					return true
+				}
+				pkgName = "dynsssp"
 			default:
 				return true
 			}

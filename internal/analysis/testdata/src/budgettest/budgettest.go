@@ -6,6 +6,7 @@ package budgettest
 import (
 	"repro/internal/budget"
 	"repro/internal/dist"
+	"repro/internal/dynsssp"
 	"repro/internal/graph"
 	"repro/internal/sssp"
 )
@@ -90,4 +91,58 @@ func meteredPaired(p dist.Pair, m *budget.Meter) error {
 // freeStructural reads only degrees and adjacency, which cost nothing.
 func freeStructural(s dist.Source) int {
 	return s.Degree(0) + len(s.NeighborIDs(0)) + s.NumEdges()
+}
+
+// The dynsssp batch repairs re-derive distance rows, which the rows-produced
+// cost model prices like any other row: metered or declared unbudgeted.
+
+func unmeteredRepair(s *dynsssp.Scratch, g2 *graph.Graph, delta []graph.Edge, row []int32) {
+	s.ApplyAll(g2, delta, row) // want `call to dynsssp.ApplyAll without a budget.Meter charge`
+}
+
+func unmeteredBatch(d *dynsssp.DynamicBFS, edges []graph.TimedEdge) {
+	_, _ = d.ApplyBatch(edges) // want `call to dynsssp.ApplyBatch without`
+	_, _ = d.InsertEdge(0, 1)  // want `call to dynsssp.InsertEdge without`
+}
+
+func meteredRepair(s *dynsssp.Scratch, g2 *graph.Graph, delta []graph.Edge, m *budget.Meter, row []int32) error {
+	if err := m.Charge(budget.PhaseTopK, 1); err != nil {
+		return err
+	}
+	s.ApplyAll(g2, delta, row)
+	return nil
+}
+
+// suppressedStream mirrors the streaming monitor: incremental maintenance is
+// the cost the tracker avoids paying per window.
+//
+//convlint:unbudgeted fixture: tracker setup charged its SSSPs at construction
+func suppressedStream(d *dynsssp.DynamicBFS, edges []graph.TimedEdge) {
+	_, _ = d.ApplyStream(edges)
+}
+
+// freeRepairReads touch only dynsssp accessors, which cost nothing.
+func freeRepairReads(d *dynsssp.DynamicBFS) int {
+	return d.NumNodes() + int(d.Dist(0)) + d.RepairStats().Nodes
+}
+
+// The paired-session entry points: a derived t2 row costs one unit exactly
+// like a traversed one.
+
+func unmeteredPairedSession(ps dist.PairedSession, d1, d2 []int32) {
+	ps.DistancesPairInto(0, d1, d2) // want `call to dist.DistancesPairInto without`
+	ps.DeriveInto(0, d1, d2)        // want `call to dist.DeriveInto without`
+}
+
+func unmeteredIncrementalSweep(p dist.Pair) {
+	dist.IncrementalPairedSweep(p, []int{0}, 1, func(src int, d1, d2 []int32) {}) // want `call to dist.IncrementalPairedSweep without`
+}
+
+func meteredPairedSession(p dist.Pair, m *budget.Meter, d1, d2 []int32) error {
+	if err := m.Charge(budget.PhaseTopK, 2); err != nil {
+		return err
+	}
+	ps := dist.NewPairedEngine(p, dist.PairedIncremental).NewSession()
+	ps.DistancesPairInto(0, d1, d2)
+	return nil
 }

@@ -35,6 +35,27 @@ func hotExpr(q []int32) int {
 
 func consume(q []int32) int { return len(q) }
 
+type repairScratch struct {
+	seeds []int64
+	cur   []int32
+}
+
+// hotRepair mirrors the dynsssp repair-kernel idiom: encoded-seed
+// self-appends and frontier reuse are scratch-amortized and allowed; handing
+// a seed slice's grown backing array to a different variable is not.
+//
+//convlint:hotpath
+func hotRepair(s *repairScratch, dist []int32, u, v int32) []int64 {
+	s.seeds = s.seeds[:0]
+	if du := dist[u]; du >= 0 && dist[v] > du+1 {
+		dist[v] = du + 1
+		s.seeds = append(s.seeds, int64(du+1)<<32|int64(v)) // self-append on a field
+	}
+	s.cur = append(s.cur, v) // self-append on a sibling field
+	out := append(s.seeds, 9) // want `append result assigned to a different slice`
+	return out
+}
+
 // cold is identical to hot but unannotated: no diagnostics.
 func cold(dst, src []int32, n int) []int32 {
 	buf := make([]int32, n)

@@ -7,6 +7,15 @@
 // Meter. The Meter enforces the limit (charging past it fails), and its
 // Report reproduces the per-phase allocation of Table 1, which tests assert
 // exactly for every selector.
+//
+// A charge unit is one distance *row produced*, not the traversal work that
+// produced it: a row derived incrementally from the other snapshot's row
+// (dist.PairedIncremental, which repairs a copy over the edge delta instead
+// of re-traversing G_t2) costs exactly the same one unit as a full BFS. This
+// keeps the cost model — and every Table-1 comparison — invariant under
+// execution-strategy knobs; the machine-level savings show up in the sssp
+// kernel metrics (repair_nodes/repair_edges vs nodes_visited), never in the
+// budget.
 package budget
 
 import (

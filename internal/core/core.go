@@ -57,6 +57,14 @@ type Options struct {
 	// paths (ablations pin one); the zero value Auto picks the fastest.
 	// Ignored by TopKSources, whose sources carry their own kernels.
 	Engine sssp.Engine
+	// PairedMode selects how extraction produces the G_t2 rows: the zero
+	// value PairedFull traverses G_t2 per candidate (the paper's literal
+	// algorithm); dist.PairedIncremental derives them from the G_t1 rows via
+	// the snapshot edge delta, silently falling back to full when the
+	// sources don't support it. The budget charge is identical in both modes
+	// (2 units per uncached candidate — the meter counts rows produced, not
+	// traversal work), so Table-1 accounting never depends on this knob.
+	PairedMode dist.PairedMode
 	// Meter overrides the default budget meter of 2M SSSPs. Useful for
 	// tests; normal callers leave it nil.
 	Meter *budget.Meter
@@ -221,8 +229,12 @@ func extractPairs(src dist.Pair, ctx *candidates.Context, cands []int, opts Opti
 			toCharge++
 		}
 	}
+	// The paired engine is built once per run: incremental mode computes the
+	// snapshot edge delta here and shares it read-only across all workers.
+	peng := dist.NewPairedEngine(src, opts.PairedMode)
 	extSpan := tr.StartSpan("extraction",
-		obs.Int("candidates", len(cands)), obs.Int("cache-misses", toCharge))
+		obs.Int("candidates", len(cands)), obs.Int("cache-misses", toCharge),
+		obs.Str("paired", peng.Mode().String()))
 	if err := meter.Charge(budget.PhaseTopK, toCharge); err != nil {
 		extSpan.End()
 		return nil, fmt.Errorf("core: extraction phase: %w", err)
@@ -258,20 +270,30 @@ func extractPairs(src dist.Pair, ctx *candidates.Context, cands []int, opts Opti
 				defer wg.Done()
 				d1buf := make([]int32, n)
 				d2buf := make([]int32, n)
-				sess1 := dist.NewSession(src.S1)
-				sess2 := dist.NewSession(src.S2)
+				ps := peng.NewSession()
+				// Plain S1 session for the rare only-d2-cached case, created
+				// lazily: most runs never hit it.
+				var sess1 dist.Session
 				var local []topk.Pair
 				for i := range next {
 					u := cands[i]
 					d1 := ctx.D1Rows[u]
-					if d1 == nil {
+					d2 := ctx.D2Rows[u]
+					switch {
+					case d1 == nil && d2 == nil:
+						ps.DistancesPairInto(u, d1buf, d2buf)
+						d1, d2 = d1buf, d2buf
+					case d1 != nil && d2 == nil:
+						// The selector already paid for the t1 row; derive
+						// (or recompute, in full mode) just the t2 row.
+						ps.DeriveInto(u, d1, d2buf)
+						d2 = d2buf
+					case d1 == nil:
+						if sess1 == nil {
+							sess1 = dist.NewSession(src.S1)
+						}
 						sess1.DistancesInto(u, d1buf)
 						d1 = d1buf
-					}
-					d2 := ctx.D2Rows[u]
-					if d2 == nil {
-						sess2.DistancesInto(u, d2buf)
-						d2 = d2buf
 					}
 					for v := 0; v < n; v++ {
 						if v == u || (inM[v] && v < u) {

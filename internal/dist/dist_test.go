@@ -145,6 +145,220 @@ func TestPairedSweepFastAndGenericAgree(t *testing.T) {
 	}
 }
 
+// evolvedPair builds (g1, g2) with g2 = g1 plus extra random edges.
+func evolvedPair(t testing.TB, n int, seed int64) (*graph.Graph, *graph.Graph) {
+	t.Helper()
+	g1 := randomGraph(t, n, seed)
+	rng := rand.New(rand.NewSource(seed + 999))
+	var extra []graph.Edge
+	for i := 0; i < n/2; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			extra = append(extra, graph.Edge{U: u, V: v})
+		}
+	}
+	edges := append(append([]graph.Edge{}, g1.Edges()...), extra...)
+	return g1, graph.FromEdges(n, edges)
+}
+
+// TestIncrementalPairedSweepMatchesFull is the dist-level differential pin:
+// for every BFS engine, the incremental sweep (t1 traversal + delta repair)
+// must produce exactly the rows of the full paired sweep, and report that it
+// actually ran incrementally. A Dijkstra pair lacks the capability and must
+// fall back to the full path with identical results on unit weights.
+func TestIncrementalPairedSweepMatchesFull(t *testing.T) {
+	g1, g2 := evolvedPair(t, 60, 13)
+	sources := []int{0, 7, 19, 33, 59}
+	collect := func(sweep func(fn func(src int, d1, d2 []int32)) PairedMode) (map[int][2][]int32, PairedMode) {
+		var mu sync.Mutex
+		out := map[int][2][]int32{}
+		mode := sweep(func(src int, d1, d2 []int32) {
+			c1 := append([]int32(nil), d1...)
+			c2 := append([]int32(nil), d2...)
+			mu.Lock()
+			out[src] = [2][]int32{c1, c2}
+			mu.Unlock()
+		})
+		return out, mode
+	}
+	for _, eng := range []sssp.Engine{sssp.Auto, sssp.TopDown, sssp.DirectionOpt, sssp.BitParallel64} {
+		p := BFSPair(graph.SnapshotPair{G1: g1, G2: g2}, eng)
+		full, _ := collect(func(fn func(int, []int32, []int32)) PairedMode {
+			PairedSweep(p, sources, 2, fn)
+			return PairedFull
+		})
+		incr, mode := collect(func(fn func(int, []int32, []int32)) PairedMode {
+			return IncrementalPairedSweep(p, sources, 2, fn)
+		})
+		if mode != PairedIncremental {
+			t.Fatalf("engine %v: mode = %v, want incremental", eng, mode)
+		}
+		if !reflect.DeepEqual(full, incr) {
+			t.Fatalf("engine %v: incremental sweep diverges from full", eng)
+		}
+	}
+	// Dijkstra pair: no incremental capability, silent full fallback.
+	dp := DijkstraPair(graph.FromUnweighted(g1), graph.FromUnweighted(g2))
+	fullD, _ := collect(func(fn func(int, []int32, []int32)) PairedMode {
+		PairedSweep(dp, sources, 2, fn)
+		return PairedFull
+	})
+	incrD, mode := collect(func(fn func(int, []int32, []int32)) PairedMode {
+		return IncrementalPairedSweep(dp, sources, 2, fn)
+	})
+	if mode != PairedFull {
+		t.Fatalf("Dijkstra pair: mode = %v, want full fallback", mode)
+	}
+	if !reflect.DeepEqual(fullD, incrD) {
+		t.Fatal("Dijkstra fallback sweep diverges from full sweep")
+	}
+}
+
+// TestPairedEngineSessions pins the session API both engines expose to core:
+// DistancesPairInto fills both rows, DeriveInto derives just the t2 row from
+// a caller-supplied t1 row, and both agree with direct source queries in
+// both modes.
+func TestPairedEngineSessions(t *testing.T) {
+	g1, g2 := evolvedPair(t, 50, 17)
+	p := BFSPair(graph.SnapshotPair{G1: g1, G2: g2}, sssp.Auto)
+	n := p.NumNodes()
+	want1 := make([]int32, n)
+	want2 := make([]int32, n)
+	for _, mode := range []PairedMode{PairedFull, PairedIncremental} {
+		eng := NewPairedEngine(p, mode)
+		if eng.Mode() != mode {
+			t.Fatalf("mode = %v, want %v", eng.Mode(), mode)
+		}
+		sess := eng.NewSession()
+		d1 := make([]int32, n)
+		d2 := make([]int32, n)
+		for u := 0; u < n; u += 5 {
+			p.S1.DistancesInto(u, want1)
+			p.S2.DistancesInto(u, want2)
+			sess.DistancesPairInto(u, d1, d2)
+			if !reflect.DeepEqual(d1, want1) || !reflect.DeepEqual(d2, want2) {
+				t.Fatalf("mode %v: DistancesPairInto(%d) diverges", mode, u)
+			}
+			for i := range d2 {
+				d2[i] = -7 // poison; DeriveInto must fully overwrite
+			}
+			sess.DeriveInto(u, want1, d2)
+			if !reflect.DeepEqual(d2, want2) {
+				t.Fatalf("mode %v: DeriveInto(%d) diverges", mode, u)
+			}
+		}
+	}
+	// Requesting incremental on a capability-less pair degrades to full.
+	dp := DijkstraPair(graph.FromUnweighted(g1), graph.FromUnweighted(g2))
+	if m := NewPairedEngine(dp, PairedIncremental).Mode(); m != PairedFull {
+		t.Fatalf("Dijkstra engine mode = %v, want full", m)
+	}
+	// Mismatched universes can't share a delta either.
+	small := randomGraph(t, 10, 1)
+	mix := Pair{S1: NewBFS(g1, sssp.Auto), S2: NewBFS(small, sssp.Auto)}
+	if m := NewPairedEngine(mix, PairedIncremental).Mode(); m != PairedFull {
+		t.Fatalf("mismatched-universe engine mode = %v, want full", m)
+	}
+}
+
+// TestParsePairedMode covers the CLI flag parser and String round-trip.
+func TestParsePairedMode(t *testing.T) {
+	for in, want := range map[string]PairedMode{"": PairedFull, "full": PairedFull, "incremental": PairedIncremental} {
+		got, err := ParsePairedMode(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePairedMode(%q) = %v, %v", in, got, err)
+		}
+		if in != "" && got.String() != in {
+			t.Fatalf("String() = %q, want %q", got.String(), in)
+		}
+	}
+	if _, err := ParsePairedMode("bogus"); err == nil {
+		t.Fatal("bogus mode should fail")
+	}
+}
+
+// TestSweepEdgeCases covers the generic fallback corners only the batched
+// BFS path used to exercise: empty source sets, more workers than sources,
+// and a single-node graph — on Sweep, PairedSweep, and the incremental
+// sweep, for both the kernel-backed and session-pool paths.
+func TestSweepEdgeCases(t *testing.T) {
+	single := graph.FromEdges(1, nil)
+	g := randomGraph(t, 12, 5)
+	srcs := func(g *graph.Graph) []Source {
+		return []Source{NewBFS(g, sssp.Auto), NewDijkstra(graph.FromUnweighted(g))}
+	}
+	for _, s := range srcs(g) {
+		// Empty sources: no callbacks, no hang.
+		calls := 0
+		Sweep(s, nil, 4, func(int, []int32) { calls++ })
+		if calls != 0 {
+			t.Fatalf("%T: empty sweep made %d calls", s, calls)
+		}
+		// More workers than sources.
+		var mu sync.Mutex
+		got := map[int]int{}
+		Sweep(s, []int{1, 2}, 16, func(u int, _ []int32) {
+			mu.Lock()
+			got[u]++
+			mu.Unlock()
+		})
+		if len(got) != 2 || got[1] != 1 || got[2] != 1 {
+			t.Fatalf("%T: over-workered sweep visits = %v", s, got)
+		}
+	}
+	for _, s := range srcs(single) {
+		visited := 0
+		Sweep(s, []int{0}, 3, func(u int, d []int32) {
+			visited++
+			if u != 0 || len(d) != 1 || d[0] != 0 {
+				t.Fatalf("%T: single-node row = %v from %d", s, d, u)
+			}
+		})
+		if visited != 1 {
+			t.Fatalf("%T: single-node sweep visits = %d", s, visited)
+		}
+	}
+	pairs := []Pair{
+		BFSPair(graph.SnapshotPair{G1: g, G2: g}, sssp.Auto),
+		{S1: NewBFS(g, sssp.TopDown), S2: NewBFS(g, sssp.Auto)}, // generic fallback
+		DijkstraPair(graph.FromUnweighted(g), graph.FromUnweighted(g)),
+	}
+	for _, p := range pairs {
+		calls := 0
+		PairedSweep(p, nil, 4, func(int, []int32, []int32) { calls++ })
+		IncrementalPairedSweep(p, nil, 4, func(int, []int32, []int32) { calls++ })
+		if calls != 0 {
+			t.Fatalf("empty paired sweeps made %d calls", calls)
+		}
+		var mu sync.Mutex
+		seen := map[int]int{}
+		PairedSweep(p, []int{3, 4}, 32, func(u int, _, _ []int32) {
+			mu.Lock()
+			seen[u]++
+			mu.Unlock()
+		})
+		IncrementalPairedSweep(p, []int{3, 4}, 32, func(u int, _, _ []int32) {
+			mu.Lock()
+			seen[u] += 10
+			mu.Unlock()
+		})
+		if len(seen) != 2 || seen[3] != 11 || seen[4] != 11 {
+			t.Fatalf("over-workered paired sweeps visits = %v", seen)
+		}
+	}
+	sp := Pair{S1: NewBFS(single, sssp.Auto), S2: NewBFS(single, sssp.Auto)}
+	visits := 0
+	IncrementalPairedSweep(sp, []int{0}, 2, func(u int, d1, d2 []int32) {
+		visits++
+		if d1[0] != 0 || d2[0] != 0 {
+			t.Fatalf("single-node paired rows = %v, %v", d1, d2)
+		}
+	})
+	if visits != 1 {
+		t.Fatalf("single-node incremental sweep visits = %d", visits)
+	}
+}
+
 // TestStructuralHelpers covers the shared component/density/degree helpers.
 func TestStructuralHelpers(t *testing.T) {
 	// Three components: a triangle {0,1,2}, an edge {3,4}, and the isolated

@@ -1,0 +1,175 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"runtime/pprof"
+	"sync"
+)
+
+// PairedMode selects how the second-snapshot distance row of a paired query
+// is produced.
+type PairedMode int
+
+const (
+	// PairedFull recomputes the t2 row with a full traversal of G_t2 — the
+	// paper's literal 2-SSSPs-per-candidate extraction.
+	PairedFull PairedMode = iota
+	// PairedIncremental derives the t2 row from the t1 row by batch-applying
+	// the snapshot edge delta with dynsssp's decrease-only repair, skipping
+	// the unchanged region of the graph. Falls back to PairedFull when the
+	// pair does not support it (non-BFS metrics, mismatched universes).
+	PairedIncremental
+)
+
+// String returns the CLI spelling of the mode.
+func (m PairedMode) String() string {
+	switch m {
+	case PairedFull:
+		return "full"
+	case PairedIncremental:
+		return "incremental"
+	default:
+		return fmt.Sprintf("PairedMode(%d)", int(m))
+	}
+}
+
+// ParsePairedMode parses the -paired CLI flag values "full" and
+// "incremental". The empty string means full (the default).
+func ParsePairedMode(s string) (PairedMode, error) {
+	switch s {
+	case "", "full":
+		return PairedFull, nil
+	case "incremental":
+		return PairedIncremental, nil
+	default:
+		return PairedFull, fmt.Errorf("dist: unknown paired mode %q (want full or incremental)", s)
+	}
+}
+
+// PairedSession is a single-goroutine handle producing both snapshot rows of
+// one source. Both methods follow the paper's cost model: one budget unit per
+// distance row *produced*, regardless of how much traversal producing it
+// took — so DistancesPairInto costs 2 units and DeriveInto costs 1, in every
+// mode. Callers charge their meter accordingly before invoking.
+type PairedSession interface {
+	// DistancesPairInto fills d1 and d2 (each length NumNodes) with the
+	// distance rows of src on G_t1 and G_t2. Costs 2 budget units.
+	DistancesPairInto(src int, d1, d2 []int32)
+	// DeriveInto fills d2 with src's G_t2 row, given its already-computed
+	// G_t1 row d1 (read-only; full-mode engines ignore it and re-traverse).
+	// Costs 1 budget unit.
+	DeriveInto(src int, d1, d2 []int32)
+}
+
+// PairedEngine produces PairedSessions over one snapshot pair. Engines are
+// built once per run (NewPairedEngine computes the shared edge delta there)
+// and hand out one session per worker.
+type PairedEngine interface {
+	NewSession() PairedSession
+	// Mode reports the mode the engine actually runs in — PairedFull when an
+	// incremental request fell back.
+	Mode() PairedMode
+}
+
+// incrementalPairable is the optional capability of sources that can build
+// an incremental paired engine against a second snapshot (currently the BFS
+// source, when both sides share a node universe).
+type incrementalPairable interface {
+	newIncrementalPairedEngine(other Source) (PairedEngine, bool)
+}
+
+// NewPairedEngine builds the paired engine for p in the requested mode.
+// PairedIncremental silently falls back to a full engine when the pair lacks
+// the capability (e.g. Dijkstra sources); inspect Mode() on the result to
+// see what was actually built.
+func NewPairedEngine(p Pair, mode PairedMode) PairedEngine {
+	if mode == PairedIncremental {
+		if ip, ok := p.S1.(incrementalPairable); ok {
+			if eng, ok := ip.newIncrementalPairedEngine(p.S2); ok {
+				return eng
+			}
+		}
+	}
+	var e fullPairedEngine
+	e.p = p
+	return e
+}
+
+// fullPairedEngine is the mode-agnostic fallback: two independent sessions,
+// one full traversal per row.
+type fullPairedEngine struct {
+	p Pair
+}
+
+func (e fullPairedEngine) Mode() PairedMode { return PairedFull }
+
+func (e fullPairedEngine) NewSession() PairedSession {
+	return &fullPairedSession{s1: NewSession(e.p.S1), s2: NewSession(e.p.S2)}
+}
+
+type fullPairedSession struct {
+	s1, s2 Session
+}
+
+func (s *fullPairedSession) DistancesPairInto(src int, d1, d2 []int32) {
+	s.s1.DistancesInto(src, d1)
+	s.s2.DistancesInto(src, d2)
+}
+
+// DeriveInto in full mode ignores d1 and recomputes the t2 row from scratch.
+func (s *fullPairedSession) DeriveInto(src int, d1, d2 []int32) {
+	s.s2.DistancesInto(src, d2)
+}
+
+// incrementalSweeper is the optional capability of paired engines with a
+// batched multi-source driver (the BFS incremental engine routes the t1 side
+// through sssp's multi-source kernels).
+type incrementalSweeper interface {
+	sweep(sources []int, workers int, fn func(src int, d1, d2 []int32))
+}
+
+// IncrementalPairedSweep is PairedSweep's incremental sibling: for every
+// source it produces the G_t1 row with a full traversal and derives the
+// G_t2 row via the shared edge delta, invoking fn(src, d1, d2) from at most
+// workers goroutines (buffers only valid during the call). Pairs without
+// the incremental capability fall back to the regular PairedSweep. Returns
+// the mode that actually ran. Costs 2·len(sources) budget units either way
+// (the cost model charges rows produced, not traversal work).
+func IncrementalPairedSweep(p Pair, sources []int, workers int, fn func(src int, d1, d2 []int32)) PairedMode {
+	eng := NewPairedEngine(p, PairedIncremental)
+	if eng.Mode() != PairedIncremental {
+		PairedSweep(p, sources, workers, fn)
+		return PairedFull
+	}
+	if sw, ok := eng.(incrementalSweeper); ok {
+		sw.sweep(sources, workers, fn)
+		return PairedIncremental
+	}
+	// Generic pool: one incremental session per worker.
+	n := p.NumNodes()
+	workers = clampWorkers(workers, len(sources))
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go pprof.Do(context.Background(), pprof.Labels("subsystem", "dist-sweep"),
+			func(context.Context) {
+				defer wg.Done()
+				sess := eng.NewSession()
+				d1 := make([]int32, n)
+				d2 := make([]int32, n)
+				for i := range next {
+					src := sources[i]
+					sess.DistancesPairInto(src, d1, d2)
+					fn(src, d1, d2)
+				}
+			})
+	}
+	for i := range sources {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return PairedIncremental
+}

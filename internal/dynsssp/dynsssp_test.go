@@ -174,6 +174,173 @@ func TestApplyStreamAndStats(t *testing.T) {
 	}
 }
 
+// randomEvolvingPair builds a random (g1, g2) insertion pair with g1 drawn
+// from a fraction of g2's edges — disconnected snapshots and
+// component-merging deltas arise naturally from the random split.
+func randomEvolvingPair(rng *rand.Rand) (g1, g2 *graph.Graph) {
+	n := 4 + rng.Intn(60)
+	seen := map[graph.Edge]struct{}{}
+	var edges []graph.Edge
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		c := graph.Edge{U: u, V: v}.Canon()
+		if _, dup := seen[c]; dup {
+			continue
+		}
+		seen[c] = struct{}{}
+		edges = append(edges, c)
+	}
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	split := rng.Intn(len(edges) + 1)
+	return graph.FromEdges(n, edges[:split]), graph.FromEdges(n, edges)
+}
+
+// TestApplyAllMatchesFreshBFS is the repair kernel's differential oracle:
+// for random snapshot pairs (random sizes, random split fractions, with
+// disconnected regions and deltas that merge components), repairing the g1
+// vector over the delta must be bit-identical to a fresh BFS on g2 — from
+// every source. Duplicate delta edges and self-loops must not perturb the
+// result.
+func TestApplyAllMatchesFreshBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g1, g2 := randomEvolvingPair(rng)
+		delta := graph.NewDelta(g1, g2).Edges
+		// Adversarial garnish: duplicate a delta edge and add a self-loop.
+		if len(delta) > 0 {
+			delta = append(delta, delta[rng.Intn(len(delta))])
+		}
+		delta = append(delta, graph.Edge{U: 0, V: 0})
+		s := NewScratch()
+		n := g1.NumNodes()
+		dist := make([]int32, n)
+		for src := 0; src < n; src++ {
+			copy(dist, sssp.Distances(g1, src))
+			s.ApplyAll(g2, delta, dist)
+			want := sssp.Distances(g2, src)
+			for v := range want {
+				if dist[v] != want[v] {
+					t.Logf("seed %d src %d: dist[%d] = %d, want %d", seed, src, v, dist[v], want[v])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApplyAllValidation pins the panic contract: plumbing errors (wrong
+// vector length, out-of-universe delta nodes) must fail loudly, not corrupt.
+func TestApplyAllValidation(t *testing.T) {
+	g := pathGraph(5)
+	s := NewScratch()
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("short dist", func() { s.ApplyAll(g, nil, make([]int32, 3)) })
+	mustPanic("out-of-range delta", func() {
+		s.ApplyAll(g, []graph.Edge{{U: 0, V: 9}}, make([]int32, 5))
+	})
+}
+
+// TestApplyAllZeroAllocs is the zero-alloc backstop on the repair kernel:
+// once the scratch has grown (AllocsPerRun's warm-up call), repairing a row
+// allocates nothing.
+func TestApplyAllZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g1, g2 := randomEvolvingPair(rng)
+	delta := graph.NewDelta(g1, g2).Edges
+	base := sssp.Distances(g1, 0)
+	dist := make([]int32, g1.NumNodes())
+	s := NewScratch()
+	allocs := testing.AllocsPerRun(20, func() {
+		copy(dist, base)
+		s.ApplyAll(g2, delta, dist)
+	})
+	if allocs != 0 {
+		t.Fatalf("ApplyAll allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestApplyBatchMatchesPerEdgeInsert pins that the batch path (one seed pass
+// + one wave) ends in the same state as the per-edge insertion loop it
+// replaced, including node-universe growth and inserted/Changed accounting.
+func TestApplyBatchMatchesPerEdgeInsert(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		g := pathGraph(n)
+		batch, _ := New(g, 0)
+		single, _ := New(g, 0)
+		var edges []graph.TimedEdge
+		for i := 0; i < 2*n; i++ {
+			// Beyond-universe nodes exercise EnsureNode growth.
+			edges = append(edges, graph.TimedEdge{U: rng.Intn(n + 3), V: rng.Intn(n + 3), Time: int64(i)})
+		}
+		bc, err := batch.ApplyBatch(edges)
+		if err != nil {
+			return false
+		}
+		sc := 0
+		for _, te := range edges {
+			c, err := single.InsertEdge(te.U, te.V)
+			if err != nil {
+				return false
+			}
+			sc += c
+		}
+		if batch.NumNodes() != single.NumNodes() {
+			t.Logf("seed %d: universe %d vs %d", seed, batch.NumNodes(), single.NumNodes())
+			return false
+		}
+		if !reflect.DeepEqual(batch.Distances(), single.Distances()) {
+			t.Logf("seed %d: batch %v\nsingle %v", seed, batch.Distances(), single.Distances())
+			return false
+		}
+		// Improvement counts depend on relaxation order and legitimately
+		// differ between the two strategies; what must agree is whether any
+		// distance changed at all.
+		if (bc > 0) != (sc > 0) {
+			t.Logf("seed %d: batch changed %d, per-edge %d", seed, bc, sc)
+			return false
+		}
+		bi, _ := batch.Stats()
+		si, _ := single.Stats()
+		if bi != si {
+			t.Logf("seed %d: inserted %d vs %d", seed, bi, si)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+	// Error path: a negative node rejects the whole batch atomically.
+	d, _ := New(pathGraph(4), 0)
+	before := append([]int32(nil), d.Distances()...)
+	if _, err := d.ApplyBatch([]graph.TimedEdge{{U: 0, V: 3}, {U: -1, V: 2}}); err == nil {
+		t.Fatal("negative node should fail")
+	}
+	if !reflect.DeepEqual(d.Distances(), before) {
+		t.Fatal("failed batch must not mutate state")
+	}
+	if d.RepairStats() != (Stats{}) {
+		t.Fatalf("failed batch recorded repair stats: %+v", d.RepairStats())
+	}
+}
+
 func TestDeltaSince(t *testing.T) {
 	g := pathGraph(8)
 	d, err := New(g, 0)

@@ -147,11 +147,54 @@ func (sp SnapshotPair) Validate() error {
 // between the two snapshots. The Incidence baseline builds its active-node
 // set from their endpoints.
 func (sp SnapshotPair) NewEdges() []Edge {
+	return NewDelta(sp.G1, sp.G2).Edges
+}
+
+// Delta is the edge difference G2 \ G1 of a snapshot pair: the insertions
+// that happened between t1 and t2, canonical (U <= V) and sorted ascending.
+// It is immutable once built — compute it once per run and share it
+// read-only across workers (the incremental paired sweep derives every
+// candidate's G_t2 distances from it).
+type Delta struct {
+	// Edges holds the inserted edges, canonical and sorted. Nil when the
+	// snapshots are identical.
+	Edges []Edge
+}
+
+// NumEdges returns the number of inserted edges.
+func (d *Delta) NumEdges() int { return len(d.Edges) }
+
+// NewDelta computes the edge difference g2 \ g1 with one merge pass over the
+// two sorted CSR adjacency structures — O(V + E2), no per-edge lookups.
+// Edges of g1 absent from g2 (deletions) are ignored; callers that need the
+// supergraph invariant enforced validate the pair first
+// (SnapshotPair.Validate). Nodes of g2 beyond g1's universe contribute all
+// their edges.
+func NewDelta(g1, g2 *Graph) *Delta {
+	n1, n2 := g1.NumNodes(), g2.NumNodes()
 	var out []Edge
-	for _, e := range sp.G2.Edges() {
-		if !sp.G1.HasEdge(e.U, e.V) {
-			out = append(out, e)
+	for u := 0; u < n2; u++ {
+		adj2 := g2.Neighbors(u)
+		var adj1 []int32
+		if u < n1 {
+			adj1 = g1.Neighbors(u)
+		}
+		i := 0
+		for _, v := range adj2 {
+			if v < int32(u) {
+				continue // report each undirected edge once, from its smaller endpoint
+			}
+			for i < len(adj1) && adj1[i] < v {
+				i++
+			}
+			if i < len(adj1) && adj1[i] == v {
+				continue
+			}
+			out = append(out, Edge{u, int(v)})
 		}
 	}
-	return out
+	return &Delta{Edges: out}
 }
+
+// Delta returns the pair's edge difference G2 \ G1.
+func (sp SnapshotPair) Delta() *Delta { return NewDelta(sp.G1, sp.G2) }

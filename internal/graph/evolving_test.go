@@ -142,6 +142,65 @@ func TestNewEdges(t *testing.T) {
 
 // Property: for any random monotone stream and any pair of prefixes
 // a <= b, the later snapshot is a supergraph of the earlier one.
+// TestNewDeltaMatchesBruteForce checks the merge-walk edge diff against a
+// per-edge HasEdge scan on random snapshot pairs, including pairs where g2
+// has a larger node universe than g1, and pins the canonical sorted order.
+func TestNewDeltaMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n2 := 3 + rng.Intn(40)
+		n1 := 1 + rng.Intn(n2)
+		seen := map[Edge]struct{}{}
+		var all []Edge
+		for i := 0; i < 2*n2; i++ {
+			u, v := rng.Intn(n2), rng.Intn(n2)
+			if u == v {
+				continue
+			}
+			c := Edge{u, v}.Canon()
+			if _, dup := seen[c]; dup {
+				continue
+			}
+			seen[c] = struct{}{}
+			all = append(all, c)
+		}
+		var inG1 []Edge
+		for _, e := range all {
+			if e.V < n1 && rng.Intn(2) == 0 { // e.V is the larger endpoint
+				inG1 = append(inG1, e)
+			}
+		}
+		g1 := FromEdges(n1, inG1)
+		g2 := FromEdges(n2, all)
+		got := NewDelta(g1, g2).Edges
+		var want []Edge
+		for _, e := range g2.Edges() {
+			if e.U >= n1 || e.V >= n1 || !g1.HasEdge(e.U, e.V) {
+				want = append(want, e)
+			}
+		}
+		if len(got) != len(want) {
+			t.Logf("seed %d: %d delta edges, want %d", seed, len(got), len(want))
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Logf("seed %d: delta[%d] = %v, want %v", seed, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+	// Identical snapshots: an empty delta.
+	g := FromEdges(4, []Edge{{0, 1}, {1, 2}})
+	if d := NewDelta(g, g); d.NumEdges() != 0 {
+		t.Fatalf("self-delta has %d edges", d.NumEdges())
+	}
+}
+
 func TestSnapshotMonotonicity(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

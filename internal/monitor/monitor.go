@@ -21,6 +21,7 @@ import (
 	"repro/internal/dynsssp"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/sssp"
 	"repro/internal/topk"
 )
 
@@ -141,29 +142,47 @@ func EvenWindows(start float64, count int) []float64 {
 // ranked by how much closer they came to the landmarks since the
 // checkpoint — the streaming analogue of the SumDiff/MaxDiff selectors with
 // zero per-window SSSP cost after setup.
+//
+// Each advance materializes the target snapshot once (CSR shared read-only
+// across landmarks) and batch-repairs every landmark vector over the
+// window's edge delta with dynsssp.Scratch.ApplyAll — one seed pass and one
+// level-ordered wave per landmark per window, instead of the former
+// one-wave-per-edge insertion loop over per-landmark adjacency copies.
 type LandmarkTracker struct {
 	ev        *graph.Evolving
 	landmarks []int
-	trackers  []*dynsssp.DynamicBFS
+	dists     [][]int32 // current vectors, one per landmark
+	scratch   *dynsssp.Scratch
+	edgebuf   []graph.Edge
 	prefix    int       // edges applied so far
 	baseline  [][]int32 // checkpointed vectors, one per landmark
+	repair    dynsssp.Stats
 }
 
 // NewLandmarkTracker initializes the tracker at the given edge prefix. The
 // initial cost is one BFS per landmark (the budget the paper's landmark
 // methods pay per snapshot — paid once here for the whole stream).
+//
+//convlint:unbudgeted one-time setup BFS per landmark; SSSPCostSaved accounts the l SSSPs this construction pays
 func NewLandmarkTracker(ev *graph.Evolving, landmarks []int, startPrefix int) (*LandmarkTracker, error) {
 	if len(landmarks) == 0 {
 		return nil, errors.New("monitor: no landmarks")
 	}
+	n := ev.NumNodes()
 	g := ev.SnapshotPrefix(startPrefix)
-	t := &LandmarkTracker{ev: ev, landmarks: landmarks, prefix: startPrefix}
+	t := &LandmarkTracker{
+		ev:        ev,
+		landmarks: landmarks,
+		prefix:    startPrefix,
+		scratch:   dynsssp.NewScratch(),
+	}
 	for _, w := range landmarks {
-		d, err := dynsssp.New(g, w)
-		if err != nil {
-			return nil, fmt.Errorf("monitor: landmark %d: %w", w, err)
+		if w < 0 || w >= n {
+			return nil, fmt.Errorf("monitor: landmark %d out of range [0,%d)", w, n)
 		}
-		t.trackers = append(t.trackers, d)
+		vec := make([]int32, n)
+		sssp.BFS(g, w, vec)
+		t.dists = append(t.dists, vec)
 	}
 	t.Checkpoint()
 	return t, nil
@@ -172,18 +191,29 @@ func NewLandmarkTracker(ev *graph.Evolving, landmarks []int, startPrefix int) (*
 // Prefix returns the number of stream edges applied so far.
 func (t *LandmarkTracker) Prefix() int { return t.prefix }
 
+// Distances returns landmark i's current distance vector; the slice aliases
+// internal state and must not be modified.
+func (t *LandmarkTracker) Distances(i int) []int32 { return t.dists[i] }
+
+// RepairStats returns the cumulative batch-repair work of every AdvanceTo so
+// far (FrontierPeak is the high-water mark across repairs) — the traversal
+// the tracker performed instead of windows×l full recomputations.
+func (t *LandmarkTracker) RepairStats() dynsssp.Stats { return t.repair }
+
 // Checkpoint freezes the current landmark vectors as the baseline for
 // subsequent Top rankings.
 func (t *LandmarkTracker) Checkpoint() {
 	t.baseline = t.baseline[:0]
-	for _, d := range t.trackers {
-		t.baseline = append(t.baseline, append([]int32(nil), d.Distances()...))
+	for _, d := range t.dists {
+		t.baseline = append(t.baseline, append([]int32(nil), d...))
 	}
 }
 
 // AdvanceTo applies stream edges up to the given prefix (clamped to the
 // stream length). Going backwards is an error: insertions are not
 // reversible.
+//
+//convlint:unbudgeted incremental repair is the cost the tracker avoids; its setup SSSPs were paid in NewLandmarkTracker
 func (t *LandmarkTracker) AdvanceTo(prefix int) error {
 	if prefix > t.ev.NumEdges() {
 		prefix = t.ev.NumEdges()
@@ -191,10 +221,23 @@ func (t *LandmarkTracker) AdvanceTo(prefix int) error {
 	if prefix < t.prefix {
 		return fmt.Errorf("monitor: cannot rewind from %d to %d", t.prefix, prefix)
 	}
+	if prefix == t.prefix {
+		return nil
+	}
 	slice := t.ev.Stream()[t.prefix:prefix]
-	for _, d := range t.trackers {
-		if _, err := d.ApplyStream(slice); err != nil {
-			return err
+	t.edgebuf = t.edgebuf[:0]
+	for _, te := range slice {
+		t.edgebuf = append(t.edgebuf, graph.Edge{U: te.U, V: te.V})
+	}
+	// One snapshot materialization per advance, shared by all landmarks.
+	g2 := t.ev.SnapshotPrefix(prefix)
+	for i := range t.dists {
+		st := t.scratch.ApplyAll(g2, t.edgebuf, t.dists[i])
+		t.repair.Changed += st.Changed
+		t.repair.Nodes += st.Nodes
+		t.repair.Edges += st.Edges
+		if st.FrontierPeak > t.repair.FrontierPeak {
+			t.repair.FrontierPeak = st.FrontierPeak
 		}
 	}
 	t.prefix = prefix
@@ -207,24 +250,21 @@ func (t *LandmarkTracker) AdvanceToFraction(frac float64) error {
 }
 
 // Top returns the m nodes whose total distance to the landmarks dropped the
-// most since the last checkpoint (the streaming SumDiff ranking).
+// most since the last checkpoint (the streaming SumDiff ranking). A node
+// unreachable at the checkpoint contributes nothing (it was not connected,
+// hence not converging), matching dynsssp.DeltaSince semantics.
 func (t *LandmarkTracker) Top(m int) []int {
 	n := t.ev.NumNodes()
 	l1 := make([]int64, n)
-	buf := make([]int32, 0)
-	for i, d := range t.trackers {
-		if cap(buf) < d.NumNodes() {
-			buf = make([]int32, d.NumNodes())
-		}
-		buf = buf[:d.NumNodes()]
-		// Baselines never outgrow the tracker (nodes are only added).
-		if err := d.DeltaSince(t.baseline[i], buf); err != nil {
-			// Internal invariant violation; surface loudly.
-			panic(err)
-		}
-		for v, delta := range buf {
-			if v < n {
-				l1[v] += int64(delta)
+	for i, cur := range t.dists {
+		base := t.baseline[i]
+		for v := 0; v < n; v++ {
+			b := base[v]
+			if b <= 0 {
+				continue
+			}
+			if c := cur[v]; c >= 0 && c < b {
+				l1[v] += int64(b - c)
 			}
 		}
 	}

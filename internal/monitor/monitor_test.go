@@ -146,7 +146,7 @@ func TestLandmarkTrackerMatchesFreshBFS(t *testing.T) {
 	g2 := ev.SnapshotFraction(1.0)
 	for i, w := range set.Nodes {
 		want := sssp.Distances(g2, w)
-		got := tr.trackers[i].Distances()
+		got := tr.Distances(i)
 		for v := range want {
 			if got[v] != want[v] {
 				t.Fatalf("landmark %d: dist[%d] = %d, want %d", w, v, got[v], want[v])
@@ -213,6 +213,48 @@ func TestLandmarkTrackerCheckpoint(t *testing.T) {
 	}
 	if saved := tr.SSSPCostSaved(10); saved != 10*2*2-2 {
 		t.Fatalf("SSSPCostSaved = %d", saved)
+	}
+}
+
+// TestLandmarkTrackerMultiEdgeWindows advances through several windows of
+// many edges each and checks, after every window, that the batch repair left
+// each landmark vector bit-identical to a fresh BFS on that prefix — the
+// property the ApplyAll refactor must preserve per window, not just at the
+// end of the stream — and that the cumulative repair stats reflect the work.
+func TestLandmarkTrackerMultiEdgeWindows(t *testing.T) {
+	ev := growingStream(t, 200, 9)
+	start := ev.NumEdges() / 2
+	landmarks := []int{0, 3, 7}
+	tr, err := NewLandmarkTracker(ev, landmarks, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := (ev.NumEdges() - start) / 4
+	if step < 2 {
+		t.Fatalf("stream too short for multi-edge windows: %d edges", ev.NumEdges())
+	}
+	for prefix := start + step; prefix <= ev.NumEdges(); prefix += step {
+		if err := tr.AdvanceTo(prefix); err != nil {
+			t.Fatal(err)
+		}
+		g := ev.SnapshotPrefix(tr.Prefix())
+		for i, w := range landmarks {
+			want := sssp.Distances(g, w)
+			got := tr.Distances(i)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("prefix %d landmark %d: dist[%d] = %d, want %d",
+						prefix, w, v, got[v], want[v])
+				}
+			}
+		}
+	}
+	if err := tr.AdvanceTo(ev.NumEdges()); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.RepairStats()
+	if st.Changed == 0 || st.Nodes == 0 || st.FrontierPeak == 0 {
+		t.Fatalf("repair stats should be non-zero after multi-edge windows: %+v", st)
 	}
 }
 

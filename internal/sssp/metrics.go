@@ -27,6 +27,7 @@ const (
 	kBitParallel
 	kEnvelope // MultiSourceBFS lower-envelope sweep
 	kDijkstra
+	kRepair // dynsssp decrease-only batch repair (incremental paired sweep)
 	numKernels
 )
 
@@ -126,6 +127,11 @@ type MetricsSnapshot struct {
 	BitParallel64 KernelCounters
 	Envelope      KernelCounters
 	Dijkstra      KernelCounters
+	// Repair counts the dynsssp batch-repair kernel: the decrease-only wave
+	// that derives a t2 distance vector from the t1 vector plus the snapshot
+	// edge delta. Nodes/Edges here are traversal the incremental paired
+	// sweep performed instead of a full second BFS.
+	Repair KernelCounters
 }
 
 // SnapshotMetrics reads the live kernel counters.
@@ -149,6 +155,7 @@ func SnapshotMetrics() MetricsSnapshot {
 		BitParallel64: read(kBitParallel),
 		Envelope:      read(kEnvelope),
 		Dijkstra:      read(kDijkstra),
+		Repair:        read(kRepair),
 	}
 }
 
@@ -161,12 +168,27 @@ func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
 		BitParallel64: s.BitParallel64.sub(prev.BitParallel64),
 		Envelope:      s.Envelope.sub(prev.Envelope),
 		Dijkstra:      s.Dijkstra.sub(prev.Dijkstra),
+		Repair:        s.Repair.sub(prev.Repair),
 	}
 }
 
 // Total sums the kernels (FrontierPeak takes the max across kernels).
 func (s MetricsSnapshot) Total() KernelCounters {
-	return s.TopDown.add(s.DirectionOpt).add(s.BitParallel64).add(s.Envelope).add(s.Dijkstra)
+	return s.TopDown.add(s.DirectionOpt).add(s.BitParallel64).add(s.Envelope).add(s.Dijkstra).add(s.Repair)
+}
+
+// RecordRepair flushes one dynsssp batch-repair run into the repair kernel
+// counters: one call, one source (each repair re-derives a single source's
+// distance vector), the nodes/edges the wave touched, and its largest
+// single-level frontier. Called once per ApplyAll/ApplyBatch, never per edge,
+// to keep the repair kernel allocation- and contention-free.
+func RecordRepair(nodes, edges, frontierPeak int64) {
+	c := &kernelMetrics[kRepair]
+	c.calls.Add(1)
+	c.sources.Add(1)
+	c.nodes.Add(nodes)
+	c.edges.Add(edges)
+	peakMax(&c.frontierPeak, frontierPeak)
 }
 
 // init publishes the kernel counters to the obs metrics registry so
@@ -181,6 +203,9 @@ func init() {
 		kDijkstra:    "dijkstra",
 	}
 	for i := kernelIndex(0); i < numKernels; i++ {
+		if i == kRepair {
+			continue // registered under flat repair_* names below
+		}
 		c := &kernelMetrics[i]
 		prefix := "sssp." + names[i] + "."
 		obs.RegisterMetric(prefix+"calls", c.calls.Load)
@@ -193,4 +218,9 @@ func init() {
 	obs.RegisterMetric("sssp.diropt.topdown_steps", dir.tdSteps.Load)
 	obs.RegisterMetric("sssp.diropt.bottomup_steps", dir.buSteps.Load)
 	obs.RegisterMetric("sssp.diropt.switches", dir.switches.Load)
+	rep := &kernelMetrics[kRepair]
+	obs.RegisterMetric("sssp.repair_calls", rep.calls.Load)
+	obs.RegisterMetric("sssp.repair_nodes", rep.nodes.Load)
+	obs.RegisterMetric("sssp.repair_edges", rep.edges.Load)
+	obs.RegisterMetric("sssp.repair_frontier_peak", rep.frontierPeak.Load)
 }
