@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	convergence "repro"
 	"repro/internal/candidates"
@@ -47,8 +48,9 @@ func main() {
 	explain := flag.Bool("explain", false, "trace each found pair's shortest path and mark the new edges behind it")
 	dotOut := flag.String("dot", "", "write a GraphViz DOT rendering of G_t2 with the found pairs highlighted")
 	jsonOut := flag.String("json", "", "write the run result as a JSON report")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "BFS parallelism")
-	engine := flag.String("engine", "auto", "BFS kernel: auto|topdown|diropt|bitparallel64")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "across-source BFS parallelism (concurrent traversals)")
+	par := flag.Int("par", 1, "intra-traversal parallelism: cores one BFS may split its frontiers across; results and budget are identical at every setting")
+	engine := flag.String("engine", "auto", "BFS kernel: "+strings.Join(sssp.EngineNames(), "|"))
 	paired := flag.String("paired", "full", "extraction paired mode: full (re-traverse G_t2) | incremental (derive G_t2 rows from the edge delta); same results and budget either way")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run's phases (load at chrome://tracing or ui.perfetto.dev)")
 	metricsAddr := flag.String("metricsaddr", "", "serve /metrics (kernel counters) and /debug/pprof on this address during the run, e.g. :6060")
@@ -59,6 +61,7 @@ func main() {
 		fatal(err)
 	}
 	sssp.SetDefaultEngine(eng)
+	sssp.SetDefaultParallelism(*par)
 	pairedMode, err := convergence.ParsePairedMode(*paired)
 	if err != nil {
 		fatal(err)
@@ -127,7 +130,7 @@ func main() {
 	}
 	opts := convergence.Options{
 		Selector: sel, M: *m, L: *l, Seed: *seed, Workers: *workers,
-		PairedMode: pairedMode,
+		Parallelism: *par, PairedMode: pairedMode,
 	}
 	if *delta > 0 {
 		opts.MinDelta = int32(*delta)
@@ -257,6 +260,8 @@ func writeTrace(tr *convergence.Trace, path string, report convergence.BudgetRep
 		obs.Int64("edges-scanned", total.Edges),
 		obs.Int64("diropt-switches", work.DirectionOpt.Switches),
 		obs.Int64("frontier-peak", total.FrontierPeak),
+		// Most workers any single traversal level ran on (1 = serial BFS).
+		obs.Int64("cores-used", total.CoresUsed),
 		// Incremental paired extraction: traversal the delta repair did in
 		// place of full second BFSes (zero in -paired=full runs).
 		obs.Int64("repair-calls", work.Repair.Calls),

@@ -29,7 +29,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1..table6, fig1..fig3, or all")
-	engine := flag.String("engine", "auto", "BFS kernel for all shortest-path work: auto|topdown|diropt|bitparallel64 (ablation hook)")
+	engine := flag.String("engine", "auto", "BFS kernel for all shortest-path work: "+strings.Join(sssp.EngineNames(), "|")+" (ablation hook)")
 	scale := flag.Float64("scale", 0.25, "dataset size relative to the paper")
 	seed := flag.Int64("seed", 42, "seed for generation and randomized selectors")
 	m := flag.Int("m", 50, "endpoint budget for budgeted experiments")

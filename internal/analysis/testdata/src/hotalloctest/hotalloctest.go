@@ -63,3 +63,45 @@ func cold(dst, src []int32, n int) []int32 {
 	_ = fresh
 	return append(dst, 1)
 }
+
+type parWorker struct {
+	queue []int32
+	edges int64
+}
+
+type parState struct {
+	workers []parWorker
+	cursor  int
+}
+
+// hotWorker mirrors the parallel-BFS worker idiom: a worker materializes a
+// local view of its queue (`local := ws.queue[:0]`), self-appends
+// discoveries into it, and stores the header back — all scratch-amortized
+// and allowed. Allocating fresh per-level state is not.
+//
+//convlint:hotpath
+func hotWorker(r *parState, slot int, found []int32) {
+	ws := &r.workers[slot]
+	local := ws.queue[:0]
+	for _, v := range found {
+		local = append(local, v) // self-append on the local view
+		ws.edges++
+	}
+	ws.queue = local
+	spill := make([]int32, len(local)) // want `make in hot path hotWorker allocates`
+	copy(spill, local)
+}
+
+// hotMerge mirrors the coordinator's per-level merge: spread-appending each
+// worker's queue into the shared frontier is a self-append (the frontier
+// header absorbs its own growth); spawning a goroutine per level is flagged
+// as a closure.
+//
+//convlint:hotpath
+func hotMerge(r *parState, q []int32) []int32 {
+	for i := range r.workers {
+		q = append(q, r.workers[i].queue...) // self-append: spread merge
+	}
+	go func() { r.cursor++ }() // want `closure in hot path hotMerge allocates`
+	return q
+}

@@ -9,10 +9,10 @@ package betweenness
 
 import (
 	"math/rand"
-	"runtime"
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/sssp"
 )
 
 // EdgeScores maps each undirected edge (canonical orientation U < V) to its
@@ -112,15 +112,7 @@ func EdgesSampled(g *graph.Graph, samples int, rng *rand.Rand, workers int) Edge
 // parallelBrandes runs one Brandes dependency accumulation per source and
 // hands each worker's combined local result to merge once per worker.
 func parallelBrandes(g *graph.Graph, sources []int, workers int, merge func([]float64, EdgeScores), wantEdges bool) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(sources) {
-		workers = len(sources)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers = sssp.ClampWorkers(workers, len(sources))
 	next := make(chan int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

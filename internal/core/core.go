@@ -18,7 +18,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"runtime/pprof"
 	"sort"
 	"sync"
@@ -53,6 +52,14 @@ type Options struct {
 	RNG *rand.Rand
 	// Workers bounds SSSP parallelism; <=0 means GOMAXPROCS.
 	Workers int
+	// Parallelism bounds intra-traversal parallelism: how many cores one
+	// BFS may split its frontiers across (sssp's parallel level-synchronous
+	// kernels). 0 follows the process default, <=1 runs each traversal
+	// serial. Orthogonal to Workers, which spreads sources; total
+	// concurrency is roughly their product. Results, budget charges, and
+	// traversal-work metrics are identical at every setting — only
+	// wall-clock changes.
+	Parallelism int
 	// Engine selects the BFS kernel for the extraction phase's shortest
 	// paths (ablations pin one); the zero value Auto picks the fastest.
 	// Ignored by TopKSources, whose sources carry their own kernels.
@@ -107,7 +114,7 @@ func TopK(pair graph.SnapshotPair, opts Options) (*Result, error) {
 	if err := pair.Validate(); err != nil {
 		return nil, err
 	}
-	return run(dist.BFSPair(pair, opts.Engine), pair, opts)
+	return run(dist.BFSPairPar(pair, opts.Engine, opts.Parallelism), pair, opts)
 }
 
 // TopKSources runs Algorithm 1 over an arbitrary pair of distance sources —
@@ -250,13 +257,7 @@ func extractPairs(src dist.Pair, ctx *candidates.Context, cands []int, opts Opti
 		floor = 1
 	}
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(cands) {
-		workers = len(cands)
-	}
+	workers := sssp.ClampWorkers(opts.Workers, len(cands))
 	var mu sync.Mutex
 	var all []topk.Pair
 	next := make(chan int, workers)

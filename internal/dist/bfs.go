@@ -14,18 +14,34 @@ import (
 type BFS struct {
 	g      *graph.Graph
 	engine sssp.Engine
+	par    int
 }
 
 // NewBFS wraps g as a distance source computing distances with the given
-// BFS kernel (sssp.Auto for automatic selection).
+// BFS kernel (sssp.Auto for automatic selection). Intra-traversal
+// parallelism follows the process default; use NewBFSPar to pin it.
 func NewBFS(g *graph.Graph, engine sssp.Engine) *BFS {
-	return &BFS{g: g, engine: engine}
+	return NewBFSPar(g, engine, 0)
+}
+
+// NewBFSPar is NewBFS with an explicit intra-traversal parallelism: every
+// traversal this source runs may split its frontiers across par cores
+// (0 = process default, <= 1 = serial). Orthogonal to the sweep workers
+// knob, which spreads sources; see sssp.AllSourcesParEngineFunc.
+func NewBFSPar(g *graph.Graph, engine sssp.Engine, par int) *BFS {
+	return &BFS{g: g, engine: engine, par: par}
 }
 
 // BFSPair wraps an unweighted snapshot pair as a dist.Pair sharing one
 // engine choice. The caller validates the pair (supergraph invariant).
 func BFSPair(pair graph.SnapshotPair, engine sssp.Engine) Pair {
-	return Pair{S1: NewBFS(pair.G1, engine), S2: NewBFS(pair.G2, engine)}
+	return BFSPairPar(pair, engine, 0)
+}
+
+// BFSPairPar is BFSPair with an explicit intra-traversal parallelism shared
+// by both snapshots.
+func BFSPairPar(pair graph.SnapshotPair, engine sssp.Engine, par int) Pair {
+	return Pair{S1: NewBFSPar(pair.G1, engine, par), S2: NewBFSPar(pair.G2, engine, par)}
 }
 
 // NumNodes returns the node-universe size.
@@ -47,9 +63,13 @@ func (s *BFS) Graph() *graph.Graph { return s.g }
 // Engine returns the configured BFS kernel.
 func (s *BFS) Engine() sssp.Engine { return s.engine }
 
+// Parallelism returns the configured intra-traversal parallelism (0 means
+// the process default).
+func (s *BFS) Parallelism() int { return s.par }
+
 // DistancesInto runs one BFS from src, borrowing pooled scratch.
 func (s *BFS) DistancesInto(src int, dst []int32) {
-	sssp.BFSWith(s.g, src, dst, s.engine, nil)
+	sssp.ParallelBFSWith(s.g, src, dst, s.engine, s.par, nil)
 }
 
 // NewSession returns a handle owning a private sssp.Scratch.
@@ -60,7 +80,7 @@ func (s *BFS) NewSession() Session {
 // Sweep drives the batched multi-source kernels (bit-parallel BFS when the
 // engine resolution picks it), amortizing traversals across sources.
 func (s *BFS) Sweep(sources []int, workers int, fn func(src int, dst []int32)) {
-	sssp.AllSourcesEngineFunc(s.g, sources, workers, s.engine, fn)
+	sssp.AllSourcesParEngineFunc(s.g, sources, workers, s.engine, s.par, fn)
 }
 
 // pairedSweep implements the paired fast path when both snapshots are
@@ -71,7 +91,7 @@ func (s *BFS) pairedSweep(other Source, sources []int, workers int, fn func(src 
 	if !ok || o.engine != s.engine {
 		return false
 	}
-	sssp.PairedSourcesEngineFunc(s.g, o.g, sources, workers, s.engine, fn)
+	sssp.PairedSourcesParEngineFunc(s.g, o.g, sources, workers, s.engine, s.par, fn)
 	return true
 }
 
@@ -82,7 +102,7 @@ type bfsSession struct {
 }
 
 func (s *bfsSession) DistancesInto(src int, dst []int32) {
-	sssp.BFSWith(s.src.g, src, dst, s.src.engine, s.scratch)
+	sssp.ParallelBFSWith(s.src.g, src, dst, s.src.engine, s.src.par, s.scratch)
 }
 
 // newIncrementalPairedEngine implements the incrementalPairable capability:
@@ -101,6 +121,7 @@ func (s *BFS) newIncrementalPairedEngine(other Source) (PairedEngine, bool) {
 		g1:     s.g,
 		g2:     o.g,
 		engine: s.engine,
+		par:    s.par,
 		delta:  graph.NewDelta(s.g, o.g),
 	}, true
 }
@@ -110,6 +131,7 @@ func (s *BFS) newIncrementalPairedEngine(other Source) (PairedEngine, bool) {
 type incrPairedEngine struct {
 	g1, g2 *graph.Graph
 	engine sssp.Engine
+	par    int
 	delta  *graph.Delta
 }
 
@@ -131,7 +153,7 @@ type incrPairedSession struct {
 }
 
 func (s *incrPairedSession) DistancesPairInto(src int, d1, d2 []int32) {
-	sssp.BFSWith(s.e.g1, src, d1, s.e.engine, s.scratch)
+	sssp.ParallelBFSWith(s.e.g1, src, d1, s.e.engine, s.e.par, s.scratch)
 	s.DeriveInto(src, d1, d2)
 }
 
@@ -157,7 +179,7 @@ type incrSweepState struct {
 func (e *incrPairedEngine) sweep(sources []int, workers int, fn func(src int, d1, d2 []int32)) {
 	n := e.g1.NumNodes()
 	var pool sync.Pool
-	sssp.AllSourcesEngineFunc(e.g1, sources, workers, e.engine, func(src int, d1 []int32) {
+	sssp.AllSourcesParEngineFunc(e.g1, sources, workers, e.engine, e.par, func(src int, d1 []int32) {
 		st, _ := pool.Get().(*incrSweepState)
 		if st == nil {
 			st = &incrSweepState{d2: make([]int32, n), repair: dynsssp.NewScratch()}

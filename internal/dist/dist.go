@@ -19,7 +19,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"runtime/pprof"
 	"sync"
 
@@ -95,7 +94,7 @@ func Sweep(s Source, sources []int, workers int, fn func(src int, dst []int32)) 
 		return
 	}
 	n := s.NumNodes()
-	workers = clampWorkers(workers, len(sources))
+	workers = sssp.ClampWorkers(workers, len(sources))
 	var wg sync.WaitGroup
 	next := make(chan int, workers)
 	for w := 0; w < workers; w++ {
@@ -181,7 +180,7 @@ func PairedSweep(p Pair, sources []int, workers int, fn func(src int, d1, d2 []i
 		return
 	}
 	n := p.NumNodes()
-	workers = clampWorkers(workers, len(sources))
+	workers = sssp.ClampWorkers(workers, len(sources))
 	var wg sync.WaitGroup
 	next := make(chan int, workers)
 	for w := 0; w < workers; w++ {
@@ -236,16 +235,3 @@ func MaxDegree(s Source) int {
 	return max
 }
 
-// clampWorkers resolves a worker-count request against the job count.
-func clampWorkers(workers, jobs int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > jobs {
-		workers = jobs
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
-}

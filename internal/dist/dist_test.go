@@ -181,8 +181,11 @@ func TestIncrementalPairedSweepMatchesFull(t *testing.T) {
 		})
 		return out, mode
 	}
-	for _, eng := range []sssp.Engine{sssp.Auto, sssp.TopDown, sssp.DirectionOpt, sssp.BitParallel64} {
-		p := BFSPair(graph.SnapshotPair{G1: g1, G2: g2}, eng)
+	for _, eng := range []sssp.Engine{sssp.Auto, sssp.TopDown, sssp.DirectionOpt,
+		sssp.BitParallel64, sssp.BitParallel256, sssp.BitParallel512} {
+		// par=2 exercises the intra-traversal parallel kernels end to end;
+		// results must be bit-identical to serial (pinned in sssp's fuzz).
+		p := BFSPairPar(graph.SnapshotPair{G1: g1, G2: g2}, eng, 2)
 		full, _ := collect(func(fn func(int, []int32, []int32)) PairedMode {
 			PairedSweep(p, sources, 2, fn)
 			return PairedFull

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime/pprof"
 	"sync"
+
+	"repro/internal/sssp"
 )
 
 // PairedMode selects how the second-snapshot distance row of a paired query
@@ -148,7 +150,7 @@ func IncrementalPairedSweep(p Pair, sources []int, workers int, fn func(src int,
 	}
 	// Generic pool: one incremental session per worker.
 	n := p.NumNodes()
-	workers = clampWorkers(workers, len(sources))
+	workers = sssp.ClampWorkers(workers, len(sources))
 	var wg sync.WaitGroup
 	next := make(chan int, workers)
 	for w := 0; w < workers; w++ {

@@ -2,7 +2,6 @@ package sssp
 
 import (
 	"context"
-	"runtime"
 	"runtime/pprof"
 	"sync"
 
@@ -36,17 +35,38 @@ func AllSourcesFunc(g *graph.Graph, sources []int, workers int, fn func(src int,
 }
 
 // AllSourcesEngineFunc is AllSourcesFunc with an explicit engine, the hook
-// ablations use to compare kernels on identical sweeps.
+// ablations use to compare kernels on identical sweeps. Intra-traversal
+// parallelism follows the process default (SetDefaultParallelism).
 func AllSourcesEngineFunc(g *graph.Graph, sources []int, workers int, e Engine, fn func(src int, dist []int32)) {
-	workers = clampWorkers(workers, len(sources))
+	AllSourcesParEngineFunc(g, sources, workers, e, 0, fn)
+}
+
+// AllSourcesParEngineFunc is AllSourcesEngineFunc with an explicit
+// intra-traversal parallelism. The two knobs are orthogonal: workers spreads
+// sources (or batches) across goroutines, par splits each individual
+// traversal's frontiers across the traversal worker pool, and total
+// concurrency is their product — callers dividing a core budget give the
+// across-source axis priority (it parallelizes perfectly) and spend the
+// remainder on par. For the wide engines note the memory trade: every worker
+// holds Lanes()×n distance rows, so high workers × wide lanes multiplies
+// resident row blocks where workers=1 with par=cores runs one row block and
+// still uses every core.
+func AllSourcesParEngineFunc(g *graph.Graph, sources []int, workers int, e Engine, par int, fn func(src int, dist []int32)) {
+	workers = ClampWorkers(workers, len(sources))
+	k := resolvePar(par)
 	eng := resolveBatch(e, len(sources))
-	if eng == BitParallel64 {
+	if W := eng.wideWords(); W > 0 {
+		lanes := eng.Lanes()
 		scratches := make([]Scratch, workers)
-		forEachBatch(len(sources), workers, func(w, start, end int) {
+		forEachBatch(len(sources), workers, lanes, func(w, start, end int) {
 			s := &scratches[w]
 			batch := sources[start:end]
-			rows := s.ensureRows(g.NumNodes())[:len(batch)]
-			msBFSBatch(g, batch, rows, s)
+			rows := s.ensureRows(g.NumNodes(), lanes)[:len(batch)]
+			if W == 1 && k <= 1 {
+				msBFSBatch(g, batch, rows, s)
+			} else {
+				msBFSBatchWide(g, batch, rows, W, k, s)
+			}
 			for i, src := range batch {
 				fn(src, rows[i])
 			}
@@ -58,7 +78,7 @@ func AllSourcesEngineFunc(g *graph.Graph, sources []int, workers int, e Engine, 
 		dist := make([]int32, n)
 		s := NewScratch(n)
 		for _, src := range sources {
-			BFSWith(g, src, dist, eng, s)
+			ParallelBFSWith(g, src, dist, eng, k, s)
 			fn(src, dist)
 		}
 		return
@@ -71,7 +91,7 @@ func AllSourcesEngineFunc(g *graph.Graph, sources []int, workers int, e Engine, 
 			s := NewScratch(n)
 			for i := range next {
 				src := sources[i]
-				BFSWith(g, src, dist, eng, s)
+				ParallelBFSWith(g, src, dist, eng, k, s)
 				fn(src, dist)
 			}
 		})
@@ -92,19 +112,33 @@ func PairedSourcesFunc(g1, g2 *graph.Graph, sources []int, workers int, fn func(
 
 // PairedSourcesEngineFunc is PairedSourcesFunc with an explicit engine.
 func PairedSourcesEngineFunc(g1, g2 *graph.Graph, sources []int, workers int, e Engine, fn func(src int, d1, d2 []int32)) {
-	workers = clampWorkers(workers, len(sources))
+	PairedSourcesParEngineFunc(g1, g2, sources, workers, e, 0, fn)
+}
+
+// PairedSourcesParEngineFunc is PairedSourcesEngineFunc with an explicit
+// intra-traversal parallelism (see AllSourcesParEngineFunc for how the two
+// knobs compose).
+func PairedSourcesParEngineFunc(g1, g2 *graph.Graph, sources []int, workers int, e Engine, par int, fn func(src int, d1, d2 []int32)) {
+	workers = ClampWorkers(workers, len(sources))
+	k := resolvePar(par)
 	eng := resolveBatch(e, len(sources))
-	if eng == BitParallel64 {
+	if W := eng.wideWords(); W > 0 {
+		lanes := eng.Lanes()
 		// Two scratches per worker: one per snapshot, each holding that
-		// graph's 64 distance rows across the whole sweep.
+		// graph's distance rows across the whole sweep.
 		s1 := make([]Scratch, workers)
 		s2 := make([]Scratch, workers)
-		forEachBatch(len(sources), workers, func(w, start, end int) {
+		forEachBatch(len(sources), workers, lanes, func(w, start, end int) {
 			batch := sources[start:end]
-			rows1 := s1[w].ensureRows(g1.NumNodes())[:len(batch)]
-			rows2 := s2[w].ensureRows(g2.NumNodes())[:len(batch)]
-			msBFSBatch(g1, batch, rows1, &s1[w])
-			msBFSBatch(g2, batch, rows2, &s2[w])
+			rows1 := s1[w].ensureRows(g1.NumNodes(), lanes)[:len(batch)]
+			rows2 := s2[w].ensureRows(g2.NumNodes(), lanes)[:len(batch)]
+			if W == 1 && k <= 1 {
+				msBFSBatch(g1, batch, rows1, &s1[w])
+				msBFSBatch(g2, batch, rows2, &s2[w])
+			} else {
+				msBFSBatchWide(g1, batch, rows1, W, k, &s1[w])
+				msBFSBatchWide(g2, batch, rows2, W, k, &s2[w])
+			}
 			for i, src := range batch {
 				fn(src, rows1[i], rows2[i])
 			}
@@ -116,8 +150,8 @@ func PairedSourcesEngineFunc(g1, g2 *graph.Graph, sources []int, workers int, e 
 		d2 := make([]int32, g2.NumNodes())
 		s := NewScratch(g1.NumNodes())
 		for _, src := range sources {
-			BFSWith(g1, src, d1, eng, s)
-			BFSWith(g2, src, d2, eng, s)
+			ParallelBFSWith(g1, src, d1, eng, k, s)
+			ParallelBFSWith(g2, src, d2, eng, k, s)
 			fn(src, d1, d2)
 		}
 		return
@@ -131,8 +165,8 @@ func PairedSourcesEngineFunc(g1, g2 *graph.Graph, sources []int, workers int, e 
 			s := NewScratch(g1.NumNodes())
 			for i := range next {
 				src := sources[i]
-				BFSWith(g1, src, d1, eng, s)
-				BFSWith(g2, src, d2, eng, s)
+				ParallelBFSWith(g1, src, d1, eng, k, s)
+				ParallelBFSWith(g2, src, d2, eng, k, s)
 				fn(src, d1, d2)
 			}
 		})
@@ -167,33 +201,19 @@ func DistanceMatrix(g *graph.Graph, sources []int, workers int) [][]int32 {
 	return rows
 }
 
-// clampWorkers resolves a worker-count request against the job count.
-func clampWorkers(workers, jobs int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > jobs {
-		workers = jobs
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
-}
-
-// forEachBatch splits [0, total) into msBatchBits-sized chunks and runs
+// forEachBatch splits [0, total) into lanes-sized chunks and runs
 // body(workerIndex, start, end) on each, spreading chunks across workers.
 // Worker indices are dense in [0, workers), so callers can keep per-worker
 // state (scratches, row buffers) in plain slices; a sweep's allocations are
 // then per worker, not per source.
-func forEachBatch(total, workers int, body func(w, start, end int)) {
-	numBatches := (total + msBatchBits - 1) / msBatchBits
+func forEachBatch(total, workers, lanes int, body func(w, start, end int)) {
+	numBatches := (total + lanes - 1) / lanes
 	if workers > numBatches {
 		workers = numBatches
 	}
 	chunk := func(b int) (int, int) {
-		start := b * msBatchBits
-		end := start + msBatchBits
+		start := b * lanes
+		end := start + lanes
 		if end > total {
 			end = total
 		}

@@ -2,6 +2,8 @@ package sssp
 
 import (
 	"fmt"
+	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -19,50 +21,108 @@ const (
 	Auto Engine = iota
 	// TopDown is the classic level-by-level scalar BFS — the baseline the
 	// paper counts as one unit of budget. Kept selectable for ablations.
+	// With parallelism > 1 the level-synchronous parallel kernel runs the
+	// same top-down levels split across a worker pool.
 	TopDown
 	// DirectionOpt is a Beamer-style direction-optimizing BFS: it starts
 	// top-down and switches to bottom-up scanning of the unvisited set when
 	// the frontier grows past a fraction of the unexplored edges, which
-	// skips most edge examinations on small-diameter graphs.
+	// skips most edge examinations on small-diameter graphs. With
+	// parallelism > 1 both directions split their work across a worker pool
+	// (top-down splits the frontier, bottom-up partitions the unvisited
+	// bitmap range).
 	DirectionOpt
 	// BitParallel64 batches up to 64 sources into one sweep, tracking
 	// per-node visit sets as machine words (an MS-BFS). Only the
 	// multi-source drivers exploit the batching; for a single source it
 	// degenerates to a one-bit sweep and is selectable mainly for testing.
 	BitParallel64
+	// BitParallel256 is the 4-word MS-BFS: 256 sources per batch, four visit
+	// words per node. Batch setup (row init, visit-word clearing) amortizes
+	// over 4x more sources than BitParallel64 at the cost of touching four
+	// words per edge examination.
+	BitParallel256
+	// BitParallel512 is the 8-word MS-BFS: 512 sources per batch. The widest
+	// kernel; worthwhile on sweeps with thousands of sources where setup and
+	// per-edge revisits dominate.
+	BitParallel512
 )
+
+// engineNames is the single source of truth binding engines to their
+// flag-friendly spellings. String and ParseEngine both derive from it, so
+// -engine stays self-documenting as kernels are added (round-trip pinned by
+// TestEngineNameRoundTrip).
+var engineNames = []struct {
+	e    Engine
+	name string
+}{
+	{Auto, "auto"},
+	{TopDown, "topdown"},
+	{DirectionOpt, "diropt"},
+	{BitParallel64, "bitparallel64"},
+	{BitParallel256, "bitparallel256"},
+	{BitParallel512, "bitparallel512"},
+}
+
+// engineAliases maps additional accepted spellings to engines.
+var engineAliases = map[string]Engine{
+	"":                     Auto,
+	"scalar":               TopDown,
+	"direction-optimizing": DirectionOpt,
+	"beamer":               DirectionOpt,
+	"bitparallel":          BitParallel64,
+	"msbfs":                BitParallel64,
+}
 
 // String returns the engine's flag-friendly name.
 func (e Engine) String() string {
-	switch e {
-	case Auto:
-		return "auto"
-	case TopDown:
-		return "topdown"
-	case DirectionOpt:
-		return "diropt"
-	case BitParallel64:
-		return "bitparallel64"
-	default:
-		return fmt.Sprintf("engine(%d)", int(e))
+	for _, en := range engineNames {
+		if en.e == e {
+			return en.name
+		}
 	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// EngineNames lists the canonical -engine spellings in declaration order.
+func EngineNames() []string {
+	names := make([]string, len(engineNames))
+	for i, en := range engineNames {
+		names[i] = en.name
+	}
+	return names
 }
 
 // ParseEngine converts a flag value into an Engine.
 func ParseEngine(s string) (Engine, error) {
-	switch s {
-	case "auto", "":
-		return Auto, nil
-	case "topdown", "scalar":
-		return TopDown, nil
-	case "diropt", "direction-optimizing", "beamer":
-		return DirectionOpt, nil
-	case "bitparallel64", "bitparallel", "msbfs":
-		return BitParallel64, nil
-	default:
-		return Auto, fmt.Errorf("sssp: unknown engine %q (want auto|topdown|diropt|bitparallel64)", s)
+	for _, en := range engineNames {
+		if en.name == s {
+			return en.e, nil
+		}
 	}
+	if e, ok := engineAliases[s]; ok {
+		return e, nil
+	}
+	return Auto, fmt.Errorf("sssp: unknown engine %q (want %s)", s, strings.Join(EngineNames(), "|"))
 }
+
+// Lanes returns the engine's multi-source batch width: how many sources one
+// kernel invocation traverses together. Scalar kernels (and Auto) report 0.
+func (e Engine) Lanes() int {
+	switch e {
+	case BitParallel64:
+		return 64
+	case BitParallel256:
+		return 256
+	case BitParallel512:
+		return 512
+	}
+	return 0
+}
+
+// wideWords returns the number of visit words per node for a bit-parallel
+// engine (1 for BitParallel64), or 0 for scalar engines.
+func (e Engine) wideWords() int { return e.Lanes() / 64 }
 
 // defaultEngine is the process-wide engine that Auto resolves to; Auto
 // itself means "use the built-in heuristics".
@@ -77,7 +137,43 @@ func SetDefaultEngine(e Engine) { defaultEngine.Store(int32(e)) }
 // none is installed).
 func DefaultEngine() Engine { return Engine(defaultEngine.Load()) }
 
-// msBatchBits is the MS-BFS lane width: one source per bit of a uint64.
+// defaultParallelism is the process-wide intra-traversal core count used by
+// entry points called without an explicit parallelism (0 or 1 = serial).
+var defaultParallelism atomic.Int32
+
+// SetDefaultParallelism installs the process-wide intra-traversal
+// parallelism: the number of cores one BFS call may split its frontiers
+// across when the caller does not pass an explicit value (convpairs -par
+// sets it once at startup). Values <= 1 mean serial traversal, the default.
+// Multi-source drivers are unaffected: they split their worker budget
+// between across-source and intra-traversal parallelism themselves.
+func SetDefaultParallelism(p int) { defaultParallelism.Store(int32(p)) }
+
+// DefaultParallelism returns the process-wide intra-traversal parallelism
+// (0 when unset, meaning serial).
+func DefaultParallelism() int { return int(defaultParallelism.Load()) }
+
+// maxTraversalWorkers caps intra-traversal parallelism (and the shared
+// traversal worker pool); far above any realistic core count.
+const maxTraversalWorkers = 64
+
+// resolvePar maps a parallelism request to the worker count a kernel runs
+// with: 0 falls back to the process default, and everything is clamped to
+// [1, maxTraversalWorkers].
+func resolvePar(par int) int {
+	if par == 0 {
+		par = DefaultParallelism()
+	}
+	if par < 1 {
+		return 1
+	}
+	if par > maxTraversalWorkers {
+		return maxTraversalWorkers
+	}
+	return par
+}
+
+// msBatchBits is the base MS-BFS lane width: one source per bit of a uint64.
 const msBatchBits = 64
 
 // msAutoThreshold is the minimum source count for which Auto prefers the
@@ -97,7 +193,10 @@ func resolveSingle(e Engine) Engine {
 }
 
 // resolveBatch maps an engine request to the kernel used by a multi-source
-// driver over nsources sources.
+// driver over nsources sources. Auto stays on the 64-lane batch kernel: the
+// wide kernels are explicit opt-ins because their per-worker row blocks are
+// Lanes()*n ints (see AllSourcesParEngineFunc for the core split that keeps
+// that affordable).
 func resolveBatch(e Engine, nsources int) Engine {
 	if e == Auto {
 		e = DefaultEngine()
@@ -111,12 +210,33 @@ func resolveBatch(e Engine, nsources int) Engine {
 	return e
 }
 
+// ClampWorkers resolves a worker-count request against a job count: <= 0
+// asks for GOMAXPROCS, the result never exceeds jobs, and is at least 1.
+// This is the one shared clamping rule for every parallel driver (sssp
+// sweeps, dist sessions pools, topk shards, core extraction).
+func ClampWorkers(workers, jobs int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // Scratch holds every buffer a BFS kernel needs beyond the caller's dist
 // slice: the index-cursor frontier queue, the bottom-up frontier bitmaps,
-// and the bit-parallel visit words. A Scratch grows to the largest graph it
-// has served and is then allocation-free; it is not safe for concurrent
-// use. Parallel drivers keep one Scratch per worker; single-shot entry
-// points borrow one from an internal pool.
+// the bit-parallel visit words (one per node for the 64-lane kernel, W per
+// node for the wide kernels), and the parallel kernels' shared visited
+// bitmap plus per-worker state. A Scratch grows to the largest graph (and
+// widest kernel, and highest parallelism) it has served and is then
+// allocation-free; it is not safe for concurrent use by multiple callers —
+// the parallel kernels hand disjoint pieces of it to the traversal worker
+// pool internally. Parallel drivers keep one Scratch per worker;
+// single-shot entry points borrow one from an internal pool.
 type Scratch struct {
 	queue []int32 // frontier queue, cursor-indexed (cap >= n)
 	cur   []uint64
@@ -127,7 +247,31 @@ type Scratch struct {
 	front []uint64
 	next  []uint64
 	nextQ []int32
-	rows  [][]int32 // msBatchBits distance rows of length n
+
+	// Wide MS-BFS state: W words per node, flattened node-major
+	// (node v's words at [v*W, (v+1)*W)).
+	wseen  []uint64
+	wfront []uint64
+	wnext  []uint64
+	// nextMark is the wide kernels' next-queue dedup bitmap, one bit per
+	// node; kernels leave it all-zero.
+	nextMark []uint64
+
+	// vis is the parallel scalar kernels' shared visited bitmap (claimed
+	// with CAS during parallel top-down levels).
+	vis []uint64
+
+	// par is the reusable fork-join state handed to the traversal worker
+	// pool; it embeds the per-worker next-queues and counters.
+	par parRun
+
+	// rows is the batch drivers' distance-row block: up to rowsLanes rows of
+	// length rowsN, all views into the grow-only rowsBacking array (see
+	// ensureRows).
+	rows        [][]int32
+	rowsBacking []int32
+	rowsN       int
+	rowsLanes   int
 
 	// One-lane views for single-source calls routed through the batch
 	// kernel, so BFSWith stays allocation-free on every engine (oneRow[0]
@@ -173,19 +317,73 @@ func (s *Scratch) ensureMS(n int) {
 	}
 }
 
-// ensureRows returns the scratch's msBatchBits distance rows of exactly
-// length n, (re)allocating only when the graph size changes. Only the batch
-// drivers call this; single-source bit-parallel calls write into the
-// caller's dist buffer and never pay for the row block.
-func (s *Scratch) ensureRows(n int) [][]int32 {
-	if s.rows == nil || len(s.rows[0]) != n {
-		s.rows = make([][]int32, msBatchBits)
-		backing := make([]int32, msBatchBits*n)
-		for i := range s.rows {
-			s.rows[i] = backing[i*n : (i+1)*n]
-		}
+// ensureWide grows the wide MS-BFS buffers for an n-node graph and W visit
+// words per node, zeroing the seen words. front/next are left all-zero by
+// the kernel (like their one-word siblings), and so is nextMark.
+func (s *Scratch) ensureWide(n, W int) {
+	s.ensure(n)
+	need := n * W
+	if cap(s.wseen) < need {
+		s.wseen = make([]uint64, need)
+		s.wfront = make([]uint64, need)
+		s.wnext = make([]uint64, need)
 	}
-	return s.rows
+	s.wseen = s.wseen[:cap(s.wseen)]
+	s.wfront = s.wfront[:cap(s.wfront)]
+	s.wnext = s.wnext[:cap(s.wnext)]
+	clearWords(s.wseen[:need])
+	words := (n + 63) / 64
+	if len(s.nextMark) < words {
+		s.nextMark = make([]uint64, words)
+	}
+	if cap(s.nextQ) < n {
+		s.nextQ = make([]int32, 0, n)
+	}
+}
+
+// ensurePar grows the parallel kernels' shared visited bitmap and the
+// per-worker state block for k workers.
+func (s *Scratch) ensurePar(n, k int) {
+	s.ensure(n)
+	words := (n + 63) / 64
+	if len(s.vis) < words {
+		s.vis = make([]uint64, words)
+	}
+	s.par.ensureWorkers(k, n)
+}
+
+// ensureRows returns lanes distance rows of exactly length n, all views into
+// one grow-only backing array. The backing (and the row-header block) only
+// ever grow: eval suites alternating between graph sizes or lane widths
+// re-point the row headers without reallocating, so a warmed Scratch serves
+// any (n, lanes) it has ever seen allocation-free (pinned by
+// TestEnsureRowsGrowOnly). Only the batch drivers call this; single-source
+// bit-parallel calls write into the caller's dist buffer and never pay for
+// the row block.
+func (s *Scratch) ensureRows(n, lanes int) [][]int32 {
+	if s.rowsN == n && lanes <= s.rowsLanes {
+		return s.rows[:lanes]
+	}
+	if need := lanes * n; cap(s.rowsBacking) < need {
+		s.rowsBacking = make([]int32, need)
+	}
+	backing := s.rowsBacking[:cap(s.rowsBacking)]
+	if cap(s.rows) < lanes {
+		s.rows = make([][]int32, lanes)
+	}
+	s.rows = s.rows[:cap(s.rows)]
+	// Re-point every header the backing can hold at length n, so a later
+	// call asking for more lanes at this n is a pure reslice.
+	maxLanes := len(s.rows)
+	if n > 0 && len(backing)/n < maxLanes {
+		maxLanes = len(backing) / n
+	}
+	for i := 0; i < maxLanes; i++ {
+		s.rows[i] = backing[i*n : (i+1)*n]
+	}
+	s.rows = s.rows[:maxLanes]
+	s.rowsN, s.rowsLanes = n, maxLanes
+	return s.rows[:lanes]
 }
 
 func clearWords(w []uint64) {

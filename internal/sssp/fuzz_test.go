@@ -72,26 +72,30 @@ func prefAttach(n, k, isolated int, rng *rand.Rand) *graph.Graph {
 }
 
 // engineList returns every selectable kernel.
-func engineList() []Engine { return []Engine{TopDown, DirectionOpt, BitParallel64} }
+func engineList() []Engine {
+	return []Engine{TopDown, DirectionOpt, BitParallel64, BitParallel256, BitParallel512}
+}
 
-// assertEngineMatch runs every engine from src and compares against the
-// reference oracle.
+// assertEngineMatch runs every engine from src, serial and with
+// intra-traversal parallelism, and compares against the reference oracle.
 func assertEngineMatch(t *testing.T, g *graph.Graph, src int, label string) {
 	t.Helper()
 	want, wantReached, wantEcc := referenceBFS(g, src)
 	dist := make([]int32, g.NumNodes())
 	scratch := NewScratch(g.NumNodes())
 	for _, e := range engineList() {
-		for _, s := range []*Scratch{nil, scratch} {
-			reached, ecc := BFSWith(g, src, dist, e, s)
-			if reached != wantReached || ecc != wantEcc {
-				t.Fatalf("%s: engine %v src %d: (reached, ecc) = (%d, %d), want (%d, %d)",
-					label, e, src, reached, ecc, wantReached, wantEcc)
-			}
-			for v := range dist {
-				if dist[v] != want[v] {
-					t.Fatalf("%s: engine %v src %d: dist[%d] = %d, want %d",
-						label, e, src, v, dist[v], want[v])
+		for _, par := range []int{1, 4} {
+			for _, s := range []*Scratch{nil, scratch} {
+				reached, ecc := ParallelBFSWith(g, src, dist, e, par, s)
+				if reached != wantReached || ecc != wantEcc {
+					t.Fatalf("%s: engine %v par %d src %d: (reached, ecc) = (%d, %d), want (%d, %d)",
+						label, e, par, src, reached, ecc, wantReached, wantEcc)
+				}
+				for v := range dist {
+					if dist[v] != want[v] {
+						t.Fatalf("%s: engine %v par %d src %d: dist[%d] = %d, want %d",
+							label, e, par, src, v, dist[v], want[v])
+					}
 				}
 			}
 		}
@@ -144,7 +148,7 @@ func TestDriversDifferential(t *testing.T) {
 	}
 	sources = append(sources, sources[0], sources[1]) // duplicates
 
-	for _, e := range []Engine{TopDown, DirectionOpt, BitParallel64, Auto} {
+	for _, e := range []Engine{TopDown, DirectionOpt, BitParallel64, BitParallel256, BitParallel512, Auto} {
 		calls := map[int]int{}
 		AllSourcesEngineFunc(g, sources, 1, e, func(src int, dist []int32) {
 			calls[src]++
@@ -165,7 +169,7 @@ func TestDriversDifferential(t *testing.T) {
 	}
 
 	g2 := prefAttach(150, 3, 10, rng)
-	for _, e := range []Engine{TopDown, BitParallel64} {
+	for _, e := range []Engine{TopDown, BitParallel64, BitParallel512} {
 		PairedSourcesEngineFunc(g, g2, sources, 1, e, func(src int, d1, d2 []int32) {
 			w1, _, _ := referenceBFS(g, src)
 			w2, _, _ := referenceBFS(g2, src)

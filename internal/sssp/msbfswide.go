@@ -1,0 +1,395 @@
+package sssp
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Wide bit-parallel multi-source BFS: the MS-BFS of msbfs.go generalized
+// from one visit word per node to W words (W=4 → 256 lanes, W=8 → 512).
+// Batch setup — row initialization, seen-word clearing, the queue seeding —
+// amortizes over W× more sources per pass, and a node is still re-expanded
+// only at the few distinct levels at which some lane first reaches it. The
+// price is touching W words per edge examination, which pays off once the
+// sweep has thousands of sources (the exact ground-truth sweep, the paired
+// sweep, DistanceMatrix on large landmark sets).
+//
+// The kernel also composes with intra-traversal parallelism: with par > 1
+// the per-level scan splits the frontier across the traversal worker pool
+// (CAS-claiming new bits on the shared seen words, with a CAS-claimed
+// next-queue membership bitmap deduplicating the merged queue), and the emit
+// pass — which writes each newly reached (lane, node) distance — splits the
+// next queue the same way. Level-synchrony again makes every row
+// deterministic: a lane bit is claimed only during the one level at which
+// that source first reaches the node.
+
+// kernelForWidth maps a wide kernel's word count to its metrics index.
+func kernelForWidth(W int) kernelIndex {
+	switch W {
+	case 4:
+		return kBitParallel256
+	case 8:
+		return kBitParallel512
+	default:
+		return kBitParallel
+	}
+}
+
+// msBFSBatchWide runs BFS from sources[0..k) (k <= 64*W) simultaneously and
+// writes the distance row of sources[i] into rows[i] (length n, Unreachable
+// for nodes in other components). Duplicate sources produce identical rows.
+// W is the number of visit words per node (1, 4, or 8); par > 1 additionally
+// splits each level across the traversal worker pool. The scratch's wide
+// buffers are (re)used across calls.
+//
+//convlint:hotpath
+func msBFSBatchWide(g *graph.Graph, sources []int, rows [][]int32, W, par int, s *Scratch) {
+	n := g.NumNodes()
+	lanes := W * 64
+	if len(sources) > lanes {
+		panic(fmt.Sprintf("sssp: MS-BFS batch of %d sources exceeds %d lanes", len(sources), lanes))
+	}
+	if W > 8 {
+		panic(fmt.Sprintf("sssp: MS-BFS width %d words exceeds 8", W))
+	}
+	offsets, neighbors := g.CSR()
+	s.ensureWide(n, W)
+	wseen, wfront, wnext := s.wseen, s.wfront, s.wnext
+
+	for i, src := range sources {
+		if src < 0 || src >= n {
+			panic(fmt.Sprintf("sssp: source %d out of range [0,%d)", src, n))
+		}
+		row := rows[i]
+		for j := range row {
+			row[j] = Unreachable
+		}
+		row[src] = 0
+	}
+
+	q := s.queue[:0]
+	for i, src := range sources {
+		word := i >> 6
+		bit := uint64(1) << (uint(i) & 63)
+		base := src * W
+		seeded := false
+		for w := 0; w < W; w++ {
+			if wseen[base+w] != 0 {
+				seeded = true
+				break
+			}
+		}
+		if !seeded {
+			q = append(q, int32(src))
+		}
+		wseen[base+word] |= bit
+		wfront[base+word] |= bit
+	}
+
+	// Metrics accumulate in registers and flush once per batch; a "node" is
+	// one (lane, node) visit, the scalar-equivalent work.
+	var edges int64
+	visits := int64(len(sources))
+	peak := len(q)
+	coresPeak := 1
+
+	r := &s.par
+	if par > 1 {
+		s.ensurePar(n, par)
+		ensureParPool(par)
+		r.offsets, r.neighbors = offsets, neighbors
+		r.n = n
+		r.W = W
+		r.nextMark = s.nextMark
+	}
+
+	nextQ := s.nextQ[:0]
+	for level := int32(1); len(q) > 0; level++ {
+		nextQ = nextQ[:0]
+
+		// Scan: expand the frontier's adjacency, advancing every lane that
+		// still needs each edge.
+		if par > 1 && len(q) >= parSerialCutoffWide {
+			kk := par
+			if mc := (len(q) + parChunkWide - 1) / parChunkWide; kk > mc {
+				kk = mc
+			}
+			if kk > coresPeak {
+				coresPeak = kk
+			}
+			r.phase = parPhaseWideScan
+			r.q = q
+			r.lo, r.hi = 0, len(q)
+			r.wseen, r.wfront, r.wnext = wseen, wfront, wnext
+			r.dispatch(kk)
+			for i := 0; i < kk; i++ {
+				ws := &r.workers[i]
+				edges += ws.edges
+				// Clear the membership marks serially while merging: mark
+				// words are shared across workers' nodes, so the barrier is
+				// the only safe place to flip them back.
+				for _, v := range ws.queue {
+					s.nextMark[v>>6] &^= 1 << (uint(v) & 63)
+				}
+				nextQ = append(nextQ, ws.queue...)
+			}
+		} else if W == 4 {
+			// Unrolled W=4 fast path: the four visit words share a cache
+			// line, so load them unconditionally and branch once on the
+			// or-tree — the common "nothing new" case takes no per-word
+			// branches.
+			for _, u := range q {
+				base := int(u) * 4
+				f0, f1, f2, f3 := wfront[base], wfront[base+1], wfront[base+2], wfront[base+3]
+				wfront[base], wfront[base+1], wfront[base+2], wfront[base+3] = 0, 0, 0, 0
+				edges += int64(offsets[u+1] - offsets[u])
+				for _, v := range neighbors[offsets[u]:offsets[u+1]] {
+					vb := int(v) * 4
+					sv := wseen[vb : vb+4 : vb+4]
+					n0 := f0 &^ sv[0]
+					n1 := f1 &^ sv[1]
+					n2 := f2 &^ sv[2]
+					n3 := f3 &^ sv[3]
+					if n0|n1|n2|n3 == 0 {
+						continue
+					}
+					nx := wnext[vb : vb+4 : vb+4]
+					nx[0] |= n0
+					nx[1] |= n1
+					nx[2] |= n2
+					nx[3] |= n3
+					sv[0] |= n0
+					sv[1] |= n1
+					sv[2] |= n2
+					sv[3] |= n3
+					mw := v >> 6
+					mb := uint64(1) << (uint(v) & 63)
+					if s.nextMark[mw]&mb == 0 {
+						s.nextMark[mw] |= mb
+						nextQ = append(nextQ, v)
+					}
+				}
+			}
+			for _, v := range nextQ {
+				s.nextMark[v>>6] &^= 1 << (uint(v) & 63)
+			}
+		} else {
+			var f [8]uint64
+			for _, u := range q {
+				base := int(u) * W
+				for w := 0; w < W; w++ {
+					f[w] = wfront[base+w]
+					wfront[base+w] = 0
+				}
+				edges += int64(offsets[u+1] - offsets[u])
+				for _, v := range neighbors[offsets[u]:offsets[u+1]] {
+					vb := int(v) * W
+					sv := wseen[vb : vb+W : vb+W]
+					nx := wnext[vb : vb+W : vb+W]
+					anyNew := false
+					for w := 0; w < W; w++ {
+						fw := f[w]
+						if fw == 0 {
+							continue
+						}
+						nw := fw &^ sv[w]
+						if nw == 0 {
+							continue
+						}
+						nx[w] |= nw
+						sv[w] |= nw
+						anyNew = true
+					}
+					if anyNew {
+						mw := v >> 6
+						mb := uint64(1) << (uint(v) & 63)
+						if s.nextMark[mw]&mb == 0 {
+							s.nextMark[mw] |= mb
+							nextQ = append(nextQ, v)
+						}
+					}
+				}
+			}
+			for _, v := range nextQ {
+				s.nextMark[v>>6] &^= 1 << (uint(v) & 63)
+			}
+		}
+
+		// Emit: write the newly reached (lane, node) distances. wnext is
+		// read-only here and each queue entry is unique, so the parallel
+		// split needs no atomics beyond the chunk cursor.
+		if par > 1 && len(nextQ) >= parSerialCutoffWide {
+			kk := par
+			if mc := (len(nextQ) + parChunkWideEmit - 1) / parChunkWideEmit; kk > mc {
+				kk = mc
+			}
+			if kk > coresPeak {
+				coresPeak = kk
+			}
+			r.phase = parPhaseWideEmit
+			r.q = nextQ
+			r.lo, r.hi = 0, len(nextQ)
+			r.level = level
+			r.wnext = wnext
+			r.rows = rows
+			r.dispatch(kk)
+			for i := 0; i < kk; i++ {
+				visits += r.workers[i].visits
+			}
+			r.rows = nil
+		} else {
+			// Word-blocked: one pass per visit word keeps the live row write
+			// streams at 64, matching the 64-lane kernel's cache/TLB footprint
+			// (a single pass interleaving all W*64 rows thrashes both).
+			for w := 0; w < W; w++ {
+				lbase := w << 6
+				for _, v := range nextQ {
+					x := wnext[int(v)*W+w]
+					if x == 0 {
+						continue
+					}
+					visits += int64(bits.OnesCount64(x))
+					for x != 0 {
+						rows[lbase+bits.TrailingZeros64(x)][v] = level
+						x &= x - 1
+					}
+				}
+			}
+		}
+
+		if len(nextQ) > peak {
+			peak = len(nextQ)
+		}
+		wfront, wnext = wnext, wfront
+		q, nextQ = nextQ, q
+	}
+	// Hand the (possibly swapped) slices back; wfront/wnext and the mark
+	// bitmap are all-zero again at this point.
+	s.wfront, s.wnext = wfront, wnext
+	s.queue, s.nextQ = q[:0], nextQ[:0]
+	km := &kernelMetrics[kernelForWidth(W)]
+	km.calls.Add(1)
+	km.sources.Add(int64(len(sources)))
+	km.nodes.Add(visits)
+	km.edges.Add(edges)
+	peakMax(&km.frontierPeak, int64(peak))
+	peakMax(&km.cores, int64(coresPeak))
+}
+
+// wideScanChunks is one worker's share of a parallel wide scan: claim
+// frontier chunks, CAS-claim newly set lane bits on the shared seen words,
+// OR them into the next-frontier words, and claim next-queue membership
+// through the mark bitmap so exactly one worker queues each node.
+//
+//convlint:hotpath
+func (r *parRun) wideScanChunks(ws *parWorkerState) {
+	offsets, neighbors := r.offsets, r.neighbors
+	W := r.W
+	wseen, wfront, wnext := r.wseen, r.wfront, r.wnext
+	mark := r.nextMark
+	q, hi := r.q, r.hi
+	local := ws.queue[:0]
+	var edges int64
+	var f [8]uint64
+	for {
+		start := int(r.cursor.Add(parChunkWide)) - parChunkWide
+		if start >= hi {
+			break
+		}
+		end := start + parChunkWide
+		if end > hi {
+			end = hi
+		}
+		for _, u := range q[start:end] {
+			// u appears once in q, so this worker owns its front words.
+			base := int(u) * W
+			for w := 0; w < W; w++ {
+				f[w] = wfront[base+w]
+				wfront[base+w] = 0
+			}
+			edges += int64(offsets[u+1] - offsets[u])
+			for _, v := range neighbors[offsets[u]:offsets[u+1]] {
+				vb := int(v) * W
+				anyNew := false
+				for w := 0; w < W; w++ {
+					fw := f[w]
+					if fw == 0 {
+						continue
+					}
+					for {
+						old := atomic.LoadUint64(&wseen[vb+w])
+						nw := fw &^ old
+						if nw == 0 {
+							break
+						}
+						if atomic.CompareAndSwapUint64(&wseen[vb+w], old, old|nw) {
+							orUint64(&wnext[vb+w], nw)
+							anyNew = true
+							break
+						}
+					}
+				}
+				if anyNew {
+					mw := v >> 6
+					mb := uint64(1) << (uint(v) & 63)
+					for {
+						old := atomic.LoadUint64(&mark[mw])
+						if old&mb != 0 {
+							break
+						}
+						if atomic.CompareAndSwapUint64(&mark[mw], old, old|mb) {
+							local = append(local, v)
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	ws.queue = local
+	ws.edges = edges
+}
+
+// wideEmitChunks is one worker's share of a parallel wide emit: claim chunks
+// of the (duplicate-free) next queue and write each node's newly reached
+// lane distances. Distinct nodes write distinct row elements, so every write
+// is plain.
+//
+//convlint:hotpath
+func (r *parRun) wideEmitChunks(ws *parWorkerState) {
+	W := r.W
+	wnext := r.wnext
+	rows := r.rows
+	level := r.level
+	q, hi := r.q, r.hi
+	var visits int64
+	for {
+		start := int(r.cursor.Add(parChunkWideEmit)) - parChunkWideEmit
+		if start >= hi {
+			break
+		}
+		end := start + parChunkWideEmit
+		if end > hi {
+			end = hi
+		}
+		// Word-blocked like the serial emit: 64 live row streams per pass.
+		for w := 0; w < W; w++ {
+			lbase := w << 6
+			for _, v := range q[start:end] {
+				x := wnext[int(v)*W+w]
+				if x == 0 {
+					continue
+				}
+				visits += int64(bits.OnesCount64(x))
+				for x != 0 {
+					rows[lbase+bits.TrailingZeros64(x)][v] = level
+					x &= x - 1
+				}
+			}
+		}
+	}
+	ws.visits = visits
+}

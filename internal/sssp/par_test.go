@@ -1,0 +1,341 @@
+package sssp
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/invariant"
+)
+
+// bigParGraph builds a graph large enough that the parallel kernels actually
+// cross their serial cutoffs (frontiers of thousands of nodes), with
+// isolated nodes appended so disconnected components are exercised too.
+func bigParGraph(tb testing.TB, n int, seed int64) *graph.Graph {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	return prefAttach(n, 3, n/20, rng)
+}
+
+// oracleCache memoizes referenceBFS rows per source, so driver tests over
+// hundreds of sources (with duplicates) stay fast.
+type oracleCache struct {
+	g    *graph.Graph
+	rows map[int][]int32
+}
+
+func (o *oracleCache) row(src int) []int32 {
+	if r, ok := o.rows[src]; ok {
+		return r
+	}
+	r, _, _ := referenceBFS(o.g, src)
+	o.rows[src] = r
+	return r
+}
+
+// TestParallelEnginesDifferential pins the parallel level-synchronous kernel
+// bit-identical to the scalar oracle on graphs big enough to split frontiers
+// across workers (including direction-optimized bottom-up levels, duplicate
+// calls on a warm Scratch, and sources inside isolated components).
+func TestParallelEnginesDifferential(t *testing.T) {
+	g := bigParGraph(t, 4000, 23)
+	n := g.NumNodes()
+	rng := rand.New(rand.NewSource(29))
+	srcs := []int{0, 1, n - 1} // n-1 is isolated with high probability
+	for i := 0; i < 5; i++ {
+		srcs = append(srcs, rng.Intn(n))
+	}
+	dist := make([]int32, n)
+	oracle := &oracleCache{g: g, rows: map[int][]int32{}}
+	for _, e := range []Engine{TopDown, DirectionOpt} {
+		s := NewScratch(n)
+		for _, par := range []int{2, 3, 8} {
+			for _, src := range srcs {
+				want := oracle.row(src)
+				reached, ecc := ParallelBFSWith(g, src, dist, e, par, s)
+				wantReached, wantEcc := 0, int32(0)
+				for _, d := range want {
+					if d >= 0 {
+						wantReached++
+						if d > wantEcc {
+							wantEcc = d
+						}
+					}
+				}
+				if reached != wantReached || ecc != wantEcc {
+					t.Fatalf("engine %v par %d src %d: (reached, ecc) = (%d, %d), want (%d, %d)",
+						e, par, src, reached, ecc, wantReached, wantEcc)
+				}
+				for v := range dist {
+					if dist[v] != want[v] {
+						t.Fatalf("engine %v par %d src %d: dist[%d] = %d, want %d",
+							e, par, src, v, dist[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWideDriversDifferential pins the wide MS-BFS kernels (serial and
+// parallel) bit-identical to the oracle through the multi-source drivers,
+// with a source set spanning several 256/512-lane batch boundaries and
+// containing duplicates.
+func TestWideDriversDifferential(t *testing.T) {
+	g := bigParGraph(t, 3000, 31)
+	n := g.NumNodes()
+	rng := rand.New(rand.NewSource(37))
+	sources := make([]int, 0, 600)
+	for i := 0; i < 596; i++ {
+		sources = append(sources, rng.Intn(n))
+	}
+	sources = append(sources, sources[0], sources[1], n-1, n-1)
+	// Prefill the oracle serially: fn below runs concurrently (workers=2)
+	// and must only read shared state.
+	oracle := &oracleCache{g: g, rows: map[int][]int32{}}
+	for _, src := range sources {
+		oracle.row(src)
+	}
+	for _, e := range []Engine{BitParallel64, BitParallel256, BitParallel512} {
+		for _, par := range []int{1, 4} {
+			var calls atomic.Int64
+			var failed atomic.Bool
+			AllSourcesParEngineFunc(g, sources, 2, e, par, func(src int, dist []int32) {
+				calls.Add(1)
+				want := oracle.rows[src]
+				for v := range dist {
+					if dist[v] != want[v] {
+						failed.Store(true)
+						return
+					}
+				}
+			})
+			if failed.Load() {
+				t.Fatalf("engine %v par %d: distances diverge from oracle", e, par)
+			}
+			if calls.Load() != int64(len(sources)) {
+				t.Fatalf("engine %v par %d: fn called %d times for %d sources", e, par, calls.Load(), len(sources))
+			}
+		}
+	}
+}
+
+// TestPairedWideDriver covers the two-snapshot driver under a wide engine
+// with intra-traversal parallelism.
+func TestPairedWideDriver(t *testing.T) {
+	g1 := bigParGraph(t, 1500, 41)
+	g2 := bigParGraph(t, 1500, 43)
+	n := g1.NumNodes()
+	rng := rand.New(rand.NewSource(47))
+	sources := make([]int, 0, 300)
+	for i := 0; i < 300; i++ {
+		sources = append(sources, rng.Intn(n))
+	}
+	o1 := &oracleCache{g: g1, rows: map[int][]int32{}}
+	o2 := &oracleCache{g: g2, rows: map[int][]int32{}}
+	for _, src := range sources {
+		o1.row(src)
+		o2.row(src)
+	}
+	var failed atomic.Bool
+	PairedSourcesParEngineFunc(g1, g2, sources, 2, BitParallel256, 2, func(src int, d1, d2 []int32) {
+		w1, w2 := o1.rows[src], o2.rows[src]
+		for v := range d1 {
+			if d1[v] != w1[v] || d2[v] != w2[v] {
+				failed.Store(true)
+				return
+			}
+		}
+	})
+	if failed.Load() {
+		t.Fatal("paired wide sweep distances diverge from oracle")
+	}
+}
+
+// TestEngineNameRoundTrip pins that every engine name String() produces is
+// accepted back by ParseEngine, and that the ParseEngine error enumerates
+// every name (so -engine stays self-documenting as kernels are added).
+func TestEngineNameRoundTrip(t *testing.T) {
+	all := []Engine{Auto, TopDown, DirectionOpt, BitParallel64, BitParallel256, BitParallel512}
+	if len(all) != len(EngineNames()) {
+		t.Fatalf("EngineNames lists %d engines, test covers %d — keep both in sync", len(EngineNames()), len(all))
+	}
+	for _, e := range all {
+		got, err := ParseEngine(e.String())
+		if err != nil {
+			t.Fatalf("ParseEngine(%q): %v", e.String(), err)
+		}
+		if got != e {
+			t.Fatalf("ParseEngine(%q) = %v, want %v", e.String(), got, e)
+		}
+	}
+	_, err := ParseEngine("nonsense")
+	if err == nil {
+		t.Fatal("ParseEngine(nonsense): expected error")
+	}
+	for _, name := range EngineNames() {
+		if !containsStr(err.Error(), name) {
+			t.Fatalf("ParseEngine error %q does not mention engine %q", err, name)
+		}
+	}
+	// Lane widths drive batch sizing; pin them to the names.
+	wantLanes := map[Engine]int{Auto: 0, TopDown: 0, DirectionOpt: 0,
+		BitParallel64: 64, BitParallel256: 256, BitParallel512: 512}
+	for e, want := range wantLanes {
+		if e.Lanes() != want {
+			t.Fatalf("%v.Lanes() = %d, want %d", e, e.Lanes(), want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClampWorkers is the table test for the one shared worker-clamping rule
+// (satellite of the dedup across topk/dist/core).
+func TestClampWorkers(t *testing.T) {
+	cases := []struct {
+		workers, jobs, wantMin, wantMax int
+	}{
+		{workers: 4, jobs: 10, wantMin: 4, wantMax: 4},
+		{workers: 4, jobs: 2, wantMin: 2, wantMax: 2},
+		{workers: 1, jobs: 100, wantMin: 1, wantMax: 1},
+		{workers: 7, jobs: 7, wantMin: 7, wantMax: 7},
+		// jobs == 0 floors at 1 so pool loops still terminate.
+		{workers: 4, jobs: 0, wantMin: 1, wantMax: 1},
+		{workers: -3, jobs: 0, wantMin: 1, wantMax: 1},
+		// workers <= 0 resolves to GOMAXPROCS, then caps at jobs.
+		{workers: 0, jobs: 1, wantMin: 1, wantMax: 1},
+		{workers: -1, jobs: 2, wantMin: 1, wantMax: 2},
+		{workers: 0, jobs: 1 << 30, wantMin: 1, wantMax: 1 << 30},
+	}
+	for _, c := range cases {
+		got := ClampWorkers(c.workers, c.jobs)
+		if got < c.wantMin || got > c.wantMax {
+			t.Errorf("ClampWorkers(%d, %d) = %d, want in [%d, %d]",
+				c.workers, c.jobs, got, c.wantMin, c.wantMax)
+		}
+	}
+}
+
+// TestEnsureRowsGrowOnly is the regression test for the ensureRows thrash
+// fix: alternating between graph sizes and lane widths must not re-pay the
+// row-block allocation once the largest geometry has been served.
+func TestEnsureRowsGrowOnly(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant builds allocate in assertions; grow-only holds for default builds")
+	}
+	s := &Scratch{}
+	// Warm with the largest geometry: 512 lanes at the larger n.
+	_ = s.ensureRows(1000, 512)
+	sizes := []struct{ n, lanes int }{
+		{1000, 64}, {500, 64}, {1000, 256}, {500, 512}, {1000, 512}, {7, 64},
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for _, sz := range sizes {
+			rows := s.ensureRows(sz.n, sz.lanes)
+			if len(rows) != sz.lanes || len(rows[0]) != sz.n {
+				t.Fatalf("ensureRows(%d, %d): got %d rows of len %d", sz.n, sz.lanes, len(rows), len(rows[0]))
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("%.1f allocs per alternating ensureRows cycle, want 0 (grow-only)", allocs)
+	}
+	// Rows must be disjoint, correctly sized views.
+	rows := s.ensureRows(100, 256)
+	rows[0][99] = 7
+	rows[1][0] = 9
+	if rows[0][99] != 7 || rows[1][0] != 9 || &rows[0][99] == &rows[1][0] {
+		t.Fatal("ensureRows rows alias each other")
+	}
+}
+
+// TestParallelBFSZeroAllocs pins the parallel scalar kernels to zero
+// steady-state allocations: the worker pool is persistent and dispatch is a
+// channel send of a pre-existing pointer, so a warmed traversal allocates
+// nothing no matter how many levels fan out.
+func TestParallelBFSZeroAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("CSR invariant assertions allocate; zero-alloc holds for default builds")
+	}
+	g := bigParGraph(t, 3000, 53)
+	n := g.NumNodes()
+	dist := make([]int32, n)
+	for _, e := range []Engine{TopDown, DirectionOpt} {
+		t.Run(e.String(), func(t *testing.T) {
+			s := NewScratch(n)
+			ParallelBFSWith(g, 0, dist, e, 4, s) // warm pool, vis bitmap, worker queues
+			src := 0
+			allocs := testing.AllocsPerRun(30, func() {
+				ParallelBFSWith(g, src%n, dist, e, 4, s)
+				src++
+			})
+			if allocs != 0 {
+				t.Errorf("engine %v: %.1f allocs per parallel BFS with warmed Scratch, want 0", e, allocs)
+			}
+		})
+	}
+}
+
+// TestWideBatchZeroAllocs pins the wide MS-BFS kernel (serial and parallel)
+// to zero steady-state allocations with a warmed Scratch.
+func TestWideBatchZeroAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("CSR invariant assertions allocate; zero-alloc holds for default builds")
+	}
+	g := bigParGraph(t, 2000, 59)
+	n := g.NumNodes()
+	sources := make([]int, 256)
+	for i := range sources {
+		sources[i] = (i * 7) % n
+	}
+	for _, par := range []int{1, 4} {
+		s := &Scratch{}
+		rows := s.ensureRows(n, 256)
+		msBFSBatchWide(g, sources, rows, 4, par, s) // warm
+		allocs := testing.AllocsPerRun(10, func() {
+			msBFSBatchWide(g, sources, rows, 4, par, s)
+		})
+		if allocs != 0 {
+			t.Errorf("par %d: %.1f allocs per wide batch with warmed Scratch, want 0", par, allocs)
+		}
+	}
+}
+
+// TestCoresUsedMetric asserts a parallel traversal reports cores_used > 1 in
+// the kernel metrics — the property the CI multicore smoke checks end to end.
+func TestCoresUsedMetric(t *testing.T) {
+	g := bigParGraph(t, 4000, 61)
+	n := g.NumNodes()
+	dist := make([]int32, n)
+	ParallelBFSWith(g, 0, dist, TopDown, 4, NewScratch(n))
+	after := SnapshotMetrics()
+	if after.TopDown.CoresUsed < 2 {
+		t.Fatalf("parallel TopDown reported cores_used = %d, want > 1", after.TopDown.CoresUsed)
+	}
+	// The wide kernels report their lane width and, with par > 1, multicore
+	// levels too.
+	sources := make([]int, 300)
+	for i := range sources {
+		sources[i] = (i * 11) % n
+	}
+	AllSourcesParEngineFunc(g, sources, 1, BitParallel256, 4, func(int, []int32) {})
+	snap := SnapshotMetrics()
+	if snap.BitParallel256.LaneWidth != 256 {
+		t.Fatalf("BitParallel256 lane width = %d, want 256", snap.BitParallel256.LaneWidth)
+	}
+	if snap.BitParallel256.CoresUsed < 2 {
+		t.Fatalf("parallel wide sweep reported cores_used = %d, want > 1", snap.BitParallel256.CoresUsed)
+	}
+	if snap.BitParallel256.Calls == 0 || snap.BitParallel256.Sources < int64(len(sources)) {
+		t.Fatalf("wide sweep misattributed: calls=%d sources=%d", snap.BitParallel256.Calls, snap.BitParallel256.Sources)
+	}
+}

@@ -1,0 +1,44 @@
+package sssp
+
+import "testing"
+
+// TestWideWorkAccounting pins the wide kernel's amortization claim: covering
+// the same 256 sources as one 256-lane traversal must examine strictly fewer
+// edges than four sequential 64-lane batches, because a node is re-expanded
+// only at the distinct levels at which some lane first reaches it, and one
+// wide batch merges the four batches' level sets. (Whether fewer examinations
+// translate to less wall-clock depends on the cache system — see
+// BENCH_parallel.json — but the work accounting is machine-independent.)
+func TestWideWorkAccounting(t *testing.T) {
+	const n = 20000
+	g := benchGraph(n, 7)
+	sources := make([]int, 256)
+	for i := range sources {
+		sources[i] = (i * (n / 256)) % n
+	}
+	rows := make([][]int32, 256)
+	for i := range rows {
+		rows[i] = make([]int32, n)
+	}
+	s := NewScratch(n)
+	before := SnapshotMetrics()
+	for batch := 0; batch < 4; batch++ {
+		msBFSBatch(g, sources[batch*64:(batch+1)*64], rows[batch*64:(batch+1)*64], s)
+	}
+	mid := SnapshotMetrics()
+	msBFSBatchWide(g, sources, rows, 4, 1, s)
+	after := SnapshotMetrics()
+	d64 := mid.BitParallel64.Edges - before.BitParallel64.Edges
+	d256 := after.BitParallel256.Edges - mid.BitParallel256.Edges
+	if d256 >= d64 {
+		t.Fatalf("wide kernel examined %d edges, want fewer than the 4x64 batches' %d", d256, d64)
+	}
+	// The per-lane visit totals are identical: every (source, node) pair in a
+	// reachable component is visited exactly once either way.
+	v64 := mid.BitParallel64.Nodes - before.BitParallel64.Nodes
+	v256 := after.BitParallel256.Nodes - mid.BitParallel256.Nodes
+	if v64 != v256 {
+		t.Fatalf("visit totals differ: 4x64=%d wide=%d", v64, v256)
+	}
+	t.Logf("edges examined: 4x64=%d wide256=%d (%.2fx fewer)", d64, d256, float64(d64)/float64(d256))
+}

@@ -2,8 +2,9 @@ package topk
 
 import (
 	"errors"
-	"runtime"
 	"sync"
+
+	"repro/internal/sssp"
 )
 
 // PairEngine abstracts the per-source distance computation of a snapshot
@@ -55,16 +56,7 @@ func ComputeEngine(pe PairEngine, opts Options) (*GroundTruth, error) {
 	}
 	n := pe.NumNodes
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(pe.Sources) {
-		workers = len(pe.Sources)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := sssp.ClampWorkers(opts.Workers, len(pe.Sources))
 
 	type shard struct {
 		acc        accumulator
