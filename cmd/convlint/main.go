@@ -1,18 +1,28 @@
 // Command convlint is the repo's static-analysis multichecker. It runs the
 // internal/analysis suite — budgetcheck, hotalloc, scratchcopy,
-// directivecheck — over the named package patterns and exits non-zero on
-// any diagnostic:
+// directivecheck, atomiccheck, capturecheck, scratchescape, determinism —
+// over the named package patterns and exits non-zero on any diagnostic:
 //
 //	go run ./cmd/convlint ./...
 //
-// Individual analyzers can be disabled for bisection with -disable:
+// Individual analyzers can be disabled for bisection with -disable, and
+// -list prints the suite:
 //
 //	go run ./cmd/convlint -disable hotalloc,scratchcopy ./...
+//	go run ./cmd/convlint -list
 //
-// The suite enforces the reproduction's paper-level invariants: every SSSP
-// entry-point call is charged to a budget.Meter (or carries an explicit
-// //convlint:unbudgeted reason), //convlint:hotpath kernels stay
-// allocation-free, and Scratch/Meter/CSR state is shared by pointer only.
+// The first four analyzers enforce the reproduction's paper-level
+// invariants: every SSSP entry-point call is charged to a budget.Meter (or
+// carries an explicit //convlint:unbudgeted reason), //convlint:hotpath
+// kernels stay allocation-free, and Scratch/Meter/CSR state is shared by
+// pointer only. The other four are the concurrency contracts guarding the
+// multicore kernels: atomiccheck (storage with any sync/atomic site is
+// atomic at every site), capturecheck (goroutine closures capture only
+// read-only, sync-safe, or index-partitioned state), scratchescape
+// (per-worker scratch never leaves its worker), and determinism (no map
+// order, wall clock, global rand, or pointer identity in result paths).
+// Intentional exceptions carry reasoned //convlint:shared or
+// //convlint:nondet directives, validated by directivecheck.
 package main
 
 import (

@@ -1,17 +1,23 @@
 // Package analysis is a self-contained static-analysis framework plus the
 // repo-specific analyzers that guard the paper reproduction's core
 // invariants: budget accounting around SSSP entry points, allocation-free
-// hot paths in the BFS kernels, and no-copy discipline for scratch and
-// meter state.
+// hot paths in the BFS kernels, no-copy discipline for scratch and meter
+// state, and — since the traversal kernels went multicore — the concurrency
+// contracts: atomic-everywhere access, goroutine capture hygiene, worker
+// ownership of scratch, and mechanical determinism of result paths.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API surface
 // (Analyzer, Pass, Diagnostic) but is built entirely on the standard
 // library's go/ast, go/types, and go/importer, so the module keeps its
-// zero-dependency footprint. Analyzers are run over fully type-checked
-// packages by cmd/convlint (the multichecker driver) and by the
-// analysistest harness in unit tests.
+// zero-dependency footprint. The concurrency analyzers additionally share a
+// function-level dataflow layer (Flow in dataflow.go): a launch walk over
+// goroutine closures and the worker-pool spawner idiom, a capture
+// classification per closed-over variable, and a def-use union-find that
+// tracks storage aliasing across slice-header copies. Analyzers are run
+// over fully type-checked packages by cmd/convlint (the multichecker
+// driver) and by the analysistest harness in unit tests.
 //
-// The analyzers understand two source directives:
+// The analyzers understand four source directives:
 //
 //	//convlint:hotpath
 //	    Placed in a function's doc comment. Marks the function as an
@@ -22,6 +28,20 @@
 //	    call budget-relevant sssp entry points without charging a
 //	    budget.Meter (ground-truth sweeps, diagnostics helpers). The reason
 //	    is mandatory; directivecheck rejects bare suppressions.
+//
+//	//convlint:shared <reason>
+//	    Placed in a function's doc comment (covers the whole function) or on
+//	    a finding's line / the line above it. Documents intentional
+//	    cross-goroutine sharing that atomiccheck, capturecheck, or
+//	    scratchescape would otherwise flag: phase-separated plain access,
+//	    word-partitioned writes, mutex-guarded folds. The reason is
+//	    mandatory.
+//
+//	//convlint:nondet <reason>
+//	    Same placement as shared. Documents deliberate nondeterminism that
+//	    the determinism analyzer would flag — observational timing, semantic
+//	    identity comparisons — and why it never reaches result paths. The
+//	    reason is mandatory.
 package analysis
 
 import (
@@ -99,7 +119,20 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{BudgetCheck, HotAlloc, ScratchCopy, DirectiveCheck}
+	return []*Analyzer{
+		BudgetCheck, HotAlloc, ScratchCopy, DirectiveCheck,
+		AtomicCheck, CaptureCheck, ScratchEscape, Determinism,
+	}
+}
+
+// fileOf returns the pass file containing pos, or nil.
+func fileOf(pass *Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.Pos() <= pos && pos <= f.End() {
+			return f
+		}
+	}
+	return nil
 }
 
 // namedTypeIs reports whether t (after unwrapping pointers and aliases) is

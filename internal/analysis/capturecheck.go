@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// CaptureCheck enforces the closure-capture contract for goroutine code:
+// a variable captured by a closure that may run on another goroutine (a `go`
+// statement, the worker-pool spawner idiom, or transitively from either)
+// must be one of
+//
+//   - read-only inside the closure,
+//   - a concurrency-safe type (channel, sync.Mutex/WaitGroup/..., a
+//     sync/atomic type, or a pointer to one),
+//   - index-partitioned (only element writes, the per-worker-slot idiom), or
+//   - annotated //convlint:shared <reason> at the access or on the function.
+//
+// Whole-variable writes, field writes, and address-taking from a launched
+// closure are findings. Capturing a loop variable is flagged separately:
+// even with Go ≥ 1.22 per-iteration semantics this couples the closure to
+// the loop's iteration space, and the repo convention is to pass the index
+// as a parameter.
+var CaptureCheck = &Analyzer{
+	Name: "capturecheck",
+	Doc:  "captured variables in goroutine closures must be read-only, sync-safe, index-partitioned, or annotated",
+	Run:  runCaptureCheck,
+}
+
+func runCaptureCheck(pass *Pass) error {
+	flow := NewFlow(pass)
+	for lit, c := range flow.Closures() {
+		if !c.Launched {
+			continue
+		}
+		file := fileOf(pass, lit.Pos())
+		if file == nil {
+			continue
+		}
+		for v, cap := range c.Captured {
+			if concurrencySafeType(v.Type()) {
+				continue
+			}
+			if cap.LoopVar && c.LaunchInLoop {
+				if pos, ok := cap.Has(AccessRead, AccessWrite, AccessFieldWrite, AccessElemWrite, AccessAddr, AccessAddrElem); ok {
+					if !suppressedAt(pass, file, pos, "shared") {
+						pass.Reportf(pos, "goroutine closure captures loop variable %s; pass it as a parameter", v.Name())
+					}
+					continue
+				}
+			}
+			if pos, ok := cap.Has(AccessWrite); ok {
+				if !suppressedAt(pass, file, pos, "shared") {
+					pass.Reportf(pos, "goroutine closure writes captured variable %s; use a channel, mutex, or per-worker slot", v.Name())
+				}
+				continue
+			}
+			if pos, ok := cap.Has(AccessFieldWrite); ok {
+				if !suppressedAt(pass, file, pos, "shared") {
+					pass.Reportf(pos, "goroutine closure writes field of captured variable %s; guard it or annotate //convlint:shared", v.Name())
+				}
+				continue
+			}
+			if pos, ok := cap.Has(AccessAddr); ok {
+				if !suppressedAt(pass, file, pos, "shared") {
+					pass.Reportf(pos, "goroutine closure takes address of captured variable %s, defeating capture analysis", v.Name())
+				}
+			}
+			// AccessElemWrite and AccessAddrElem are the index-partitioned
+			// idiom; AccessRead is always fine.
+		}
+	}
+	return nil
+}
+
+// concurrencySafeType reports whether values of t may be shared across
+// goroutines without extra discipline: channels, the sync primitives,
+// sync/atomic types, and pointers to any of those. Pointer-to-mutable-struct
+// is NOT safe (that is exactly the shared-state case the check exists for);
+// the exception is types that are internally synchronized.
+func concurrencySafeType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return concurrencySafeNamed(p.Elem())
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	// Function values are immutable once bound; calling one from two
+	// goroutines is safe (what the body does is analyzed separately).
+	if _, ok := t.Underlying().(*types.Signature); ok {
+		return true
+	}
+	return concurrencySafeNamed(t)
+}
+
+// concurrencySafeNamed recognizes named types that are safe to share:
+// everything in sync and sync/atomic, plus this repo's internally
+// synchronized types (budget.Meter locks in Charge/Report; obs.Trace locks
+// per span).
+func concurrencySafeNamed(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "sync", "sync/atomic":
+		return true
+	case "repro/internal/budget":
+		return obj.Name() == "Meter"
+	case "repro/internal/obs":
+		return obj.Name() == "Trace"
+	}
+	return false
+}

@@ -1,0 +1,72 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAtomicCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.AtomicCheck, "atomictest")
+}
+
+func TestCaptureCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.CaptureCheck, "capturetest")
+}
+
+func TestScratchEscape(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.ScratchEscape, "escapetest")
+}
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(t), analysis.Determinism, "determtest")
+}
+
+// fixtureDirs maps every analyzer to its golden fixture package under
+// testdata/src. The names predate a uniform convention (budgetcheck uses
+// budgettest, scratchcopy uses scratchtest), so the mapping is explicit.
+var fixtureDirs = map[string]string{
+	"budgetcheck":    "budgettest",
+	"hotalloc":       "hotalloctest",
+	"scratchcopy":    "scratchtest",
+	"directivecheck": "directivetest",
+	"atomiccheck":    "atomictest",
+	"capturecheck":   "capturetest",
+	"scratchescape":  "escapetest",
+	"determinism":    "determtest",
+}
+
+// TestEveryAnalyzerHasFixtures keeps the suite honest: registering an
+// analyzer without golden fixtures fails here, not in review.
+func TestEveryAnalyzerHasFixtures(t *testing.T) {
+	testdata := analysistest.Testdata(t)
+	for _, a := range analysis.All() {
+		dir, ok := fixtureDirs[a.Name]
+		if !ok {
+			t.Errorf("analyzer %s has no fixture directory registered in fixtureDirs", a.Name)
+			continue
+		}
+		pkgDir := filepath.Join(testdata, "src", dir)
+		entries, err := os.ReadDir(pkgDir)
+		if err != nil {
+			t.Errorf("analyzer %s: fixture dir %s: %v", a.Name, pkgDir, err)
+			continue
+		}
+		goFiles := 0
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				goFiles++
+			}
+		}
+		if goFiles == 0 {
+			t.Errorf("analyzer %s: fixture dir %s has no Go files", a.Name, pkgDir)
+		}
+	}
+	if len(fixtureDirs) != len(analysis.All()) {
+		t.Errorf("fixtureDirs has %d entries, All() has %d analyzers", len(fixtureDirs), len(analysis.All()))
+	}
+}

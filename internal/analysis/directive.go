@@ -23,6 +23,26 @@ type Directive struct {
 var knownVerbs = map[string]bool{
 	"hotpath":    true,
 	"unbudgeted": true,
+	"shared":     true,
+	"nondet":     true,
+}
+
+// reasonVerbs are directives whose argument is a mandatory human-readable
+// justification. Suppressing a concurrency or determinism finding without
+// saying why defeats the audit trail the directives exist to build.
+var reasonVerbs = map[string]bool{
+	"unbudgeted": true,
+	"shared":     true,
+	"nondet":     true,
+}
+
+// bodyVerbs may appear on any line inside a function body (suppressing the
+// finding on that line or the next) in addition to function doc comments.
+// hotpath and unbudgeted keep their doc-comment-only discipline: they change
+// how a whole function is analyzed, not one finding.
+var bodyVerbs = map[string]bool{
+	"shared": true,
+	"nondet": true,
 }
 
 // parseDirective parses a single comment into a Directive. The second
@@ -54,4 +74,42 @@ func funcDirective(decl *ast.FuncDecl, verb string) (Directive, bool) {
 		}
 	}
 	return Directive{}, false
+}
+
+// lineDirectives indexes a file's body-level directives by the source line
+// they govern: a directive on line L suppresses findings on L (trailing
+// comment) and on L+1 (comment-above form, matching nolint convention).
+func lineDirectives(fset *token.FileSet, file *ast.File, verb string) map[int]Directive {
+	lines := map[int]Directive{}
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			d, ok := parseDirective(c)
+			if !ok || d.Verb != verb {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			lines[line] = d
+			if _, taken := lines[line+1]; !taken {
+				lines[line+1] = d
+			}
+		}
+	}
+	return lines
+}
+
+// suppressedAt reports whether a finding at pos (inside file) is silenced by
+// a directive with the given verb: either on the finding's line / the line
+// above it, or in the enclosing function declaration's doc comment.
+func suppressedAt(pass *Pass, file *ast.File, pos token.Pos, verb string) bool {
+	if lines := lineDirectives(pass.Fset, file, verb); len(lines) > 0 {
+		if _, ok := lines[pass.Fset.Position(pos).Line]; ok {
+			return true
+		}
+	}
+	if decl := enclosingFuncDecl(file, pos); decl != nil {
+		if _, ok := funcDirective(decl, verb); ok {
+			return true
+		}
+	}
+	return false
 }

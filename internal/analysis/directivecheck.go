@@ -2,14 +2,17 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
-// DirectiveCheck validates every //convlint: directive in the package:
-// the verb must be known, //convlint:unbudgeted must carry a reason, and
-// the directive must sit in a function declaration's doc comment (the only
-// position the other analyzers read). A misspelled or misplaced directive
-// therefore fails the build instead of silently suppressing nothing.
+// DirectiveCheck validates every //convlint: directive in the package: the
+// verb must be known, reason-bearing verbs (unbudgeted, shared, nondet) must
+// carry one, and the directive must sit where its analyzer reads it —
+// function doc comments for all verbs, plus lines inside a function body for
+// the per-finding suppressions (shared, nondet). A misspelled or misplaced
+// directive therefore fails the build instead of silently suppressing
+// nothing.
 var DirectiveCheck = &Analyzer{
 	Name: "directivecheck",
 	Doc:  "validate //convlint: directives (known verb, reason, placement)",
@@ -18,8 +21,8 @@ var DirectiveCheck = &Analyzer{
 
 func runDirectiveCheck(pass *Pass) error {
 	for _, file := range pass.Files {
-		// Comment groups that are function doc comments — the one valid home
-		// for convlint directives.
+		// Comment groups that are function doc comments — the one home valid
+		// for every directive verb.
 		funcDocs := make(map[*ast.CommentGroup]bool)
 		for _, decl := range file.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
@@ -28,14 +31,26 @@ func runDirectiveCheck(pass *Pass) error {
 		}
 		for _, group := range file.Comments {
 			for _, c := range group.List {
-				checkDirectiveComment(pass, c, funcDocs[group])
+				checkDirectiveComment(pass, c, funcDocs[group], inFuncBody(file, c.Pos()))
 			}
 		}
 	}
 	return nil
 }
 
-func checkDirectiveComment(pass *Pass, c *ast.Comment, inFuncDoc bool) {
+// inFuncBody reports whether pos lies inside some function declaration's
+// body — the valid home for line-level suppressions.
+func inFuncBody(file *ast.File, pos token.Pos) bool {
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil &&
+			fd.Body.Pos() <= pos && pos <= fd.Body.End() {
+			return true
+		}
+	}
+	return false
+}
+
+func checkDirectiveComment(pass *Pass, c *ast.Comment, inFuncDoc, inBody bool) {
 	text := c.Text
 	if !strings.Contains(text, "convlint") {
 		return
@@ -57,10 +72,16 @@ func checkDirectiveComment(pass *Pass, c *ast.Comment, inFuncDoc bool) {
 		pass.Reportf(c.Pos(), "unknown convlint directive verb %q", d.Verb)
 		return
 	}
-	if d.Verb == "unbudgeted" && d.Args == "" {
-		pass.Reportf(c.Pos(), "//convlint:unbudgeted requires a reason")
+	if reasonVerbs[d.Verb] && d.Args == "" {
+		pass.Reportf(c.Pos(), "//convlint:%s requires a reason", d.Verb)
 	}
-	if !inFuncDoc {
+	switch {
+	case inFuncDoc:
+	case bodyVerbs[d.Verb] && inBody:
+	case bodyVerbs[d.Verb]:
+		pass.Reportf(c.Pos(),
+			"//convlint:%s must be in a function's doc comment or on a line inside a function body", d.Verb)
+	default:
 		pass.Reportf(c.Pos(),
 			"//convlint:%s must be part of a function declaration's doc comment", d.Verb)
 	}

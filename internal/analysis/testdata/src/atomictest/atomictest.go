@@ -1,0 +1,82 @@
+// Package atomictest exercises the atomiccheck analyzer: storage with one
+// sync/atomic access site must be accessed atomically at every site, across
+// aliases and through in-package atomic accessors.
+package atomictest
+
+import "sync/atomic"
+
+// cursor is a chunk cursor: bumped atomically by workers.
+var cursor int64
+
+func bump() int64 { return atomic.AddInt64(&cursor, 1) }
+
+func plainCursorRead() int64 {
+	return cursor // want `plain access of cursor, which is accessed atomically`
+}
+
+// run mirrors the parallel-BFS shared state: a visited bitmap CAS-claimed by
+// workers.
+type run struct {
+	vis []uint64
+}
+
+func (r *run) claim(w int, bit uint64) bool {
+	old := atomic.LoadUint64(&r.vis[w])
+	if old&bit != 0 {
+		return false
+	}
+	return atomic.CompareAndSwapUint64(&r.vis[w], old, old|bit)
+}
+
+func (r *run) plainSet(w int, bit uint64) {
+	r.vis[w] |= bit // want `plain access of vis elements`
+}
+
+// aliasedRead demonstrates the def-use chain: vis aliases r.vis, so plain
+// element reads through the local header are still mixed access.
+func aliasedRead(r *run) uint64 {
+	vis := r.vis
+	return vis[0] // want `plain access of vis elements`
+}
+
+// reset is phase-separated initialization: no worker is running, so plain
+// writes are intentional and documented.
+//
+//convlint:shared reset runs between traversals with no worker in flight
+func (r *run) reset() {
+	for i := range r.vis {
+		r.vis[i] = 0
+	}
+}
+
+// orWord is the in-package atomic-accessor idiom: its pointer parameter is
+// only ever touched through sync/atomic, so calls count as atomic sites.
+func orWord(p *uint64, v uint64) {
+	for {
+		old := atomic.LoadUint64(p)
+		if old|v == old || atomic.CompareAndSwapUint64(p, old, old|v) {
+			return
+		}
+	}
+}
+
+var marks []uint64
+
+func mark(i int) { orWord(&marks[i>>6], 1<<(uint(i)&63)) }
+
+func unmark(i int) {
+	marks[i>>6] &^= 1 << (uint(i) & 63) // want `plain access of marks elements`
+}
+
+// counterCopy forks an atomic counter's identity.
+var hits atomic.Int64
+
+func counterCopy() int64 {
+	c := hits // want `value copy of sync/atomic.Int64 forks the atomic variable`
+	return c.Load()
+}
+
+// plainOnly has no atomic site anywhere: plain access everywhere is fine.
+var plainOnly int64
+
+func incPlain() { plainOnly++ }

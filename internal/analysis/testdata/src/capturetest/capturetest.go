@@ -1,0 +1,104 @@
+// Package capturetest exercises the capturecheck analyzer: variables
+// captured by goroutine closures must be read-only, concurrency-safe,
+// index-partitioned, or annotated //convlint:shared.
+package capturetest
+
+import "sync"
+
+// badWrite races the captured accumulator: no mutex, no channel.
+func badWrite(items []int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++ // want `goroutine closure writes captured variable total`
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// loopCapture couples every worker to the loop's iteration variable.
+func loopCapture(items []int) {
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			process(i) // want `goroutine closure captures loop variable i`
+		}()
+	}
+	wg.Wait()
+}
+
+func process(int) {}
+
+// partitioned is the per-worker-slot idiom: element writes at the worker's
+// own index are clean.
+func partitioned(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out[w] = w * w
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// spawn is the worker-pool spawner idiom: body runs on a new goroutine, so
+// literals handed to spawn are analyzed as launched.
+func spawn(wg *sync.WaitGroup, body func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		body()
+	}()
+}
+
+func viaSpawner() int {
+	hits := 0
+	var wg sync.WaitGroup
+	spawn(&wg, func() {
+		hits++ // want `goroutine closure writes captured variable hits`
+	})
+	wg.Wait()
+	return hits
+}
+
+// guarded shares the accumulator deliberately, under a mutex, and says so.
+func guarded(items []int) int {
+	sum := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			mu.Lock()
+			sum += it //convlint:shared per-worker sums folded under mu
+			mu.Unlock()
+		}(it)
+	}
+	wg.Wait()
+	return sum
+}
+
+// readOnly captures are always fine, as are channels and wait groups.
+func readOnly(scale int, in []int) []int {
+	out := make([]int, len(in))
+	done := make(chan struct{})
+	go func() {
+		for i, v := range in {
+			out[i] = v * scale
+		}
+		close(done)
+	}()
+	<-done
+	return out
+}

@@ -1,0 +1,87 @@
+// Package determtest exercises the determinism analyzer: no map-order
+// leaks into ordered outputs, no wall-clock or global rand in library code,
+// no branching on pointer identity.
+package determtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// leakOrder returns keys in map iteration order: different every run.
+func leakOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range over map leaks map order`
+	}
+	return keys
+}
+
+// collectThenSort is the blessed idiom: the sort after the loop erases the
+// iteration order.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// localAppend accumulates into a slice scoped to one iteration: invisible
+// outside the loop, so no order leaks.
+func localAppend(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var batch []int
+		batch = append(batch, vs...)
+		total += len(batch)
+	}
+	return total
+}
+
+func sendOrder(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map leaks map order`
+	}
+}
+
+func printOrder(m map[int]int) {
+	for k := range m {
+		fmt.Println(k) // want `printing inside range over map leaks map order`
+	}
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in library code breaks run-to-run determinism`
+}
+
+func globalRand(n int) int {
+	return rand.Intn(n) // want `global rand.Intn uses an unseeded source`
+}
+
+// seededRand threads an explicit source: reproducible, clean.
+func seededRand(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+type node struct{ id int }
+
+func ptrIdentity(a, b *node) bool {
+	return a == b // want `branching on pointer identity is allocation-order dependent`
+}
+
+// nilCheck compares against nil, which is identity-free.
+func nilCheck(a *node) bool {
+	return a != nil
+}
+
+// stamp is observational timing, annotated as such.
+//
+//convlint:nondet progress stamps are log-only, never part of results
+func stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -34,3 +34,29 @@ func spaced() {}
 
 // prose that merely mentions the convlint suite is left alone.
 func prose() {}
+
+// validShared documents intentional sharing at function granularity.
+//
+//convlint:shared every word has exactly one writer per phase
+func validShared() {}
+
+// sharedInBody is the line-level suppression form the concurrency analyzers
+// read; valid inside a function body.
+func sharedInBody() {
+	//convlint:shared guarded by mu
+	_ = 0
+	_ = 1 //convlint:nondet observational timing only
+}
+
+// bareShared hides the why.
+//
+//convlint:shared // want `//convlint:shared requires a reason`
+func bareShared() {}
+
+// bareNondet likewise.
+//
+//convlint:nondet // want `//convlint:nondet requires a reason`
+func bareNondet() {}
+
+//convlint:shared orphaned outside any function // want `must be in a function's doc comment or on a line inside a function body`
+var orphanShared int

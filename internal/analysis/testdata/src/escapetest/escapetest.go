@@ -1,0 +1,82 @@
+// Package escapetest exercises the scratchescape analyzer: per-worker
+// traversal scratch must not be stored in package state, sent on channels,
+// or captured across a goroutine boundary.
+package escapetest
+
+import (
+	"sync"
+
+	"repro/internal/sssp"
+)
+
+var global *sssp.Scratch
+
+func storeGlobal(s *sssp.Scratch) {
+	global = s // want `scratch stored in package-level state`
+}
+
+type registry struct {
+	slots []*sssp.Scratch
+}
+
+var reg registry
+
+func storeGlobalField(s *sssp.Scratch) {
+	reg.slots[0] = s // want `scratch stored in package-level state`
+}
+
+func sendScratch(ch chan *sssp.Scratch, s *sssp.Scratch) {
+	ch <- s // want `scratch sent on a channel`
+}
+
+// crossCapture hands a scratch created on this goroutine to another one.
+func crossCapture(use func(*sssp.Scratch)) {
+	var s sssp.Scratch
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		use(&s) // want `scratch s created outside this goroutine closure is captured by it`
+	}()
+	wg.Wait()
+}
+
+// perWorker is the blessed idiom: each worker indexes its own slot, so the
+// scratch never crosses a goroutine boundary.
+func perWorker(workers int, use func(*sssp.Scratch)) {
+	scratches := make([]sssp.Scratch, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			use(&scratches[w])
+		}(w)
+	}
+	wg.Wait()
+}
+
+// localScratch created inside the worker is equally clean.
+func localScratch(workers int, use func(*sssp.Scratch)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s sssp.Scratch
+			use(&s)
+		}()
+	}
+	wg.Wait()
+}
+
+var warm *sssp.Scratch
+
+// keepWarm parks a prewarmed scratch in package state on purpose: the
+// handoff happens before any traversal starts, and the directive records
+// that reasoning.
+//
+//convlint:shared prewarmed scratch parked before any traversal runs
+func keepWarm(s *sssp.Scratch) {
+	warm = s
+}

@@ -315,7 +315,7 @@ func extractPairs(src dist.Pair, ctx *candidates.Context, cands []int, opts Opti
 					}
 				}
 				mu.Lock()
-				all = append(all, local...)
+				all = append(all, local...) //convlint:shared per-worker batches merged under mu
 				mu.Unlock()
 			})
 	}

@@ -80,10 +80,13 @@ type Trace struct {
 // New starts an empty trace. The name labels the process row in Chrome's
 // viewer.
 func New(name string) *Trace {
+	//convlint:nondet trace timestamps are observational, not part of results
 	return &Trace{name: name, epoch: time.Now(), sssp: map[string]int{}}
 }
 
 // now returns the current offset from the trace epoch.
+//
+//convlint:nondet span timing is observational, not part of results
 func (t *Trace) now() time.Duration { return time.Since(t.epoch) }
 
 // StartSpan opens a span nested under the innermost currently open span.
@@ -132,6 +135,7 @@ func (s *Span) End() {
 			sp.ended = true
 			sp.dur = now - sp.start
 		}
+		//convlint:nondet span identity within one trace is the semantics
 		if sp == s {
 			return
 		}

@@ -183,16 +183,24 @@ func PairedSourcesParEngineFunc(g1, g2 *graph.Graph, sources []int, workers int,
 // sets and landmark sets (small m), not for all-pairs ground truth.
 func DistanceMatrix(g *graph.Graph, sources []int, workers int) [][]int32 {
 	rows := make([][]int32, len(sources))
+	// Sweep each distinct source once, anchored at its first occurrence.
+	// Sweeping the raw list would make every duplicate's callback store into
+	// the same slot from different workers — a write-write race on the row
+	// header (and wasted sweeps) whenever the candidate set repeats a source.
 	index := make(map[int]int, len(sources))
+	unique := make([]int, 0, len(sources))
 	for i, s := range sources {
-		index[s] = i
+		if _, ok := index[s]; !ok {
+			index[s] = i
+			unique = append(unique, s)
+		}
 	}
-	AllSourcesFunc(g, sources, workers, func(src int, dist []int32) {
+	AllSourcesFunc(g, unique, workers, func(src int, dist []int32) {
 		row := make([]int32, len(dist))
 		copy(row, dist)
 		rows[index[src]] = row
 	})
-	// Duplicate sources all map to one computed row; alias it to the rest.
+	// Duplicate sources alias their first occurrence's row.
 	for i, s := range sources {
 		if rows[i] == nil {
 			rows[i] = rows[index[s]]

@@ -320,6 +320,8 @@ func (s *Scratch) ensureMS(n int) {
 // ensureWide grows the wide MS-BFS buffers for an n-node graph and W visit
 // words per node, zeroing the seen words. front/next are left all-zero by
 // the kernel (like their one-word siblings), and so is nextMark.
+//
+//convlint:shared setup runs before any worker is dispatched; the wide words are CAS-accessed only during a scan phase
 func (s *Scratch) ensureWide(n, W int) {
 	s.ensure(n)
 	need := n * W

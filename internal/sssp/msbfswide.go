@@ -46,6 +46,7 @@ func kernelForWidth(W int) kernelIndex {
 // buffers are (re)used across calls.
 //
 //convlint:hotpath
+//convlint:shared plain wide-word access is confined to serial phases (seeding, sub-cutoff levels, post-barrier merges) with no worker in flight
 func msBFSBatchWide(g *graph.Graph, sources []int, rows [][]int32, W, par int, s *Scratch) {
 	n := g.NumNodes()
 	lanes := W * 64
@@ -285,6 +286,7 @@ func msBFSBatchWide(g *graph.Graph, sources []int, rows [][]int32, W, par int, s
 // through the mark bitmap so exactly one worker queues each node.
 //
 //convlint:hotpath
+//convlint:shared each frontier node appears once in q, so its wfront words have exactly one reader/clearer; wseen and the mark bitmap are CAS-claimed
 func (r *parRun) wideScanChunks(ws *parWorkerState) {
 	offsets, neighbors := r.offsets, r.neighbors
 	W := r.W
@@ -359,6 +361,7 @@ func (r *parRun) wideScanChunks(ws *parWorkerState) {
 // is plain.
 //
 //convlint:hotpath
+//convlint:shared wnext is read-only during emit; the scan/emit barrier orders the writes
 func (r *parRun) wideEmitChunks(ws *parWorkerState) {
 	W := r.W
 	wnext := r.wnext

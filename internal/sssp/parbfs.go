@@ -3,6 +3,7 @@ package sssp
 import (
 	"context"
 	"math/bits"
+	"runtime"
 	"runtime/pprof"
 	"sync"
 	"sync/atomic"
@@ -181,22 +182,41 @@ func ensureParPool(k int) {
 	}
 	parPoolMu.Lock()
 	for parPoolSize.Load() < need {
-		go parPoolWorker()
 		parPoolSize.Add(1)
+		go parPoolWorker(parTasks)
 	}
 	parPoolMu.Unlock()
 }
 
-// parPoolWorker serves fork-join tasks forever, labeled so CPU profiles
-// attribute intra-traversal parallelism to the sssp subsystem.
-func parPoolWorker() {
+// parPoolWorker serves fork-join tasks until its channel closes, labeled so
+// CPU profiles attribute intra-traversal parallelism to the sssp subsystem.
+// The channel is bound at spawn time so a drain/respawn cycle can't hand a
+// stale worker the replacement channel.
+func parPoolWorker(tasks chan *parRun) {
+	defer parPoolSize.Add(-1)
 	pprof.Do(context.Background(), pprof.Labels("subsystem", "sssp-traversal", "role", "pool-worker"),
 		func(context.Context) {
-			for r := range parTasks {
+			for r := range tasks {
 				r.work()
 				r.wg.Done()
 			}
 		})
+}
+
+// drainParPool shuts down every pool worker and installs a fresh task
+// channel, so the next ensureParPool respawns the pool from zero. The caller
+// must guarantee no traversal is in flight: dispatch sends on the live
+// channel without holding parPoolMu, so a concurrent traversal would send on
+// a closed channel. Used by shutdown/reuse stress tests; the production
+// process keeps its pool for life.
+func drainParPool() {
+	parPoolMu.Lock()
+	defer parPoolMu.Unlock()
+	close(parTasks)
+	for parPoolSize.Load() > 0 {
+		runtime.Gosched()
+	}
+	parTasks = make(chan *parRun, maxTraversalWorkers)
 }
 
 // orUint64 ORs v into *p with a CAS loop (Go 1.22-compatible stand-in for
@@ -266,6 +286,7 @@ func (r *parRun) topDownChunks(ws *parWorkerState) {
 // — plain operations throughout; the only atomic is the chunk cursor.
 //
 //convlint:hotpath
+//convlint:shared chunks are word-aligned so each vis/nxt word has exactly one writer per level
 func (r *parRun) bottomUpChunks(ws *parWorkerState) {
 	offsets, neighbors, dist, vis := r.offsets, r.neighbors, r.dist, r.vis
 	cur, nxt := r.curBits, r.nxtBits
@@ -314,6 +335,7 @@ func (r *parRun) bottomUpChunks(ws *parWorkerState) {
 // Distances, reached, and ecc are bit-identical to the scalar kernels.
 //
 //convlint:hotpath
+//convlint:shared plain vis access is confined to serial phases (setup and sub-cutoff levels) with no worker in flight
 func parBFS(g *graph.Graph, src int, dist []int32, k int, dirOpt bool, s *Scratch) (reached int, ecc int32) {
 	offsets, neighbors := g.CSR()
 	n := g.NumNodes()

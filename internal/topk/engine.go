@@ -146,7 +146,7 @@ func ComputeEngine(pe PairEngine, opts Options) (*GroundTruth, error) {
 			}
 			mu.Lock()
 			if ecc > diam2 {
-				diam2 = ecc
+				diam2 = ecc //convlint:shared max-fold guarded by mu
 			}
 			mu.Unlock()
 		}
