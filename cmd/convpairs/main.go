@@ -12,7 +12,7 @@
 // the -f1 and -f2 fractions of the stream (defaults 0.8 and 1.0). With
 // -weighted the input must be the 4-column "u v t w" format (gendata
 // -weighted) and the run goes through the same Algorithm 1 pipeline with
-// Dijkstra distances; -trace and -metricsaddr work identically.
+// Dijkstra distances; -trace, -metricsaddr, and -events work identically.
 package main
 
 import (
@@ -53,7 +53,7 @@ func main() {
 	engine := flag.String("engine", "auto", "BFS kernel: "+strings.Join(sssp.EngineNames(), "|"))
 	paired := flag.String("paired", "full", "extraction paired mode: full (re-traverse G_t2) | incremental (derive G_t2 rows from the edge delta); same results and budget either way")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run's phases (load at chrome://tracing or ui.perfetto.dev)")
-	metricsAddr := flag.String("metricsaddr", "", "serve /metrics (kernel counters) and /debug/pprof on this address during the run, e.g. :6060")
+	ocli := obs.BindCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	eng, err := sssp.ParseEngine(*engine)
@@ -67,13 +67,14 @@ func main() {
 		fatal(err)
 	}
 
-	if *metricsAddr != "" {
-		bound, err := obs.ServeMetrics(*metricsAddr)
-		if err != nil {
+	if err := ocli.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := ocli.Finish(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("metrics on http://%s/metrics, profiles on http://%s/debug/pprof/\n", bound, bound)
-	}
+	}()
 
 	if *list {
 		for _, name := range convergence.Selectors() {

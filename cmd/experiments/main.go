@@ -9,7 +9,7 @@
 //
 // Experiments: table1 table2 table3 table4 table5 table6 fig1 fig2 fig3,
 // plus the beyond-the-paper runs: ablation-landmarks ablation-cover
-// ablation-strategy extensions streaming, or all.
+// ablation-strategy extensions streaming latency, or all.
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 
 	convergence "repro"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/sssp"
 )
 
@@ -38,6 +39,7 @@ func main() {
 	csvDir := flag.String("csvdir", "", "also write figure/table data series as CSV files into this directory")
 	plot := flag.Bool("plot", false, "render figure series as terminal sparklines")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the budgeted end-to-end runs (table1 rows)")
+	ocli := obs.BindCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	eng, err := sssp.ParseEngine(*engine)
@@ -45,6 +47,14 @@ func main() {
 		fatal(err)
 	}
 	sssp.SetDefaultEngine(eng)
+	if err := ocli.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := ocli.Finish(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	if *exp == "list" {
 		for _, name := range []string{
@@ -52,7 +62,7 @@ func main() {
 			"fig1", "fig2", "fig3",
 			"ablation-landmarks", "ablation-cover", "ablation-strategy",
 			"extensions", "streaming", "oracle", "oracle-accuracy",
-			"structure", "expansion", "weighted", "snapshot-sweep",
+			"structure", "expansion", "weighted", "snapshot-sweep", "latency",
 		} {
 			fmt.Println(name)
 		}
@@ -138,6 +148,14 @@ func main() {
 	run("expansion", func() (fmt.Stringer, error) { return suite.ExpansionTable() })
 	run("weighted", func() (fmt.Stringer, error) { return suite.WeightedTable() })
 	run("snapshot-sweep", func() (fmt.Stringer, error) { return suite.SnapshotSweep(nil) })
+	run("latency", func() (fmt.Stringer, error) {
+		lat, err := suite.LatencyTable(5)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Println(lat)
+		return eval.FlightSummary(), nil
+	})
 
 	if *csvDir != "" {
 		if err := writeCSVs(suite, *csvDir); err != nil {

@@ -18,11 +18,21 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dataset"
 	"repro/internal/landmark"
+	"repro/internal/obs"
 )
 
 func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the watch's windows")
+	ocli := obs.BindCLIFlags(flag.CommandLine)
 	flag.Parse()
+	if err := ocli.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := ocli.Finish(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	ds, err := dataset.Generate("Actors", datagen.Config{Seed: 33, Scale: 0.12})
 	if err != nil {

@@ -24,7 +24,18 @@ import (
 	"sync"
 
 	"repro/internal/invariant"
+	"repro/internal/obs"
 )
+
+// chargeHist records the size distribution of successful charges per phase:
+// how many SSSPs each Charge call bought. Totals answer "how much was
+// spent"; this answers "in what increments" — single-row extraction charges
+// versus bulk landmark batches — which is the shape a multi-tenant admission
+// controller needs to size its windows.
+var chargeHist = [numPhases]*obs.Histogram{
+	PhaseCandidateGen: obs.NewHistogram("budget.charge_sssp", obs.L("phase", "candidate-generation")),
+	PhaseTopK:         obs.NewHistogram("budget.charge_sssp", obs.L("phase", "top-k-extraction")),
+}
 
 // Phase identifies which stage of the generic top-k algorithm an SSSP
 // computation belongs to.
@@ -115,8 +126,10 @@ func (mt *Meter) Charge(p Phase, n int) error {
 	}
 	fn := mt.observer
 	mt.mu.Unlock()
-	// The observer runs outside the lock so it may inspect other meters or
-	// take its own locks; only successful charges are observed.
+	// Instrumentation runs outside the lock so the observer may inspect
+	// other meters or take its own locks; only successful charges are
+	// observed, matching the histogram (failed charges spent nothing).
+	chargeHist[p].Observe(int64(n))
 	if fn != nil {
 		fn(p, n)
 	}

@@ -149,3 +149,26 @@ func TestPhaseString(t *testing.T) {
 		t.Fatal("unknown phase string should include the value")
 	}
 }
+
+func TestChargeHistogramObservesSuccessfulChargesOnly(t *testing.T) {
+	mt := NewMeter(3) // 6 SSSPs
+	cgBefore := chargeHist[PhaseCandidateGen].Snapshot()
+	tkBefore := chargeHist[PhaseTopK].Snapshot()
+	if err := mt.Charge(PhaseCandidateGen, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Charge(PhaseTopK, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Charge(PhaseTopK, 100); err == nil {
+		t.Fatal("over-limit charge should fail")
+	}
+	cg := chargeHist[PhaseCandidateGen].Snapshot().Sub(cgBefore)
+	tk := chargeHist[PhaseTopK].Snapshot().Sub(tkBefore)
+	if cg.Count != 1 || cg.Sum != 2 {
+		t.Errorf("candidate-gen charge histogram delta count/sum = %d/%d, want 1/2", cg.Count, cg.Sum)
+	}
+	if tk.Count != 1 || tk.Sum != 4 {
+		t.Errorf("top-k charge histogram delta count/sum = %d/%d, want 1/4 (failed charge must not observe)", tk.Count, tk.Sum)
+	}
+}

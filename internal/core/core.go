@@ -21,6 +21,7 @@ import (
 	"runtime/pprof"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/budget"
 	"repro/internal/candidates"
@@ -136,7 +137,7 @@ func TopKSources(src dist.Pair, opts Options) (*Result, error) {
 
 // run is the shared body of Algorithm 1. pair is the structural view of src
 // when one exists (unweighted sources); it is zero for metric-only sources.
-func run(src dist.Pair, pair graph.SnapshotPair, opts Options) (*Result, error) {
+func run(src dist.Pair, pair graph.SnapshotPair, opts Options) (result *Result, err error) {
 	if opts.Selector == nil {
 		return nil, ErrNoSelector
 	}
@@ -155,6 +156,13 @@ func run(src dist.Pair, pair graph.SnapshotPair, opts Options) (*Result, error) 
 	if meter == nil {
 		meter = budget.NewMeter(opts.M)
 	}
+	// Telemetry brackets the whole run (every path from here records one
+	// flight entry and one total-phase histogram sample).
+	//convlint:nondet phase latency is observational, not part of results
+	runStart := time.Now()
+	kernelsBefore := sssp.SnapshotMetrics()
+	var phases obs.PhaseNanos
+	defer func() { recordRun(opts, meter, kernelsBefore, runStart, phases, result, err) }()
 	tr := opts.Trace
 	if tr != nil {
 		// Every successful charge lands on the span open at that moment, so
@@ -177,11 +185,16 @@ func run(src dist.Pair, pair graph.SnapshotPair, opts Options) (*Result, error) 
 		Meter:   meter,
 		Workers: opts.Workers,
 	}
+	//convlint:nondet phase latency is observational, not part of results
+	selStart := time.Now()
 	selSpan := tr.StartSpan("selection", obs.Str("selector", opts.Selector.Name()))
 	cands, err := opts.Selector.Select(ctx)
 	selSpan.Set(obs.Int("candidates", len(cands)),
 		obs.Int("d1-rows-cached", len(ctx.D1Rows)), obs.Int("d2-rows-cached", len(ctx.D2Rows)))
 	selSpan.End()
+	//convlint:nondet phase latency is observational, not part of results
+	phases.Selection = time.Since(selStart).Nanoseconds()
+	selectionNS.Observe(phases.Selection)
 	if err != nil {
 		return nil, fmt.Errorf("core: candidate generation (%s): %w", opts.Selector.Name(), err)
 	}
@@ -204,7 +217,7 @@ func run(src dist.Pair, pair graph.SnapshotPair, opts Options) (*Result, error) 
 		}
 	}
 	cands = uniq
-	pairs, err := extractPairs(src, ctx, cands, opts, meter)
+	pairs, err := extractPairs(src, ctx, cands, opts, meter, &phases)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +232,7 @@ func run(src dist.Pair, pair graph.SnapshotPair, opts Options) (*Result, error) 
 // extractPairs implements lines 2-5 of Algorithm 1: compute D1 and D2 rows
 // for the candidate set (reusing rows the selector cached), form the
 // pairwise deltas, and keep the top pairs.
-func extractPairs(src dist.Pair, ctx *candidates.Context, cands []int, opts Options, meter *budget.Meter) ([]topk.Pair, error) {
+func extractPairs(src dist.Pair, ctx *candidates.Context, cands []int, opts Options, meter *budget.Meter, phases *obs.PhaseNanos) ([]topk.Pair, error) {
 	if len(cands) == 0 {
 		return nil, nil
 	}
@@ -239,11 +252,16 @@ func extractPairs(src dist.Pair, ctx *candidates.Context, cands []int, opts Opti
 	// The paired engine is built once per run: incremental mode computes the
 	// snapshot edge delta here and shares it read-only across all workers.
 	peng := dist.NewPairedEngine(src, opts.PairedMode)
+	//convlint:nondet phase latency is observational, not part of results
+	extStart := time.Now()
 	extSpan := tr.StartSpan("extraction",
 		obs.Int("candidates", len(cands)), obs.Int("cache-misses", toCharge),
 		obs.Str("paired", peng.Mode().String()))
 	if err := meter.Charge(budget.PhaseTopK, toCharge); err != nil {
 		extSpan.End()
+		//convlint:nondet phase latency is observational, not part of results
+		phases.Extraction = time.Since(extStart).Nanoseconds()
+		extractionNS.Observe(phases.Extraction)
 		return nil, fmt.Errorf("core: extraction phase: %w", err)
 	}
 
@@ -326,7 +344,12 @@ func extractPairs(src dist.Pair, ctx *candidates.Context, cands []int, opts Opti
 	wg.Wait()
 	extSpan.Set(obs.Int("raw-pairs", len(all)))
 	extSpan.End()
+	//convlint:nondet phase latency is observational, not part of results
+	phases.Extraction = time.Since(extStart).Nanoseconds()
+	extractionNS.Observe(phases.Extraction)
 
+	//convlint:nondet phase latency is observational, not part of results
+	cutStart := time.Now()
 	cutSpan := tr.StartSpan("sort-cut", obs.Int("pairs", len(all)))
 	topk.SortPairs(all)
 	if opts.K > 0 && len(all) > opts.K {
@@ -334,6 +357,9 @@ func extractPairs(src dist.Pair, ctx *candidates.Context, cands []int, opts Opti
 	}
 	cutSpan.Set(obs.Int("kept", len(all)))
 	cutSpan.End()
+	//convlint:nondet phase latency is observational, not part of results
+	phases.SortCut = time.Since(cutStart).Nanoseconds()
+	sortCutNS.Observe(phases.SortCut)
 	return all, nil
 }
 

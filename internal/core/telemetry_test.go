@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/candidates"
+	"repro/internal/obs"
+)
+
+// TestPhaseHistogramsMatchSpanCounts ties the two latency views together:
+// every phase span a traced run emits must land exactly one observation in
+// the matching core.phase_ns histogram, so a /metrics scrape and a trace
+// file agree on how many times each phase ran.
+func TestPhaseHistogramsMatchSpanCounts(t *testing.T) {
+	sp := growingPair(t, 120, 33)
+	tr := obs.New("telemetry-test")
+	before := PhaseLatencies()
+	const runs = 3
+	for i := 0; i < runs; i++ {
+		if _, err := TopK(sp, Options{
+			Selector: candidates.MMSD(), M: 15, L: 4, K: 5, Seed: int64(i), Trace: tr,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := PhaseLatencies()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("Chrome export: %v", err)
+	}
+	spanCount := map[string]int64{}
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "X" {
+			spanCount[e.Name]++
+		}
+	}
+
+	for phase, span := range map[string]string{
+		"selection":  "selection",
+		"extraction": "extraction",
+		"sort-cut":   "sort-cut",
+		"total":      "algorithm1",
+	} {
+		d := after[phase].Sub(before[phase])
+		if d.Count != runs {
+			t.Errorf("phase %s histogram _count delta = %d, want %d", phase, d.Count, runs)
+		}
+		if spanCount[span] != d.Count {
+			t.Errorf("phase %s: %d spans traced but %d histogram observations", phase, spanCount[span], d.Count)
+		}
+		if d.Count > 0 && d.Sum <= 0 {
+			t.Errorf("phase %s observed %d samples with non-positive total %d ns", phase, d.Count, d.Sum)
+		}
+	}
+}
+
+// TestFlightRecordMatchesBudgetReport: the newest flight record of a run
+// must carry the meter's report bit-for-bit, plus the outcome sizes.
+func TestFlightRecordMatchesBudgetReport(t *testing.T) {
+	sp := growingPair(t, 150, 7)
+	meter := budget.NewMeter(20)
+	totalBefore := obs.Flight.Total()
+	res, err := TopK(sp, Options{
+		Selector: candidates.MMSD(), M: 20, L: 5, K: 10, Meter: meter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Flight.Total() != totalBefore+1 {
+		t.Fatalf("run appended %d flight records, want 1", obs.Flight.Total()-totalBefore)
+	}
+	rec := obs.Flight.Last(1)[0]
+	if rec.Kind != "topk" {
+		t.Errorf("Kind = %q, want topk", rec.Kind)
+	}
+	rep := meter.Report()
+	want := obs.BudgetSplit{Limit: rep.Limit, CandidateGen: rep.CandidateGen, TopK: rep.TopK}
+	if rec.Budget != want {
+		t.Errorf("flight budget %+v != meter report %+v", rec.Budget, want)
+	}
+	if rec.Budget != (obs.BudgetSplit{Limit: res.Budget.Limit, CandidateGen: res.Budget.CandidateGen, TopK: res.Budget.TopK}) {
+		t.Errorf("flight budget %+v != result budget %+v", rec.Budget, res.Budget)
+	}
+	if rec.Candidates != len(res.Candidates) || rec.Pairs != len(res.Pairs) {
+		t.Errorf("flight sizes %d/%d, result %d/%d", rec.Candidates, rec.Pairs, len(res.Candidates), len(res.Pairs))
+	}
+	if rec.Outcome != "ok" {
+		t.Errorf("Outcome = %q, want ok", rec.Outcome)
+	}
+	if !strings.Contains(rec.Fingerprint, "selector=MMSD") || !strings.Contains(rec.Fingerprint, "m=20") {
+		t.Errorf("fingerprint %q missing selector/m", rec.Fingerprint)
+	}
+	if rec.Phases.Total <= 0 {
+		t.Errorf("Phases.Total = %d, want > 0", rec.Phases.Total)
+	}
+	if sum := rec.Phases.Selection + rec.Phases.Extraction + rec.Phases.SortCut; sum > rec.Phases.Total {
+		t.Errorf("phase sum %d exceeds total %d", sum, rec.Phases.Total)
+	}
+	if rec.Kernels.Calls <= 0 || rec.Kernels.Edges <= 0 {
+		t.Errorf("kernel delta empty: %+v (MMSD runs BFS)", rec.Kernels)
+	}
+	if rec.UnixNano == 0 || rec.Seq != totalBefore {
+		t.Errorf("record not stamped: seq=%d unixnano=%d", rec.Seq, rec.UnixNano)
+	}
+}
+
+// TestFlightRecordsFailedRun: a run that dies mid-flight (budget exhaustion
+// in extraction) still leaves a record, with the error text as the outcome.
+func TestFlightRecordsFailedRun(t *testing.T) {
+	sp := growingPair(t, 80, 9)
+	totalBefore := obs.Flight.Total()
+	_, err := TopK(sp, Options{
+		Selector: candidates.Degree(), M: 10, K: 5,
+		Meter: budget.NewMeter(1), // too small for extraction's 2-per-candidate charge
+	})
+	if err == nil {
+		t.Fatal("expected budget exhaustion")
+	}
+	if obs.Flight.Total() != totalBefore+1 {
+		t.Fatalf("failed run appended %d records, want 1", obs.Flight.Total()-totalBefore)
+	}
+	rec := obs.Flight.Last(1)[0]
+	if rec.Outcome == "ok" || !strings.Contains(rec.Outcome, "extraction") {
+		t.Errorf("Outcome = %q, want the extraction budget error", rec.Outcome)
+	}
+	if rec.Pairs != 0 || rec.Candidates != 0 {
+		t.Errorf("failed run reports sizes %d/%d, want 0/0", rec.Candidates, rec.Pairs)
+	}
+}

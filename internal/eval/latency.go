@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/candidates"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// LatencyTable runs the budgeted algorithm `runs` times per dataset with
+// MMSD and reports the per-phase wall-time distribution (p50/p99 bucket
+// upper bounds and mean) read back from the core.phase_ns histograms — the
+// same numbers a /metrics scrape of a live service would yield, demonstrated
+// here against the suite's synthetic datasets. Quantiles are histogram-
+// resolution estimates (within 2x, the power-of-two bucket width).
+func (s *Suite) LatencyTable(runs int) (*AblationResult, error) {
+	if runs < 1 {
+		runs = 5
+	}
+	res := &AblationResult{
+		Title: fmt.Sprintf("Latency — per-phase wall time over %d runs/dataset (MMSD, m=%d; p50/p99 are histogram bucket bounds)",
+			runs, s.Config.m()),
+		Columns: []string{"Dataset", "Phase", "Count", "p50", "p99", "Mean"},
+	}
+	for _, ds := range s.Datasets {
+		pair, ok := s.testPairs[ds.Name]
+		if !ok {
+			return nil, fmt.Errorf("eval: dataset %q not in suite", ds.Name)
+		}
+		before := core.PhaseLatencies()
+		for r := 0; r < runs; r++ {
+			if _, err := core.TopK(pair, core.Options{
+				Selector: candidates.MMSD(), M: s.Config.m(), L: s.Config.l(), K: 10,
+				Seed: s.Config.Seed + int64(r), Workers: s.Config.Workers,
+			}); err != nil {
+				return nil, fmt.Errorf("eval: latency run %d on %s: %w", r, ds.Name, err)
+			}
+		}
+		after := core.PhaseLatencies()
+		for _, phase := range []string{"selection", "extraction", "sort-cut", "total"} {
+			d := after[phase].Sub(before[phase])
+			res.Rows = append(res.Rows, []string{
+				ds.Name, phase, fmt.Sprint(d.Count),
+				durString(d.Quantile(0.50)), durString(d.Quantile(0.99)),
+				durString(int64(d.Mean())),
+			})
+		}
+	}
+	return res, nil
+}
+
+// durString renders nanoseconds as a rounded duration.
+func durString(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}
+
+// FlightSummary reports the flight recorder's view of the suite's recent
+// runs: record counts by kind and outcome. It reads the process-global
+// recorder, so counts include any runs performed before the call.
+func FlightSummary() *AblationResult {
+	res := &AblationResult{
+		Title:   fmt.Sprintf("Flight recorder — %d records held (%d total appended)", obs.Flight.Len(), obs.Flight.Total()),
+		Columns: []string{"Kind", "Records", "OK", "Failed"},
+	}
+	byKind := map[string][3]int{}
+	var order []string
+	for _, rec := range obs.Flight.Last(0) {
+		c, seen := byKind[rec.Kind]
+		if !seen {
+			order = append(order, rec.Kind)
+		}
+		c[0]++
+		if rec.Outcome == "ok" {
+			c[1]++
+		} else {
+			c[2]++
+		}
+		byKind[rec.Kind] = c
+	}
+	for _, kind := range order {
+		c := byKind[kind]
+		res.Rows = append(res.Rows, []string{kind, fmt.Sprint(c[0]), fmt.Sprint(c[1]), fmt.Sprint(c[2])})
+	}
+	return res
+}

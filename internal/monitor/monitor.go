@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime/pprof"
 	"sort"
+	"time"
 
 	"repro/internal/budget"
 	"repro/internal/candidates"
@@ -45,6 +46,11 @@ type Config struct {
 	// long watch shows where its windows and SSSPs went.
 	Trace *obs.Trace
 }
+
+// windowNS is the per-window wall-time distribution of Watch: one sample per
+// window span, inclusive of snapshot materialization and the window's TopK
+// run, so a long watch exposes its window p50/p99 on /metrics.
+var windowNS = obs.NewHistogram("monitor.window_ns")
 
 // WindowReport is the outcome of one monitoring window.
 type WindowReport struct {
@@ -81,11 +87,31 @@ func Watch(ev *graph.Evolving, fractions []float64, cfg Config) ([]WindowReport,
 	var reports []WindowReport
 	for i := 1; i < len(fractions); i++ {
 		f1, f2 := fractions[i-1], fractions[i]
+		//convlint:nondet window latency is observational, not part of results
+		winStart := time.Now()
+		// One flight record per window (Kind "watch-window", Total phase
+		// only); the nested TopK run appends its own "topk" record with the
+		// per-phase split.
+		rec := obs.RunRecord{
+			Kind:        "watch-window",
+			Fingerprint: fmt.Sprintf("window=%d start=%v end=%v selector=%s m=%d", i-1, f1, f2, cfg.Selector.Name(), cfg.M),
+			Outcome:     "ok",
+		}
+		endWindow := func(err error) {
+			//convlint:nondet window latency is observational, not part of results
+			rec.Phases.Total = time.Since(winStart).Nanoseconds()
+			windowNS.Observe(rec.Phases.Total)
+			if err != nil {
+				rec.Outcome = err.Error()
+			}
+			obs.Flight.Append(rec)
+		}
 		span := cfg.Trace.StartSpan("window",
 			obs.Int("index", i-1), obs.Float("start", f1), obs.Float("end", f2))
 		pair, err := ev.Pair(f1, f2)
 		if err != nil {
 			span.End()
+			endWindow(err)
 			return nil, fmt.Errorf("monitor: window [%v, %v]: %w", f1, f2, err)
 		}
 		var res *core.Result
@@ -105,11 +131,16 @@ func Watch(ev *graph.Evolving, fractions []float64, cfg Config) ([]WindowReport,
 			})
 		if err != nil {
 			span.End()
+			endWindow(err)
 			return nil, fmt.Errorf("monitor: window [%v, %v]: %w", f1, f2, err)
 		}
 		span.Set(obs.Int("new-edges", pair.G2.NumEdges()-pair.G1.NumEdges()),
 			obs.Int("pairs", len(res.Pairs)))
 		span.End()
+		rec.Budget = obs.BudgetSplit{Limit: res.Budget.Limit, CandidateGen: res.Budget.CandidateGen, TopK: res.Budget.TopK}
+		rec.Candidates = len(res.Candidates)
+		rec.Pairs = len(res.Pairs)
+		endWindow(nil)
 		reports = append(reports, WindowReport{
 			StartFrac: f1,
 			EndFrac:   f2,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/candidates"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/landmark"
 	"repro/internal/sssp"
 )
@@ -265,5 +266,52 @@ func TestLandmarkTrackerValidation(t *testing.T) {
 	}
 	if _, err := NewLandmarkTracker(ev, []int{9999}, 10); err == nil {
 		t.Fatal("out-of-range landmark should fail")
+	}
+}
+
+// TestWatchWindowTelemetry: every window of a Watch leaves one
+// "watch-window" flight record (the nested TopK adds its own "topk" record)
+// and one monitor.window_ns histogram observation carrying the window's
+// budget report.
+func TestWatchWindowTelemetry(t *testing.T) {
+	ev := growingStream(t, 120, 5)
+	histBefore := windowNS.Snapshot()
+	totalBefore := obs.Flight.Total()
+	reports, err := Watch(ev, []float64{0.6, 0.8, 1.0}, Config{
+		Selector: candidates.MMSD(), M: 15, L: 4, MinDelta: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := windowNS.Snapshot().Sub(histBefore); d.Count != int64(len(reports)) {
+		t.Errorf("window_ns delta count = %d, want %d", d.Count, len(reports))
+	}
+	appended := obs.Flight.Total() - totalBefore
+	if appended != 2*int64(len(reports)) {
+		t.Fatalf("watch appended %d flight records, want %d (one watch-window + one topk per window)",
+			appended, 2*len(reports))
+	}
+	recs := obs.Flight.Last(int(appended))
+	var windows []obs.RunRecord
+	for _, r := range recs {
+		if r.Kind == "watch-window" {
+			windows = append(windows, r)
+		}
+	}
+	if len(windows) != len(reports) {
+		t.Fatalf("%d watch-window records, want %d", len(windows), len(reports))
+	}
+	for i, rec := range windows {
+		rep := reports[i]
+		want := obs.BudgetSplit{Limit: rep.Budget.Limit, CandidateGen: rep.Budget.CandidateGen, TopK: rep.Budget.TopK}
+		if rec.Budget != want {
+			t.Errorf("window %d flight budget %+v != report %+v", i, rec.Budget, want)
+		}
+		if rec.Outcome != "ok" || rec.Pairs != len(rep.Pairs) {
+			t.Errorf("window %d record = outcome %q pairs %d, want ok/%d", i, rec.Outcome, rec.Pairs, len(rep.Pairs))
+		}
+		if rec.Phases.Total <= 0 {
+			t.Errorf("window %d has non-positive total %d", i, rec.Phases.Total)
+		}
 	}
 }

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/invariant"
+)
+
+// The hot-path instruments are called from the traversal kernels
+// (//convlint:hotpath functions), so their observation paths must be
+// allocation-free — the runtime backstop for what the hotalloc analyzer
+// checks statically.
+
+func TestHistogramObserveZeroAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant builds may allocate; zero-alloc holds for default builds")
+	}
+	h := &Histogram{}
+	v := int64(1)
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Observe(v)
+		v <<= 1
+		if v <= 0 {
+			v = 1
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("%.1f allocs per Histogram.Observe, want 0", allocs)
+	}
+}
+
+func TestCounterGaugeZeroAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant builds may allocate; zero-alloc holds for default builds")
+	}
+	c := &Counter{}
+	g := &Gauge{}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Add(3)
+		c.Inc()
+		g.Set(7)
+		g.Add(-1)
+	})
+	if allocs != 0 {
+		t.Errorf("%.1f allocs per Counter/Gauge op batch, want 0", allocs)
+	}
+}
+
+func TestFlightAppendZeroAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant builds may allocate; zero-alloc holds for default builds")
+	}
+	f := NewFlightRecorder(8)
+	rec := RunRecord{
+		Kind:        "topk",
+		Fingerprint: "selector=MMSD m=10",
+		Phases:      PhaseNanos{Total: 1},
+		Budget:      BudgetSplit{Limit: 20},
+		Outcome:     "ok",
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		f.Append(rec)
+	})
+	if allocs != 0 {
+		t.Errorf("%.1f allocs per FlightRecorder.Append, want 0", allocs)
+	}
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// CLI is the shared observability flag set of the command-line tools
+// (cmd/convpairs, cmd/experiments, examples/streaming-watch): one place
+// defines -metricsaddr, -events, and -hold, so every program exposes the
+// same surface with the same semantics.
+type CLI struct {
+	metricsAddr *string
+	eventsOut   *string
+	hold        *time.Duration
+	srv         *Server
+}
+
+// BindCLIFlags registers the observability flags on fs (typically
+// flag.CommandLine) and returns the handle to Start/Finish around the
+// program's work.
+func BindCLIFlags(fs *flag.FlagSet) *CLI {
+	c := &CLI{}
+	c.metricsAddr = fs.String("metricsaddr", "",
+		"serve /metrics (instruments + histograms), /debug/events (flight recorder) and /debug/pprof on this address during the run, e.g. :6060")
+	c.eventsOut = fs.String("events", "",
+		"write the flight recorder's run records as JSONL to this file after the run (\"-\" for stdout)")
+	c.hold = fs.Duration("hold", 0,
+		"keep the -metricsaddr server up this long after the run finishes (for scraping a short-lived run)")
+	return c
+}
+
+// Start brings up the metrics server if -metricsaddr was given and prints
+// the bound address. Call after flag parsing, before the work.
+func (c *CLI) Start() error {
+	if *c.metricsAddr == "" {
+		return nil
+	}
+	srv, err := ServeMetrics(*c.metricsAddr)
+	if err != nil {
+		return err
+	}
+	c.srv = srv
+	fmt.Printf("metrics on http://%s/metrics, events on http://%s/debug/events, profiles on http://%s/debug/pprof/\n",
+		srv.Addr(), srv.Addr(), srv.Addr())
+	return nil
+}
+
+// Finish dumps the flight recorder if -events was given, holds the metrics
+// server open for the -hold duration, then shuts it down. Call once after
+// the work completes.
+func (c *CLI) Finish() error {
+	if *c.eventsOut != "" {
+		if err := c.dumpEvents(); err != nil {
+			return err
+		}
+	}
+	if c.srv != nil {
+		if *c.hold > 0 {
+			fmt.Printf("holding metrics server on http://%s for %v\n", c.srv.Addr(), *c.hold)
+			time.Sleep(*c.hold)
+		}
+		if err := c.srv.Close(); err != nil {
+			return err
+		}
+		c.srv = nil
+	}
+	return nil
+}
+
+// dumpEvents writes the default flight recorder as JSONL to the -events
+// target.
+func (c *CLI) dumpEvents() error {
+	var w io.Writer = os.Stdout
+	if *c.eventsOut != "-" {
+		f, err := os.Create(*c.eventsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := Flight.WriteJSONL(w, 0); err != nil {
+		return err
+	}
+	if *c.eventsOut != "-" {
+		fmt.Printf("flight recorder events written to %s (%d records)\n", *c.eventsOut, Flight.Len())
+	}
+	return nil
+}

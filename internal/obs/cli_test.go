@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCLIStartFinish(t *testing.T) {
+	Flight.Append(RunRecord{Kind: "cli-test"})
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := BindCLIFlags(fs)
+	events := filepath.Join(t.TempDir(), "events.jsonl")
+	if err := fs.Parse([]string{"-metricsaddr", "127.0.0.1:0", "-events", events}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + c.srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics on CLI server: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if c.srv != nil {
+		t.Error("Finish did not clear the server")
+	}
+
+	f, err := os.Open(events)
+	if err != nil {
+		t.Fatalf("-events file not written: %v", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		var r RunRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("-events line %d invalid: %v", lines, err)
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Error("-events file has no records")
+	}
+}
+
+func TestCLIDisabledIsNoop(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := BindCLIFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if c.srv != nil {
+		t.Error("Start without -metricsaddr bound a server")
+	}
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

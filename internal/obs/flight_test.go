@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestFlightWraparound(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Append(RunRecord{Kind: "topk", Candidates: i})
+	}
+	if f.Total() != 10 {
+		t.Fatalf("Total=%d, want 10", f.Total())
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len=%d, want capacity 4", f.Len())
+	}
+	got := f.Last(0)
+	if len(got) != 4 {
+		t.Fatalf("Last(0) returned %d records, want 4", len(got))
+	}
+	for i, r := range got {
+		wantSeq := int64(6 + i) // newest 4 of 10, oldest first
+		if r.Seq != wantSeq || r.Candidates != int(wantSeq) {
+			t.Errorf("Last(0)[%d] = seq %d candidates %d, want %d", i, r.Seq, r.Candidates, wantSeq)
+		}
+	}
+	got = f.Last(2)
+	if len(got) != 2 || got[0].Seq != 8 || got[1].Seq != 9 {
+		t.Errorf("Last(2) = %+v, want seqs 8,9", got)
+	}
+	// n beyond what is held clamps to Len.
+	if got := f.Last(100); len(got) != 4 {
+		t.Errorf("Last(100) returned %d records, want 4", len(got))
+	}
+}
+
+func TestFlightBelowCapacity(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Append(RunRecord{Kind: "a"})
+	f.Append(RunRecord{Kind: "b"})
+	if f.Len() != 2 {
+		t.Fatalf("Len=%d, want 2", f.Len())
+	}
+	got := f.Last(0)
+	if len(got) != 2 || got[0].Kind != "a" || got[1].Kind != "b" {
+		t.Fatalf("Last(0) = %+v, want kinds a,b oldest first", got)
+	}
+	if got[0].UnixNano == 0 {
+		t.Error("Append did not stamp UnixNano")
+	}
+}
+
+func TestFlightConcurrentAppend(t *testing.T) {
+	f := NewFlightRecorder(16)
+	const goroutines, each = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				f.Append(RunRecord{Kind: "topk", Candidates: g})
+				f.Last(4)
+				f.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if f.Total() != goroutines*each {
+		t.Fatalf("Total=%d, want %d", f.Total(), goroutines*each)
+	}
+	// Sequence numbers of the held window must be consecutive.
+	held := f.Last(0)
+	for i := 1; i < len(held); i++ {
+		if held[i].Seq != held[i-1].Seq+1 {
+			t.Fatalf("non-consecutive seqs under concurrency: %d then %d", held[i-1].Seq, held[i].Seq)
+		}
+	}
+}
+
+func TestFlightWriteJSONL(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.Append(RunRecord{
+		Kind:        "topk",
+		Fingerprint: "selector=MMSD m=10",
+		Phases:      PhaseNanos{Selection: 5, Extraction: 7, SortCut: 1, Total: 13},
+		Budget:      BudgetSplit{Limit: 20, CandidateGen: 4, TopK: 16},
+		Kernels:     KernelDelta{Calls: 3, Nodes: 100, Edges: 500},
+		Candidates:  10, Pairs: 2, Outcome: "ok",
+	})
+	f.Append(RunRecord{Kind: "watch-window", Outcome: "boom"})
+
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var recs []RunRecord
+	for sc.Scan() {
+		var r RunRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", len(recs), err, sc.Text())
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d JSONL lines, want 2", len(recs))
+	}
+	r := recs[0]
+	if r.Fingerprint != "selector=MMSD m=10" || r.Budget != (BudgetSplit{Limit: 20, CandidateGen: 4, TopK: 16}) ||
+		r.Phases.Total != 13 || r.Kernels.Edges != 500 || r.Pairs != 2 {
+		t.Errorf("round-tripped record mangled: %+v", r)
+	}
+	if recs[1].Outcome != "boom" {
+		t.Errorf("outcome = %q, want boom", recs[1].Outcome)
+	}
+}
+
+func TestEventsHandler(t *testing.T) {
+	// The handler serves the package-global recorder; make sure it holds at
+	// least 3 records with a recognizable kind.
+	for i := 0; i < 3; i++ {
+		Flight.Append(RunRecord{Kind: "events-handler-test"})
+	}
+	srv := httptest.NewServer(EventsHandler())
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp, string(body)
+	}
+
+	resp, body := get("/?n=2")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/x-ndjson" {
+		t.Errorf("Content-Type=%q", got)
+	}
+	lines := bytes.Split(bytes.TrimRight([]byte(body), "\n"), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("?n=2 returned %d lines", len(lines))
+	}
+	for _, line := range lines {
+		var r RunRecord
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		if r.Kind != "events-handler-test" {
+			t.Errorf("unexpected kind %q in newest records", r.Kind)
+		}
+	}
+
+	resp, _ = get("/?n=bogus")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("?n=bogus status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = get("/?n=-1")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("?n=-1 status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestFlightCapacityFloor(t *testing.T) {
+	f := NewFlightRecorder(0)
+	f.Append(RunRecord{Kind: "a"})
+	f.Append(RunRecord{Kind: "b"})
+	if f.Len() != 1 || f.Last(0)[0].Kind != "b" {
+		t.Fatalf("capacity floor broken: len=%d last=%+v", f.Len(), f.Last(0))
+	}
+}
+
+func ExampleFlightRecorder() {
+	f := NewFlightRecorder(2)
+	for i := 0; i < 3; i++ {
+		f.Append(RunRecord{Kind: "topk", Pairs: i})
+	}
+	for _, r := range f.Last(0) {
+		fmt.Println(r.Seq, r.Pairs)
+	}
+	// Output:
+	// 1 1
+	// 2 2
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Typed instruments: Counter, Gauge, and a lock-free power-of-two-bucketed
+// Histogram. All three are a fixed block of atomics — observation is a
+// handful of atomic adds, no locks, no allocation — so they are safe to call
+// from the //convlint:hotpath traversal kernels. Construction registers the
+// instrument in the metrics registry; exposition goes through WriteMetrics.
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// NewCounter creates and registers a counter series.
+func NewCounter(name string, labels ...Label) *Counter {
+	c := &Counter{}
+	register(name, labels, c)
+	return c
+}
+
+// Add increments the counter; n must be non-negative (unchecked — this is a
+// hot-path instrument).
+//
+//convlint:hotpath
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc adds one.
+//
+//convlint:hotpath
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (*Counter) kindName() string { return "counter" }
+
+func (c *Counter) writeSeries(w io.Writer, family string, labels []Label) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", renderSeries(family, labels), c.v.Load())
+	return err
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// NewGauge creates and registers a gauge series.
+func NewGauge(name string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	register(name, labels, g)
+	return g
+}
+
+// Set replaces the gauge value.
+//
+//convlint:hotpath
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by n (negative n allowed).
+//
+//convlint:hotpath
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (*Gauge) kindName() string { return "gauge" }
+
+func (g *Gauge) writeSeries(w io.Writer, family string, labels []Label) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", renderSeries(family, labels), g.v.Load())
+	return err
+}
+
+// histBuckets is the histogram resolution: bucket 0 holds observations
+// <= 1, bucket i (0 < i < histBuckets-1) holds (2^(i-1), 2^i], and the last
+// bucket is the overflow (everything past 2^62, exposed only under le="+Inf").
+// Power-of-two bucketing gives a fixed-size atomic array covering the whole
+// int64 range at ~2x relative error — the right trade for latency and work
+// distributions, where the interesting signal is orders of magnitude.
+const histBuckets = 64
+
+// Histogram is a lock-free histogram over non-negative int64 observations
+// (latencies in nanoseconds, nodes/edges visited, charge sizes). Observe is
+// three atomic adds and zero allocations.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	sum     atomic.Int64
+	count   atomic.Int64
+}
+
+// NewHistogram creates and registers a histogram series.
+func NewHistogram(name string, labels ...Label) *Histogram {
+	h := &Histogram{}
+	register(name, labels, h)
+	return h
+}
+
+// Observe records one value. Values <= 1 land in the first bucket; negative
+// values are clamped there too (and still contribute to the sum, so callers
+// should observe non-negative quantities).
+//
+//convlint:hotpath
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	if v > 1 {
+		i = bits.Len64(uint64(v - 1)) // v in (2^(i-1), 2^i]
+		if i >= histBuckets {
+			i = histBuckets - 1
+		}
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// bucketUpper is bucket i's inclusive upper bound (MaxInt64 for the overflow
+// bucket, which exposes as le="+Inf").
+func bucketUpper(i int) int64 {
+	if i >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1) << i
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, diffable with
+// Sub to attribute observations to a region of a run.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets [histBuckets]int64
+}
+
+// Snapshot copies the current state. Each field is read atomically; a
+// snapshot taken concurrently with Observe may split one observation between
+// count and buckets, which two quiescent-point snapshots never see.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Sub subtracts an earlier snapshot bucket-wise.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	for i := range s.Buckets {
+		out.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+	}
+	return out
+}
+
+// Quantile returns the inclusive upper bound of the bucket containing the
+// q-quantile observation (q in [0, 1]) — an upper estimate within 2x of the
+// true value, which is the histogram's resolution. Returns 0 for an empty
+// snapshot.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+func (*Histogram) kindName() string { return "histogram" }
+
+// writeSeries emits the OpenMetrics histogram triplet: cumulative
+// `_bucket{le="..."}` lines up to the highest populated bound, the `+Inf`
+// bucket (== _count), then _sum and _count. Buckets are read once into a
+// local copy so the cumulative sums are internally consistent.
+func (h *Histogram) writeSeries(w io.Writer, family string, labels []Label) error {
+	s := h.Snapshot()
+	high := 0
+	for i := range s.Buckets {
+		if s.Buckets[i] != 0 {
+			high = i
+		}
+	}
+	if high >= histBuckets-1 {
+		high = histBuckets - 2 // the overflow bucket only ever shows as +Inf
+	}
+	cum := int64(0)
+	for i := 0; i <= high; i++ {
+		cum += s.Buckets[i]
+		if _, err := fmt.Fprintf(w, "%s %d\n",
+			renderSeriesWith(family+"_bucket", labels, "le", fmt.Sprint(bucketUpper(i))), cum); err != nil {
+			return err
+		}
+	}
+	total := cum + func() int64 {
+		rest := int64(0)
+		for i := high + 1; i < histBuckets; i++ {
+			rest += s.Buckets[i]
+		}
+		return rest
+	}()
+	if _, err := fmt.Fprintf(w, "%s %d\n",
+		renderSeriesWith(family+"_bucket", labels, "le", "+Inf"), total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", renderSeries(family+"_sum", labels), s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", renderSeries(family+"_count", labels), s.Count)
+	return err
+}

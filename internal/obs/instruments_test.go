@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expositionLines returns the current exposition split into lines.
+func expositionLines(t *testing.T) []string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	return strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+}
+
+func TestCounterAndGaugeExposition(t *testing.T) {
+	c := NewCounter("test.ctr")
+	defer UnregisterMetric("test.ctr")
+	g := NewGauge("test.gauge")
+	defer UnregisterMetric("test.gauge")
+
+	c.Add(5)
+	c.Inc()
+	g.Set(100)
+	g.Add(-30)
+	if c.Value() != 6 || g.Value() != 70 {
+		t.Fatalf("Counter=%d Gauge=%d, want 6 and 70", c.Value(), g.Value())
+	}
+
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test.ctr counter\ntest.ctr 6\n",
+		"# TYPE test.gauge gauge\ntest.gauge 70\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscapingAndOrdering(t *testing.T) {
+	// Labels are registered out of key order and with every escapable
+	// character in the value; the series must render sorted and escaped.
+	NewCounter("test.labeled", L("zeta", "z"), L("alpha", "a\\b\"c\nd"))
+	series := `test.labeled{alpha="a\\b\"c\nd",zeta="z"}`
+	defer UnregisterMetric(series)
+
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	if !strings.Contains(buf.String(), series+" 0\n") {
+		t.Fatalf("exposition missing escaped sorted series %q:\n%s", series, buf.String())
+	}
+}
+
+func TestLabeledSeriesOfOneFamilyShareOneTypeLine(t *testing.T) {
+	NewHistogram("test.fam_ns", L("phase", "b"))
+	NewHistogram("test.fam_ns", L("phase", "a"))
+	defer UnregisterMetric(`test.fam_ns{phase="a"}`)
+	defer UnregisterMetric(`test.fam_ns{phase="b"}`)
+
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "# TYPE test.fam_ns histogram"); got != 1 {
+		t.Fatalf("family has %d # TYPE lines, want 1:\n%s", got, out)
+	}
+	ai := strings.Index(out, `test.fam_ns_count{phase="a"}`)
+	bi := strings.Index(out, `test.fam_ns_count{phase="b"}`)
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Fatalf("labeled series missing or unsorted (a@%d, b@%d):\n%s", ai, bi, out)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := &Histogram{} // unregistered: pure data-structure test
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 20, 20}, {1<<20 + 1, 21}, {math.MaxInt64, histBuckets - 1},
+	}
+	for _, c := range cases {
+		before := h.buckets[c.bucket].Load()
+		h.Observe(c.v)
+		if got := h.buckets[c.bucket].Load(); got != before+1 {
+			t.Errorf("Observe(%d) did not land in bucket %d", c.v, c.bucket)
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Errorf("Count=%d, want %d", h.Count(), len(cases))
+	}
+}
+
+// parseHistogram extracts the (le, cumulative) bucket lines plus _sum and
+// _count of one histogram family from an exposition.
+func parseHistogram(t *testing.T, lines []string, family string) (buckets []struct {
+	le  string
+	cum int64
+}, sum, count int64) {
+	t.Helper()
+	for _, line := range lines {
+		name, valStr, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseInt(valStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(name, family+"_bucket{"):
+			le := strings.TrimSuffix(strings.TrimPrefix(name, family+`_bucket{le="`), `"}`)
+			buckets = append(buckets, struct {
+				le  string
+				cum int64
+			}{le, v})
+		case name == family+"_sum":
+			sum = v
+		case name == family+"_count":
+			count = v
+		}
+	}
+	return buckets, sum, count
+}
+
+func TestHistogramExpositionCumulative(t *testing.T) {
+	h := NewHistogram("test.hist_ns")
+	defer UnregisterMetric("test.hist_ns")
+	var wantSum int64
+	for _, v := range []int64{1, 1, 2, 3, 100, 5000} {
+		h.Observe(v)
+		wantSum += v
+	}
+
+	buckets, sum, count := parseHistogram(t, expositionLines(t), "test.hist_ns")
+	if len(buckets) == 0 {
+		t.Fatal("no _bucket lines for test.hist_ns")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].cum < buckets[i-1].cum {
+			t.Errorf("buckets not cumulative: le=%s cum=%d < le=%s cum=%d",
+				buckets[i].le, buckets[i].cum, buckets[i-1].le, buckets[i-1].cum)
+		}
+	}
+	last := buckets[len(buckets)-1]
+	if last.le != "+Inf" {
+		t.Errorf("last bucket le=%q, want +Inf", last.le)
+	}
+	if last.cum != count || count != 6 {
+		t.Errorf("+Inf bucket=%d, _count=%d, want both 6", last.cum, count)
+	}
+	if sum != wantSum {
+		t.Errorf("_sum=%d, want %d", sum, wantSum)
+	}
+	// le bounds (numeric ones) must ascend.
+	prev := int64(-1)
+	for _, b := range buckets[:len(buckets)-1] {
+		bound, err := strconv.ParseInt(b.le, 10, 64)
+		if err != nil {
+			t.Fatalf("non-numeric le %q before +Inf", b.le)
+		}
+		if bound <= prev {
+			t.Errorf("le bounds not ascending: %d after %d", bound, prev)
+		}
+		prev = bound
+	}
+}
+
+func TestHistogramSnapshotSubAndQuantile(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(1000)
+	before := h.Snapshot()
+	// 90 fast observations and 10 slow ones: p50 lands in the fast bucket
+	// range, p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(100) // bucket (64,128]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1 << 20)
+	}
+	d := h.Snapshot().Sub(before)
+	if d.Count != 100 {
+		t.Fatalf("delta Count=%d, want 100 (pre-snapshot observation leaked in)", d.Count)
+	}
+	if got := d.Quantile(0.50); got != 128 {
+		t.Errorf("p50=%d, want 128 (upper bound of (64,128])", got)
+	}
+	if got := d.Quantile(0.99); got != 1<<20 {
+		t.Errorf("p99=%d, want %d", got, 1<<20)
+	}
+	if got := d.Quantile(0); got != 128 {
+		t.Errorf("q=0 => %d, want first populated bucket bound 128", got)
+	}
+	wantMean := (90*100.0 + 10*float64(1<<20)) / 100
+	if d.Mean() != wantMean {
+		t.Errorf("Mean=%v, want %v", d.Mean(), wantMean)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty snapshot quantile/mean not 0")
+	}
+}
+
+func TestMetricsHandlerContentType(t *testing.T) {
+	srv := httptest.NewServer(MetricsHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	want := "text/plain; version=0.0.4; charset=utf-8"
+	if got := resp.Header.Get("Content-Type"); got != want {
+		t.Errorf("Content-Type=%q, want %q", got, want)
+	}
+}
+
+func TestRuntimeMetricsRegistered(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"runtime.heap_bytes", "runtime.goroutines", "runtime.gc_pause_p99_ns",
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("exposition missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestRegisterLastWins(t *testing.T) {
+	RegisterMetric("test.lastwins", func() int64 { return 1 })
+	RegisterMetric("test.lastwins", func() int64 { return 2 })
+	defer UnregisterMetric("test.lastwins")
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "test.lastwins 2\n") ||
+		strings.Contains(buf.String(), "test.lastwins 1\n") {
+		t.Fatalf("re-registration not last-wins:\n%s", buf.String())
+	}
+}
+
+func ExampleHistogram() {
+	h := &Histogram{}
+	for _, v := range []int64{3, 70, 90, 1500} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	fmt.Println(s.Count, s.Sum, s.Quantile(0.5))
+	// Output: 4 1663 128
+}

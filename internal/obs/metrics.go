@@ -4,50 +4,179 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 )
 
-// The metrics registry maps dotted names ("sssp.diropt.calls") to gauge
-// functions read at exposition time — the expvar pattern without the JSON
-// envelope, so `curl host/metrics` stays grep-able. Producers (the sssp
-// kernels' atomic counters, budget meters a CLI chooses to publish) register
-// once from init or setup code; WriteMetrics samples every gauge.
-var (
-	metricsMu sync.RWMutex
-	metrics   = map[string]func() int64{}
-)
+// The metrics registry maps metric families ("sssp.diropt.calls",
+// "core.phase_ns") to typed instruments — counters, gauges, and histograms —
+// optionally split into labeled series (`name{phase="selection"}`). The text
+// exposition is OpenMetrics-style: one `# TYPE` line per family, then one
+// sample line per series (histograms expand into `_bucket`/`_sum`/`_count`
+// lines). Plain gauges still expose as bare "name value" lines, so
+// `curl host/metrics | grep sssp` keeps working exactly as before the typed
+// instruments existed.
+//
+// Producers register once from init or setup code (the sssp kernels' atomic
+// counters, budget meters, the core phase histograms); WriteMetrics samples
+// every instrument at exposition time. Registration is last-wins, matching
+// the original RegisterMetric semantics.
 
-// RegisterMetric installs (or replaces) a named gauge. fn must be safe to
-// call from any goroutine; it is invoked on every exposition.
-func RegisterMetric(name string, fn func() int64) {
-	metricsMu.Lock()
-	defer metricsMu.Unlock()
-	metrics[name] = fn
+// Label is one key="value" pair qualifying a metric series.
+type Label struct {
+	Key, Val string
 }
 
-// UnregisterMetric removes a gauge (tests and short-lived meters).
+// L builds a Label; obs.L("phase", "selection") reads better at call sites
+// than a struct literal.
+func L(key, val string) Label { return Label{Key: key, Val: val} }
+
+// instrument is anything the registry can expose. series is the fully
+// rendered name (family plus label set) the samples are emitted under.
+type instrument interface {
+	// kindName is the OpenMetrics type for the family's # TYPE line.
+	kindName() string
+	// writeSeries emits the instrument's sample lines for the given
+	// rendered series name and raw label set.
+	writeSeries(w io.Writer, family string, labels []Label) error
+}
+
+// entry is one registered series.
+type entry struct {
+	family string
+	series string // rendered family{labels}
+	labels []Label
+	inst   instrument
+}
+
+var (
+	metricsMu sync.RWMutex
+	metrics   = map[string]entry{} // keyed by rendered series name
+)
+
+// register installs (or replaces) a series under its rendered name.
+func register(family string, labels []Label, inst instrument) {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	series := renderSeries(family, ls)
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	metrics[series] = entry{family: family, series: series, labels: ls, inst: inst}
+}
+
+// funcGauge adapts the original func() int64 gauge registration.
+type funcGauge func() int64
+
+func (funcGauge) kindName() string { return "gauge" }
+
+func (f funcGauge) writeSeries(w io.Writer, family string, labels []Label) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", renderSeries(family, labels), f())
+	return err
+}
+
+// RegisterMetric installs (or replaces) a named plain gauge. fn must be safe
+// to call from any goroutine; it is invoked on every exposition.
+func RegisterMetric(name string, fn func() int64) {
+	register(name, nil, funcGauge(fn))
+}
+
+// UnregisterMetric removes a series by its rendered name — the bare family
+// for unlabeled instruments, `family{key="val"}` for labeled ones (tests and
+// short-lived meters).
 func UnregisterMetric(name string) {
 	metricsMu.Lock()
 	defer metricsMu.Unlock()
 	delete(metrics, name)
 }
 
-// WriteMetrics samples every registered gauge and writes "name value" lines
-// in sorted name order.
+// renderSeries formats family{k1="v1",k2="v2"} with escaped label values;
+// labels must already be sorted by key.
+func renderSeries(family string, labels []Label) string {
+	if len(labels) == 0 {
+		return family
+	}
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Val))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// renderSeriesWith is renderSeries with one extra label appended in sorted
+// position — how histogram buckets get their `le` without re-sorting on
+// every exposition line.
+func renderSeriesWith(family string, labels []Label, key, val string) string {
+	merged := make([]Label, 0, len(labels)+1)
+	inserted := false
+	for _, l := range labels {
+		if !inserted && key < l.Key {
+			merged = append(merged, Label{key, val})
+			inserted = true
+		}
+		merged = append(merged, l)
+	}
+	if !inserted {
+		merged = append(merged, Label{key, val})
+	}
+	return renderSeries(family, merged)
+}
+
+// escapeLabel escapes a label value per the OpenMetrics text format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// WriteMetrics samples every registered instrument and writes the text
+// exposition: families in sorted name order, each preceded by its # TYPE
+// line, labeled series of one family sorted among themselves.
 func WriteMetrics(w io.Writer) error {
 	metricsMu.RLock()
-	names := make([]string, 0, len(metrics))
-	fns := make([]func() int64, 0, len(metrics))
-	for name := range metrics {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		fns = append(fns, metrics[name])
+	entries := make([]entry, 0, len(metrics))
+	for _, e := range metrics {
+		entries = append(entries, e)
 	}
 	metricsMu.RUnlock()
-	for i, name := range names {
-		if _, err := fmt.Fprintf(w, "%s %d\n", name, fns[i]()); err != nil {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].family != entries[j].family {
+			return entries[i].family < entries[j].family
+		}
+		return entries[i].series < entries[j].series
+	})
+	lastFamily := ""
+	for _, e := range entries {
+		if e.family != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.family, e.inst.kindName()); err != nil {
+				return err
+			}
+			lastFamily = e.family
+		}
+		if err := e.inst.writeSeries(w, e.family, e.labels); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"math"
+	rm "runtime/metrics"
+)
+
+// Re-export of the Go runtime's own telemetry through the metrics registry,
+// so one /metrics scrape answers both "where did the algorithm's time go"
+// and "what was the process doing": heap size, GC activity and pause
+// distribution, goroutine count, and scheduler latency. Values are read from
+// runtime/metrics at exposition time — a scrape costs a handful of sample
+// reads, an idle process costs nothing.
+
+// runtimeGauge registers a plain gauge reading one runtime/metrics sample.
+func runtimeGauge(name, sample string, conv func(rm.Value) int64) {
+	RegisterMetric(name, func() int64 {
+		s := []rm.Sample{{Name: sample}}
+		rm.Read(s)
+		return conv(s[0].Value)
+	})
+}
+
+// uintVal converts a runtime Uint64 sample, saturating at MaxInt64.
+func uintVal(v rm.Value) int64 {
+	if v.Kind() != rm.KindUint64 {
+		return 0
+	}
+	u := v.Uint64()
+	if u > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(u)
+}
+
+// histQuantileNanos extracts the q-quantile of a runtime Float64Histogram
+// sample (whose buckets are in seconds) and converts it to nanoseconds.
+func histQuantileNanos(v rm.Value, q float64) int64 {
+	if v.Kind() != rm.KindFloat64Histogram {
+		return 0
+	}
+	h := v.Float64Histogram()
+	total := uint64(0)
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Buckets[i+1] is the bucket's upper bound; the last bucket's can
+			// be +Inf, in which case its lower bound is the best estimate.
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) {
+				ub = h.Buckets[i]
+			}
+			return int64(ub * 1e9)
+		}
+	}
+	return 0
+}
+
+func init() {
+	runtimeGauge("runtime.heap_bytes", "/memory/classes/heap/objects:bytes", uintVal)
+	runtimeGauge("runtime.total_bytes", "/memory/classes/total:bytes", uintVal)
+	runtimeGauge("runtime.goroutines", "/sched/goroutines:goroutines", uintVal)
+	runtimeGauge("runtime.gc_cycles", "/gc/cycles/total:gc-cycles", uintVal)
+	runtimeGauge("runtime.gc_pause_p50_ns", "/gc/pauses:seconds",
+		func(v rm.Value) int64 { return histQuantileNanos(v, 0.50) })
+	runtimeGauge("runtime.gc_pause_p99_ns", "/gc/pauses:seconds",
+		func(v rm.Value) int64 { return histQuantileNanos(v, 0.99) })
+	runtimeGauge("runtime.sched_latency_p50_ns", "/sched/latencies:seconds",
+		func(v rm.Value) int64 { return histQuantileNanos(v, 0.50) })
+	runtimeGauge("runtime.sched_latency_p99_ns", "/sched/latencies:seconds",
+		func(v rm.Value) int64 { return histQuantileNanos(v, 0.99) })
+}

@@ -9,19 +9,21 @@ import (
 // MetricsHandler serves the text exposition of every registered metric.
 func MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WriteMetrics(w)
 	})
 }
 
 // NewServeMux returns a mux with the full observability surface:
 //
-//	/metrics        text exposition of the registered gauges
+//	/metrics        text exposition of the registered instruments
+//	/debug/events   the flight recorder's run records as JSONL (?n=K limits)
 //	/debug/pprof/*  the standard pprof endpoints (worker goroutines carry
 //	                pprof labels, so profiles split by subsystem)
 func NewServeMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler())
+	mux.Handle("/debug/events", EventsHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -30,15 +32,38 @@ func NewServeMux() *http.ServeMux {
 	return mux
 }
 
+// Server is a running observability HTTP server. Close shuts its listener
+// down and waits for the serve loop to return, so tests (and daemons) can
+// start and stop the surface without leaking goroutines or ports.
+type Server struct {
+	ln   net.Listener
+	done chan struct{}
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server. Safe to call more than once; subsequent calls
+// return the listener's already-closed error.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	<-s.done
+	return err
+}
+
 // ServeMetrics listens on addr and serves NewServeMux in a background
-// goroutine, returning the bound address (useful with ":0"). The server
-// lives until the process exits — it exists to observe a running
-// computation, not to outlast it.
-func ServeMetrics(addr string) (string, error) {
+// goroutine. The returned Server's Close releases the port; dropping it
+// instead keeps the surface up for the life of the process, which is what
+// the CLIs do.
+func ServeMetrics(addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	go func() { _ = http.Serve(ln, NewServeMux()) }()
-	return ln.Addr().String(), nil
+	s := &Server{ln: ln, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		_ = http.Serve(ln, NewServeMux())
+	}()
+	return s, nil
 }

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeMetricsLifecycle(t *testing.T) {
+	srv, err := ServeMetrics(":0")
+	if err != nil {
+		t.Fatalf("ServeMetrics(:0): %v", err)
+	}
+	addr := srv.Addr()
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		t.Fatalf("Addr() = %q, not host:port: %v", addr, err)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "# TYPE") {
+		t.Fatalf("/metrics = %d, body %d bytes without # TYPE", resp.StatusCode, len(body))
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/events?n=1")
+	if err != nil {
+		t.Fatalf("GET /debug/events: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/events = %d", resp.StatusCode)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The port must be released: a fresh listener can bind it.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after Close: %v", err)
+	}
+	ln.Close()
+
+	// Closing again reports the listener's already-closed error, not a hang.
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("second Close returned nil, want already-closed error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second Close hung")
+	}
+}
+
+func TestServeMetricsBadAddr(t *testing.T) {
+	if _, err := ServeMetrics("256.256.256.256:99999"); err == nil {
+		t.Fatal("ServeMetrics on a bogus address did not error")
+	}
+}

@@ -15,6 +15,7 @@ package sssp
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -126,6 +127,8 @@ func MultiSourceBFS(g *graph.Graph, sources []int, dist []int32) {
 //
 //convlint:hotpath
 func MultiSourceBFSWith(g *graph.Graph, sources []int, dist []int32, s *Scratch) {
+	//convlint:nondet sweep latency is observational, not part of results
+	start := time.Now()
 	n := g.NumNodes()
 	if len(dist) != n {
 		panic(fmt.Sprintf("sssp: dist buffer length %d, graph has %d nodes", len(dist), n))
@@ -182,6 +185,7 @@ func MultiSourceBFSWith(g *graph.Graph, sources []int, dist []int32, s *Scratch)
 	km.nodes.Add(int64(len(q)))
 	km.edges.Add(edges)
 	peakMax(&km.frontierPeak, int64(peak))
+	observeSweep(kEnvelope, start, int64(len(sources)), int64(len(q)), edges)
 	s.queue = q[:0]
 }
 

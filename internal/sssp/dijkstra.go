@@ -2,6 +2,7 @@ package sssp
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -99,6 +100,8 @@ func Dijkstra(g *graph.Weighted, src int, dist []int32) {
 // one goroutine reuse the settled bitmap and heap storage (the weighted
 // analogue of BFSWith). A nil scratch allocates a fresh one.
 func DijkstraWith(g *graph.Weighted, src int, dist []int32, s *DijkstraScratch) {
+	//convlint:nondet sweep latency is observational, not part of results
+	start := time.Now()
 	n := g.NumNodes()
 	if len(dist) != n {
 		panic(fmt.Sprintf("sssp: dist buffer length %d, graph has %d nodes", len(dist), n))
@@ -145,6 +148,7 @@ func DijkstraWith(g *graph.Weighted, src int, dist []int32, s *DijkstraScratch) 
 	km.nodes.Add(settled)
 	km.edges.Add(edges)
 	peakMax(&km.frontierPeak, heapPeak)
+	observeSweep(kDijkstra, start, 1, settled, edges)
 }
 
 // WeightedDistances is a convenience wrapper around Dijkstra that allocates

@@ -2,6 +2,7 @@ package sssp
 
 import (
 	"math/bits"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -30,6 +31,8 @@ const (
 //
 //convlint:hotpath
 func topDownBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int, ecc int32) {
+	//convlint:nondet sweep latency is observational, not part of results
+	start := time.Now()
 	offsets, neighbors := g.CSR()
 	q := s.queue[:0]
 	q = append(q, int32(src))
@@ -72,6 +75,7 @@ func topDownBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int,
 	km.nodes.Add(int64(reached))
 	km.edges.Add(edges)
 	peakMax(&km.frontierPeak, int64(peak))
+	observeSweep(kTopDown, start, 1, int64(reached), edges)
 	return reached, ecc
 }
 
@@ -81,6 +85,8 @@ func topDownBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int,
 //
 //convlint:hotpath
 func dirOptBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int, ecc int32) {
+	//convlint:nondet sweep latency is observational, not part of results
+	start := time.Now()
 	offsets, neighbors := g.CSR()
 	n := g.NumNodes()
 	words := (n + 63) / 64
@@ -195,5 +201,6 @@ func dirOptBFS(g *graph.Graph, src int, dist []int32, s *Scratch) (reached int, 
 	km.buSteps.Add(buSteps)
 	km.switches.Add(switches)
 	peakMax(&km.frontierPeak, int64(peak))
+	observeSweep(kDirOpt, start, 1, int64(reached), edges)
 	return reached, ecc
 }

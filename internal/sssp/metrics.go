@@ -2,6 +2,7 @@ package sssp
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -55,6 +56,35 @@ type kernelCounters struct {
 }
 
 var kernelMetrics [numKernels]kernelCounters
+
+// kernelHists are the counters' distribution siblings: where the atomic
+// totals say how much work all sweeps did, these histograms say how it was
+// spread — per-sweep wall time and per-source nodes/edges visited. The
+// per-source distributions are exactly the evidence the Δ-threshold pruning
+// roadmap item needs (Borassi/Bergamini justify cutoffs with per-source
+// visit-count distributions), which plain totals aggregate away.
+type kernelHists struct {
+	sweepNS        *obs.Histogram
+	nodesPerSource *obs.Histogram
+	edgesPerSource *obs.Histogram
+}
+
+var kernelHist [numKernels]kernelHists
+
+// observeSweep records one kernel call's distribution samples. Called once
+// per call at the existing counter-flush points — the hot traversal loops
+// stay untouched and Observe itself is lock- and allocation-free.
+//
+//convlint:hotpath
+func observeSweep(i kernelIndex, start time.Time, sources, nodes, edges int64) {
+	h := &kernelHist[i]
+	//convlint:nondet sweep latency is observational, not part of results
+	h.sweepNS.Observe(time.Since(start).Nanoseconds())
+	if sources > 0 {
+		h.nodesPerSource.Observe(nodes / sources)
+		h.edgesPerSource.Observe(edges / sources)
+	}
+}
 
 // peakMax raises a high-water-mark counter to v if v is larger.
 func peakMax(a *atomic.Int64, v int64) {
@@ -222,15 +252,18 @@ func (s MetricsSnapshot) Total() KernelCounters {
 // RecordRepair flushes one dynsssp batch-repair run into the repair kernel
 // counters: one call, one source (each repair re-derives a single source's
 // distance vector), the nodes/edges the wave touched, and its largest
-// single-level frontier. Called once per ApplyAll/ApplyBatch, never per edge,
-// to keep the repair kernel allocation- and contention-free.
-func RecordRepair(nodes, edges, frontierPeak int64) {
+// single-level frontier. start is when the repair began, so the repair
+// kernel's latency histogram fills alongside the BFS kernels'. Called once
+// per ApplyAll/ApplyBatch, never per edge, to keep the repair kernel
+// allocation- and contention-free.
+func RecordRepair(nodes, edges, frontierPeak int64, start time.Time) {
 	c := &kernelMetrics[kRepair]
 	c.calls.Add(1)
 	c.sources.Add(1)
 	c.nodes.Add(nodes)
 	c.edges.Add(edges)
 	peakMax(&c.frontierPeak, frontierPeak)
+	observeSweep(kRepair, start, 1, nodes, edges)
 }
 
 // init publishes the kernel counters to the obs metrics registry so
@@ -245,10 +278,16 @@ func init() {
 		kBitParallel512: "bitparallel512",
 		kEnvelope:       "envelope",
 		kDijkstra:       "dijkstra",
+		kRepair:         "repair",
 	}
 	for i := kernelIndex(0); i < numKernels; i++ {
+		kernelHist[i] = kernelHists{
+			sweepNS:        obs.NewHistogram("sssp.sweep_ns", obs.L("kernel", names[i])),
+			nodesPerSource: obs.NewHistogram("sssp.nodes_per_source", obs.L("kernel", names[i])),
+			edgesPerSource: obs.NewHistogram("sssp.edges_per_source", obs.L("kernel", names[i])),
+		}
 		if i == kRepair {
-			continue // registered under flat repair_* names below
+			continue // counters registered under flat repair_* names below
 		}
 		c := &kernelMetrics[i]
 		prefix := "sssp." + names[i] + "."

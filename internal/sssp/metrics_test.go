@@ -154,3 +154,46 @@ func TestMetricsExposedThroughObs(t *testing.T) {
 		}
 	}
 }
+
+func TestSweepHistogramsObservePerKernel(t *testing.T) {
+	g := path5(t)
+	dist := make([]int32, 5)
+	h := &kernelHist[kTopDown]
+	before := h.sweepNS.Snapshot()
+	nodesBefore := h.nodesPerSource.Snapshot()
+	edgesBefore := h.edgesPerSource.Snapshot()
+	BFSWith(g, 0, dist, TopDown, nil)
+	BFSWith(g, 4, dist, TopDown, nil)
+	if d := h.sweepNS.Snapshot().Sub(before); d.Count != 2 {
+		t.Errorf("sweep_ns delta count = %d, want 2", d.Count)
+	}
+	d := h.nodesPerSource.Snapshot().Sub(nodesBefore)
+	if d.Count != 2 || d.Sum != 10 {
+		t.Errorf("nodes_per_source delta count/sum = %d/%d, want 2/10 (5 nodes per sweep)", d.Count, d.Sum)
+	}
+	if d := h.edgesPerSource.Snapshot().Sub(edgesBefore); d.Count != 2 || d.Sum != 16 {
+		t.Errorf("edges_per_source delta count/sum = %d/%d, want 2/16", d.Count, d.Sum)
+	}
+}
+
+func TestSweepHistogramsExposed(t *testing.T) {
+	g := path5(t)
+	dist := make([]int32, 5)
+	BFSWith(g, 0, dist, TopDown, nil)
+	var buf bytes.Buffer
+	if err := obs.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE sssp.sweep_ns histogram",
+		`sssp.sweep_ns_count{kernel="topdown"}`,
+		`sssp.nodes_per_source_count{kernel="topdown"}`,
+		`sssp.edges_per_source_count{kernel="topdown"}`,
+		`sssp.sweep_ns_count{kernel="repair"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package sssp
 import (
 	"fmt"
 	"math/bits"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -23,6 +24,8 @@ import (
 //
 //convlint:hotpath
 func msBFSBatch(g *graph.Graph, sources []int, rows [][]int32, s *Scratch) {
+	//convlint:nondet sweep latency is observational, not part of results
+	start := time.Now()
 	n := g.NumNodes()
 	if len(sources) > msBatchBits {
 		panic(fmt.Sprintf("sssp: MS-BFS batch of %d sources exceeds %d lanes", len(sources), msBatchBits))
@@ -102,4 +105,5 @@ func msBFSBatch(g *graph.Graph, sources []int, rows [][]int32, s *Scratch) {
 	km.nodes.Add(visits)
 	km.edges.Add(edges)
 	peakMax(&km.frontierPeak, int64(peak))
+	observeSweep(kBitParallel, start, int64(len(sources)), visits, edges)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -48,6 +49,8 @@ func kernelForWidth(W int) kernelIndex {
 //convlint:hotpath
 //convlint:shared plain wide-word access is confined to serial phases (seeding, sub-cutoff levels, post-barrier merges) with no worker in flight
 func msBFSBatchWide(g *graph.Graph, sources []int, rows [][]int32, W, par int, s *Scratch) {
+	//convlint:nondet sweep latency is observational, not part of results
+	start := time.Now()
 	n := g.NumNodes()
 	lanes := W * 64
 	if len(sources) > lanes {
@@ -278,6 +281,7 @@ func msBFSBatchWide(g *graph.Graph, sources []int, rows [][]int32, W, par int, s
 	km.edges.Add(edges)
 	peakMax(&km.frontierPeak, int64(peak))
 	peakMax(&km.cores, int64(coresPeak))
+	observeSweep(kernelForWidth(W), start, int64(len(sources)), visits, edges)
 }
 
 // wideScanChunks is one worker's share of a parallel wide scan: claim

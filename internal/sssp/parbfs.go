@@ -7,6 +7,7 @@ import (
 	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -337,6 +338,8 @@ func (r *parRun) bottomUpChunks(ws *parWorkerState) {
 //convlint:hotpath
 //convlint:shared plain vis access is confined to serial phases (setup and sub-cutoff levels) with no worker in flight
 func parBFS(g *graph.Graph, src int, dist []int32, k int, dirOpt bool, s *Scratch) (reached int, ecc int32) {
+	//convlint:nondet sweep latency is observational, not part of results
+	start := time.Now()
 	offsets, neighbors := g.CSR()
 	n := g.NumNodes()
 	words := (n + 63) / 64
@@ -491,5 +494,6 @@ func parBFS(g *graph.Graph, src int, dist []int32, k int, dirOpt bool, s *Scratc
 	}
 	peakMax(&km.frontierPeak, int64(peak))
 	peakMax(&km.cores, int64(coresPeak))
+	observeSweep(ki, start, 1, int64(reached), edges)
 	return reached, ecc
 }
