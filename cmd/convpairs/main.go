@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -129,9 +130,12 @@ func main() {
 			fatal(err)
 		}
 	}
+	// The explicit meter is bit-identical to the self-metered default; it
+	// makes the thin client's budget routing visible (convlint budgetcheck
+	// requires Session queries to show where their meter comes from).
 	opts := convergence.Options{
 		Selector: sel, M: *m, L: *l, Seed: *seed, Workers: *workers,
-		Parallelism: *par, PairedMode: pairedMode,
+		PairedMode: pairedMode, Meter: convergence.NewBudgetMeter(*m),
 	}
 	if *delta > 0 {
 		opts.MinDelta = int32(*delta)
@@ -145,7 +149,15 @@ func main() {
 		opts.Trace = tr
 		kernelsBefore = sssp.SnapshotMetrics()
 	}
-	res, err := convergence.TopK(pair, opts)
+	// convpairs is a thin client of the session layer: one Session, one
+	// query. A convserve daemon runs the same Session code over the same
+	// snapshots, which is what makes served results bit-identical to this
+	// one-shot run.
+	sess, err := convergence.NewSession(pair, convergence.SessionConfig{Engine: eng, Parallelism: *par})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sess.TopK(context.Background(), opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -3,14 +3,88 @@ package convergence
 import (
 	"math/rand"
 
+	"repro/internal/budget"
 	"repro/internal/candidates"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/dynsssp"
 	"repro/internal/embed"
+	"repro/internal/graph"
 	"repro/internal/monitor"
 	"repro/internal/topk"
 	"repro/internal/weighted"
 )
+
+// --- Session-oriented pipeline (the serving deployment) ---
+
+type (
+	// Session is a reusable TopK pipeline over one snapshot pair: distance
+	// engines, scratch buffers, and selector caches persist across queries,
+	// and each TopK call runs under a context.
+	Session = core.Session
+	// SessionConfig pins a Session's BFS kernel and intra-traversal
+	// parallelism.
+	SessionConfig = core.SessionConfig
+
+	// Ingester accumulates a timestamped edge stream and seals it into
+	// immutable epochs.
+	Ingester = graph.Ingester
+	// IngesterOptions tunes an Ingester (node universe floor, retention).
+	IngesterOptions = graph.IngesterOptions
+	// EpochStore holds the sealed epochs and hands out pinned windows.
+	EpochStore = graph.Store
+	// Epoch is one immutable sealed snapshot with its sequence number.
+	Epoch = graph.Epoch
+	// EpochWindow is a pinned (t1, t2) snapshot pair; Close releases the
+	// pins so retention may prune the epochs.
+	EpochWindow = graph.Window
+	// Delta is the edge difference between two snapshots.
+	Delta = graph.Delta
+
+	// BudgetMeter charges and enforces an SSSP allowance (Options.Meter).
+	BudgetMeter = budget.Meter
+	// BudgetRegistry tracks per-tenant SSSP admission meters.
+	BudgetRegistry = budget.Registry
+	// BudgetTenant is one tenant's admission meter; QueryMeter derives the
+	// per-query 2m allowance chained to it.
+	BudgetTenant = budget.Tenant
+
+	// Batcher coalesces concurrent single-source distance requests into
+	// shared multi-source sweeps; results are bit-identical to unbatched
+	// calls.
+	Batcher = dist.Batcher
+	// BatcherOptions tunes a Batcher's coalescing window and batch size.
+	BatcherOptions = dist.BatcherOptions
+)
+
+// NewSession builds a reusable query session over a snapshot pair. A
+// Session's TopK is bit-identical to the package-level TopK at every
+// setting; it differs only in reuse (cached engines and scratch) and in
+// taking a context for cancellation.
+func NewSession(pair SnapshotPair, cfg SessionConfig) (*Session, error) {
+	return core.NewSession(pair, cfg)
+}
+
+// NewIngester starts an empty edge ingester whose sealed epochs land in its
+// EpochStore.
+func NewIngester(opts IngesterOptions) *Ingester { return graph.NewIngester(opts) }
+
+// NewDelta computes the edge difference between two snapshots over the same
+// node universe.
+func NewDelta(g1, g2 *Graph) *Delta { return graph.NewDelta(g1, g2) }
+
+// NewBudgetRegistry creates an empty tenant registry.
+func NewBudgetRegistry() *BudgetRegistry { return budget.NewRegistry() }
+
+// NewBudgetMeter creates the paper's standard per-query meter: m candidate
+// endpoints, 2m SSSP computations. Passing it via Options.Meter is
+// bit-identical to the self-metered default; it exists so callers holding a
+// Session show where the query's budget comes from.
+func NewBudgetMeter(m int) *BudgetMeter { return budget.NewMeter(m) }
+
+// ErrBudgetExhausted is returned (wrapped) when a query's tenant or meter
+// has no SSSP allowance left.
+var ErrBudgetExhausted = budget.ErrExhausted
 
 // --- Streaming / monitoring (sliding-window deployment) ---
 

@@ -24,6 +24,12 @@ const dynssspPkgPath = "repro/internal/dynsssp"
 // budgetPkgPath is the package whose Meter accounts for that spending.
 const budgetPkgPath = "repro/internal/budget"
 
+// corePkgPath owns the Session query surface. A Session.TopK call spends up
+// to 2m SSSPs, so callers outside core must show where its meter comes from
+// — the serve layer's discipline that every served query routes through a
+// tenant meter.
+const corePkgPath = "repro/internal/core"
+
 // budgetExemptPkgs are allowed to call SSSP entry points freely: sssp's own
 // wrappers compose each other, dist is the abstraction layer routing to
 // them, and the oracle package is the budget's ground-truth referee.
@@ -57,15 +63,31 @@ func budgetEntryPoint(name string) bool {
 }
 
 // distEntryPoint reports whether a dist-package function or method named
-// name costs budget: one unit per DistancesInto call (Source or Session),
-// one per source for the batched sweeps and DistanceMatrix.
+// name costs budget: one unit per DistancesInto call (Source, Session, or
+// Batcher), one per source for the batched sweeps and DistanceMatrix. The
+// Ctx variants are the serving-path spellings of the same spending —
+// cancellation changes machine work, never cost.
 func distEntryPoint(name string) bool {
 	switch name {
 	case "DistancesInto", "DistanceMatrix", "Sweep", "PairedSweep",
-		"DistancesPairInto", "DeriveInto", "IncrementalPairedSweep":
+		"DistancesPairInto", "DeriveInto", "IncrementalPairedSweep",
+		"DistancesIntoCtx", "SweepCtx", "PairedSweepCtx",
+		"IncrementalPairedSweepCtx":
 		return true
 	}
 	return false
+}
+
+// sessionEntryPoint reports whether fn is a core.Session query method.
+// Matching on the receiver keeps the package-level core.TopK wrappers out:
+// those are the one-shot self-metering surface, while a held Session is the
+// serving idiom where the caller decides which tenant pays.
+func sessionEntryPoint(fn *types.Func) bool {
+	if fn.Name() != "TopK" && fn.Name() != "TopKSources" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil && namedTypeIs(recv.Type(), corePkgPath, "Session")
 }
 
 // dynssspEntryPoint reports whether a dynsssp function or method named name
@@ -107,6 +129,7 @@ func runBudgetCheck(pass *Pass) error {
 				return true
 			}
 			var pkgName string
+			session := false
 			switch fn.Pkg().Path() {
 			case ssspPkgPath:
 				if !budgetEntryPoint(fn.Name()) {
@@ -123,6 +146,15 @@ func runBudgetCheck(pass *Pass) error {
 					return true
 				}
 				pkgName = "dynsssp"
+			case corePkgPath:
+				// core itself implements the self-metering default (a fresh
+				// 2m meter when Options carries none); the session rule is
+				// for callers holding a Session.
+				if pass.Pkg.Path() == corePkgPath || !sessionEntryPoint(fn) {
+					return true
+				}
+				pkgName = "core.Session"
+				session = true
 			default:
 				return true
 			}
@@ -134,6 +166,18 @@ func runBudgetCheck(pass *Pass) error {
 				if chargesBefore(pass.TypesInfo, decl, call.Pos()) {
 					return true
 				}
+				if session && acquiresMeterBefore(pass.TypesInfo, decl, call.Pos()) {
+					return true
+				}
+			}
+			if session {
+				pass.Reportf(call.Pos(),
+					"call to %s.%s without meter evidence on the path; "+
+						"acquire the query's meter (budget.NewMeter or a "+
+						"tenant's QueryMeter) before the call or annotate the "+
+						"enclosing function with //convlint:unbudgeted <reason>",
+					pkgName, fn.Name())
+				return true
 			}
 			pass.Reportf(call.Pos(),
 				"call to %s.%s without a budget.Meter charge on the path; "+
@@ -143,6 +187,45 @@ func runBudgetCheck(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// facadePkgPath is the public package; its NewBudgetMeter forwards to
+// budget.NewMeter and counts as the same evidence.
+const facadePkgPath = "repro"
+
+// acquiresMeterBefore reports whether decl's body acquires a *budget.Meter
+// before pos: budget.NewMeter / budget.NewMeterSSSP, a tenant's QueryMeter,
+// or the facade's NewBudgetMeter. This is the session rule's evidence — a
+// Session.TopK call charges the meter it carries internally, so what the
+// caller must show is where that meter came from, not a Charge of its own.
+func acquiresMeterBefore(info *types.Info, decl *ast.FuncDecl, pos token.Pos) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch {
+		case fn.Pkg().Path() == budgetPkgPath:
+			switch fn.Name() {
+			case "NewMeter", "NewMeterSSSP", "QueryMeter":
+				found = true
+				return false
+			}
+		case fn.Pkg().Path() == facadePkgPath && fn.Name() == "NewBudgetMeter":
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // calleeFunc resolves a call expression to the *types.Func it invokes

@@ -4,7 +4,10 @@
 package budgettest
 
 import (
+	"context"
+
 	"repro/internal/budget"
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/dynsssp"
 	"repro/internal/graph"
@@ -145,4 +148,52 @@ func meteredPairedSession(p dist.Pair, m *budget.Meter, d1, d2 []int32) error {
 	ps := dist.NewPairedEngine(p, dist.PairedIncremental).NewSession()
 	ps.DistancesPairInto(0, d1, d2)
 	return nil
+}
+
+// The serving path's ctx-variant drivers and the batching layer cost budget
+// exactly like the spellings they generalize: cancellation and coalescing
+// change machine work, never cost.
+
+func unmeteredCtxSweep(ctx context.Context, s dist.Source) {
+	_ = dist.SweepCtx(ctx, s, []int{0}, 1, func(src int, d []int32) {}) // want `call to dist.SweepCtx without`
+}
+
+func unmeteredCtxPaired(ctx context.Context, p dist.Pair) {
+	_ = dist.PairedSweepCtx(ctx, p, []int{0}, 1, func(src int, d1, d2 []int32) {})            // want `call to dist.PairedSweepCtx without`
+	_, _ = dist.IncrementalPairedSweepCtx(ctx, p, []int{0}, 1, func(src int, d1, d2 []int32) {}) // want `call to dist.IncrementalPairedSweepCtx without`
+}
+
+func unmeteredBatcherRow(ctx context.Context, b *dist.Batcher, row []int32) {
+	_ = b.DistancesIntoCtx(ctx, 0, row) // want `call to dist.DistancesIntoCtx without`
+}
+
+// meteredBatcherSweep is the batching-layer idiom: wrap the source once,
+// charge the caller's own meter per source, and sweep — sharing a sweep
+// with concurrent requests never shares the charge.
+func meteredBatcherSweep(ctx context.Context, src dist.Source, m *budget.Meter) error {
+	if err := m.Charge(budget.PhaseTopK, 1); err != nil {
+		return err
+	}
+	b := dist.NewBatcher(src, dist.BatcherOptions{Immediate: true})
+	return b.SweepCtx(ctx, []int{0}, 1, func(s int, d []int32) {})
+}
+
+// A held core.Session is the serving idiom: its TopK charges the meter it
+// carries, so the caller must show where that meter comes from — a tenant's
+// QueryMeter or an explicit NewMeter — before the call.
+
+func unmeteredSessionQuery(ctx context.Context, sess *core.Session) {
+	_, _ = sess.TopK(ctx, core.Options{M: 1}) // want `call to core.Session.TopK without meter evidence`
+}
+
+func tenantMeteredQuery(ctx context.Context, sess *core.Session, reg *budget.Registry) error {
+	meter := reg.Tenant("alice", 0).QueryMeter(5)
+	_, err := sess.TopK(ctx, core.Options{M: 5, Meter: meter})
+	return err
+}
+
+func oneShotMeteredQuery(ctx context.Context, sess *core.Session) error {
+	meter := budget.NewMeter(5)
+	_, err := sess.TopK(ctx, core.Options{M: 5, Meter: meter})
+	return err
 }

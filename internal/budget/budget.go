@@ -92,6 +92,17 @@ type Meter struct {
 	limit    int
 	spent    [numPhases]int
 	observer Observer
+	// parent, when set, is charged in lockstep: a charge only commits when
+	// both this meter and the parent admit it. Tenant admission control
+	// chains a per-query meter (limit 2m) to a per-tenant meter this way;
+	// nesting is single-level (a parent never has a parent of its own), so
+	// the child→parent lock order cannot cycle.
+	parent *Meter
+	// hist, when set, replaces the global charge-size histograms for this
+	// meter's successful charges (tenant meters use tenant-labeled series so
+	// the global series counts every SSSP exactly once, via the per-query
+	// child).
+	hist *[numPhases]*obs.Histogram
 }
 
 // NewMeter creates a Meter for the paper's standard budget: m candidate
@@ -120,16 +131,28 @@ func (mt *Meter) Charge(p Phase, n int) error {
 		mt.mu.Unlock()
 		return fmt.Errorf("%w: %d spent + %d requested > limit %d", ErrExhausted, total, n, mt.limit)
 	}
+	if mt.parent != nil {
+		// Admission at this level is fine; commit nothing unless the parent
+		// admits too, so a rejected charge spends nothing anywhere.
+		if err := mt.parent.Charge(p, n); err != nil {
+			mt.mu.Unlock()
+			return err
+		}
+	}
 	mt.spent[p] += n
 	if invariant.Enabled {
 		mt.check()
 	}
 	fn := mt.observer
+	hist := mt.hist
 	mt.mu.Unlock()
 	// Instrumentation runs outside the lock so the observer may inspect
 	// other meters or take its own locks; only successful charges are
 	// observed, matching the histogram (failed charges spent nothing).
-	chargeHist[p].Observe(int64(n))
+	if hist == nil {
+		hist = &chargeHist
+	}
+	hist[p].Observe(int64(n))
 	if fn != nil {
 		fn(p, n)
 	}

@@ -16,6 +16,7 @@
 package candidates
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -53,6 +54,12 @@ type Context struct {
 	Meter *budget.Meter
 	// Workers bounds SSSP parallelism; <=0 means GOMAXPROCS.
 	Workers int
+	// Ctx, when non-nil, carries the query's cancellation signal. Selectors
+	// whose selection sweeps many sources should pass it to the ctx-aware
+	// dist drivers (dist.SweepCtx) so an abandoned query stops traversing;
+	// core checks it between phases regardless, so honoring it here only
+	// sharpens promptness, never correctness.
+	Ctx context.Context
 
 	// D1Rows and D2Rows cache distance rows on G_t1 / G_t2 keyed by source
 	// node, filled by selectors whose selection work already computed them

@@ -16,12 +16,8 @@ package core
 import (
 	"context"
 	"errors"
-	"fmt"
 	"math/rand"
-	"runtime/pprof"
 	"sort"
-	"sync"
-	"time"
 
 	"repro/internal/budget"
 	"repro/internal/candidates"
@@ -94,6 +90,10 @@ type Result struct {
 	Budget budget.Report
 	// SelectorName records which algorithm generated the candidates.
 	SelectorName string
+	// Phases holds the query's wall-clock phase breakdown in nanoseconds —
+	// observational only (never part of result comparisons); serve layers
+	// re-observe it into per-tenant latency histograms.
+	Phases obs.PhaseNanos
 }
 
 // CandidateSet returns the candidate endpoints as a set, the form the
@@ -110,12 +110,15 @@ func (r *Result) Coverage(truePairs []topk.Pair) float64 {
 var ErrNoSelector = errors.New("core: no selector configured")
 
 // TopK runs Algorithm 1 on the unweighted snapshot pair with BFS distance
-// engines.
+// engines. It is the one-shot form: a throwaway Session per call. Long-lived
+// callers (services, monitors) build a Session once and query it repeatedly;
+// both paths produce bit-identical results by construction.
 func TopK(pair graph.SnapshotPair, opts Options) (*Result, error) {
-	if err := pair.Validate(); err != nil {
+	s, err := NewSession(pair, SessionConfig{Engine: opts.Engine, Parallelism: opts.Parallelism})
+	if err != nil {
 		return nil, err
 	}
-	return run(dist.BFSPairPar(pair, opts.Engine, opts.Parallelism), pair, opts)
+	return s.TopK(context.Background(), opts)
 }
 
 // TopKSources runs Algorithm 1 over an arbitrary pair of distance sources —
@@ -123,244 +126,11 @@ func TopK(pair graph.SnapshotPair, opts Options) (*Result, error) {
 // (Dijkstra) pipelines. Structural selectors that need raw adjacency (e.g.
 // BetDiff, EmbedSum) work only when the sources unwrap to unweighted graphs.
 func TopKSources(src dist.Pair, opts Options) (*Result, error) {
-	if err := src.Validate(); err != nil {
-		return nil, err
-	}
-	var pair graph.SnapshotPair
-	if g1, ok := dist.UnweightedGraph(src.S1); ok {
-		if g2, ok := dist.UnweightedGraph(src.S2); ok {
-			pair = graph.SnapshotPair{G1: g1, G2: g2}
-		}
-	}
-	return run(src, pair, opts)
-}
-
-// run is the shared body of Algorithm 1. pair is the structural view of src
-// when one exists (unweighted sources); it is zero for metric-only sources.
-func run(src dist.Pair, pair graph.SnapshotPair, opts Options) (result *Result, err error) {
-	if opts.Selector == nil {
-		return nil, ErrNoSelector
-	}
-	if (opts.K > 0) == (opts.MinDelta > 0) {
-		return nil, fmt.Errorf("core: exactly one of K (%d) and MinDelta (%d) must be positive",
-			opts.K, opts.MinDelta)
-	}
-	if opts.M <= 0 {
-		return nil, fmt.Errorf("core: non-positive endpoint budget m=%d", opts.M)
-	}
-	rng := opts.RNG
-	if rng == nil {
-		rng = rand.New(rand.NewSource(opts.Seed))
-	}
-	meter := opts.Meter
-	if meter == nil {
-		meter = budget.NewMeter(opts.M)
-	}
-	// Telemetry brackets the whole run (every path from here records one
-	// flight entry and one total-phase histogram sample).
-	//convlint:nondet phase latency is observational, not part of results
-	runStart := time.Now()
-	kernelsBefore := sssp.SnapshotMetrics()
-	var phases obs.PhaseNanos
-	defer func() { recordRun(opts, meter, kernelsBefore, runStart, phases, result, err) }()
-	tr := opts.Trace
-	if tr != nil {
-		// Every successful charge lands on the span open at that moment, so
-		// the trace's per-phase totals reproduce the meter's Report exactly.
-		meter.SetObserver(func(p budget.Phase, n int) { tr.AddSSSP(p.String(), n) })
-		defer meter.SetObserver(nil)
-	}
-	run := tr.StartSpan("algorithm1",
-		obs.Str("selector", opts.Selector.Name()),
-		obs.Int("m", opts.M), obs.Int("k", opts.K),
-		obs.Int("nodes", src.NumNodes()))
-	defer run.End()
-	ctx := &candidates.Context{
-		Pair:    pair,
-		S1:      src.S1,
-		S2:      src.S2,
-		M:       opts.M,
-		L:       opts.L,
-		RNG:     rng,
-		Meter:   meter,
-		Workers: opts.Workers,
-	}
-	//convlint:nondet phase latency is observational, not part of results
-	selStart := time.Now()
-	selSpan := tr.StartSpan("selection", obs.Str("selector", opts.Selector.Name()))
-	cands, err := opts.Selector.Select(ctx)
-	selSpan.Set(obs.Int("candidates", len(cands)),
-		obs.Int("d1-rows-cached", len(ctx.D1Rows)), obs.Int("d2-rows-cached", len(ctx.D2Rows)))
-	selSpan.End()
-	//convlint:nondet phase latency is observational, not part of results
-	phases.Selection = time.Since(selStart).Nanoseconds()
-	selectionNS.Observe(phases.Selection)
-	if err != nil {
-		return nil, fmt.Errorf("core: candidate generation (%s): %w", opts.Selector.Name(), err)
-	}
-	if len(cands) > opts.M {
-		return nil, fmt.Errorf("core: selector %s returned %d candidates for budget m=%d",
-			opts.Selector.Name(), len(cands), opts.M)
-	}
-	// Defensive dedupe: a duplicated candidate would double-charge the
-	// budget and double-count its pairs.
-	seen := make(map[int]bool, len(cands))
-	uniq := cands[:0]
-	for _, u := range cands {
-		if u < 0 || u >= src.NumNodes() {
-			return nil, fmt.Errorf("core: selector %s returned out-of-range candidate %d",
-				opts.Selector.Name(), u)
-		}
-		if !seen[u] {
-			seen[u] = true
-			uniq = append(uniq, u)
-		}
-	}
-	cands = uniq
-	pairs, err := extractPairs(src, ctx, cands, opts, meter, &phases)
+	s, err := NewSessionSources(src)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
-		Pairs:        pairs,
-		Candidates:   cands,
-		Budget:       meter.Report(),
-		SelectorName: opts.Selector.Name(),
-	}, nil
-}
-
-// extractPairs implements lines 2-5 of Algorithm 1: compute D1 and D2 rows
-// for the candidate set (reusing rows the selector cached), form the
-// pairwise deltas, and keep the top pairs.
-func extractPairs(src dist.Pair, ctx *candidates.Context, cands []int, opts Options, meter *budget.Meter, phases *obs.PhaseNanos) ([]topk.Pair, error) {
-	if len(cands) == 0 {
-		return nil, nil
-	}
-	n := src.NumNodes()
-	tr := opts.Trace
-
-	// Charge exactly the SSSP computations the caches cannot cover.
-	toCharge := 0
-	for _, u := range cands {
-		if _, ok := ctx.D1Rows[u]; !ok {
-			toCharge++
-		}
-		if _, ok := ctx.D2Rows[u]; !ok {
-			toCharge++
-		}
-	}
-	// The paired engine is built once per run: incremental mode computes the
-	// snapshot edge delta here and shares it read-only across all workers.
-	peng := dist.NewPairedEngine(src, opts.PairedMode)
-	//convlint:nondet phase latency is observational, not part of results
-	extStart := time.Now()
-	extSpan := tr.StartSpan("extraction",
-		obs.Int("candidates", len(cands)), obs.Int("cache-misses", toCharge),
-		obs.Str("paired", peng.Mode().String()))
-	if err := meter.Charge(budget.PhaseTopK, toCharge); err != nil {
-		extSpan.End()
-		//convlint:nondet phase latency is observational, not part of results
-		phases.Extraction = time.Since(extStart).Nanoseconds()
-		extractionNS.Observe(phases.Extraction)
-		return nil, fmt.Errorf("core: extraction phase: %w", err)
-	}
-
-	inM := make(map[int]bool, len(cands))
-	for _, u := range cands {
-		inM[u] = true
-	}
-
-	floor := opts.MinDelta
-	if floor <= 0 {
-		floor = 1
-	}
-
-	workers := sssp.ClampWorkers(opts.Workers, len(cands))
-	var mu sync.Mutex
-	var all []topk.Pair
-	next := make(chan int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		// The pprof label splits CPU/goroutine profiles by subsystem, so an
-		// extraction-heavy run shows up as such in /debug/pprof.
-		go pprof.Do(context.Background(), pprof.Labels("subsystem", "core-extract"),
-			func(context.Context) {
-				defer wg.Done()
-				d1buf := make([]int32, n)
-				d2buf := make([]int32, n)
-				ps := peng.NewSession()
-				// Plain S1 session for the rare only-d2-cached case, created
-				// lazily: most runs never hit it.
-				var sess1 dist.Session
-				var local []topk.Pair
-				for i := range next {
-					u := cands[i]
-					d1 := ctx.D1Rows[u]
-					d2 := ctx.D2Rows[u]
-					switch {
-					case d1 == nil && d2 == nil:
-						ps.DistancesPairInto(u, d1buf, d2buf)
-						d1, d2 = d1buf, d2buf
-					case d1 != nil && d2 == nil:
-						// The selector already paid for the t1 row; derive
-						// (or recompute, in full mode) just the t2 row.
-						ps.DeriveInto(u, d1, d2buf)
-						d2 = d2buf
-					case d1 == nil:
-						if sess1 == nil {
-							sess1 = dist.NewSession(src.S1)
-						}
-						sess1.DistancesInto(u, d1buf)
-						d1 = d1buf
-					}
-					for v := 0; v < n; v++ {
-						if v == u || (inM[v] && v < u) {
-							continue // the pair is found from the smaller candidate
-						}
-						if d1[v] <= 0 {
-							continue
-						}
-						delta := d1[v] - d2[v]
-						if delta < floor {
-							continue
-						}
-						p := topk.Pair{U: int32(u), V: int32(v), D1: d1[v], D2: d2[v], Delta: delta}
-						if p.U > p.V {
-							p.U, p.V = p.V, p.U
-						}
-						local = append(local, p)
-					}
-				}
-				mu.Lock()
-				all = append(all, local...) //convlint:shared per-worker batches merged under mu
-				mu.Unlock()
-			})
-	}
-	for i := range cands {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	extSpan.Set(obs.Int("raw-pairs", len(all)))
-	extSpan.End()
-	//convlint:nondet phase latency is observational, not part of results
-	phases.Extraction = time.Since(extStart).Nanoseconds()
-	extractionNS.Observe(phases.Extraction)
-
-	//convlint:nondet phase latency is observational, not part of results
-	cutStart := time.Now()
-	cutSpan := tr.StartSpan("sort-cut", obs.Int("pairs", len(all)))
-	topk.SortPairs(all)
-	if opts.K > 0 && len(all) > opts.K {
-		all = all[:opts.K]
-	}
-	cutSpan.Set(obs.Int("kept", len(all)))
-	cutSpan.End()
-	//convlint:nondet phase latency is observational, not part of results
-	phases.SortCut = time.Since(cutStart).Nanoseconds()
-	sortCutNS.Observe(phases.SortCut)
-	return all, nil
+	return s.TopK(context.Background(), opts)
 }
 
 // Exact computes the true top-k converging pairs without budget constraints

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/candidates"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/sssp"
+	"repro/internal/topk"
+)
+
+// Session is the reusable form of Algorithm 1 over one snapshot pair:
+// distance engines, paired engines (with their precomputed edge deltas), and
+// per-worker extraction scratch are prepared once and shared across queries,
+// so a service answering many queries over the same epoch window pays setup
+// cost once instead of per call. Results are bit-identical to the one-shot
+// TopK path — the session caches machine state (visible in kernel metrics
+// and allocation profiles), never anything that feeds the algorithm's
+// output.
+//
+// A Session is safe for concurrent TopK calls: queries share the cached
+// paired engines read-only and draw per-worker scratch from a pool.
+type Session struct {
+	src  dist.Pair
+	pair graph.SnapshotPair // structural view; zero for metric-only sources
+
+	mu    sync.Mutex
+	pengs map[dist.PairedMode]*enginePool
+}
+
+// SessionConfig fixes the machine-level knobs a session's engines are built
+// with. Per-query knobs (selector, budget, ranking) stay in Options.
+type SessionConfig struct {
+	// Engine selects the BFS kernel (Auto picks the fastest per call).
+	Engine sssp.Engine
+	// Parallelism bounds intra-traversal parallelism (see Options).
+	Parallelism int
+}
+
+// enginePool is one paired engine plus the pool of per-worker extraction
+// state bound to it. The engine is built once (incremental mode computes the
+// snapshot edge delta there); workers of any query on this session check
+// state out and back in.
+type enginePool struct {
+	eng  dist.PairedEngine
+	pool sync.Pool // *workerState
+}
+
+// workerState is one extraction worker's scratch: the distance-row buffers
+// and the engine-bound paired session (which owns traversal scratch).
+type workerState struct {
+	d1buf, d2buf []int32
+	ps           dist.PairedSession
+	// sess1 serves the rare only-d2-cached case; created lazily because most
+	// queries never hit it.
+	sess1 dist.Session
+}
+
+// NewSession prepares a reusable session over an unweighted snapshot pair
+// with BFS distance engines.
+func NewSession(pair graph.SnapshotPair, cfg SessionConfig) (*Session, error) {
+	if err := pair.Validate(); err != nil {
+		return nil, err
+	}
+	return newSession(dist.BFSPairPar(pair, cfg.Engine, cfg.Parallelism), pair), nil
+}
+
+// NewSessionSources prepares a session over arbitrary distance sources (the
+// weighted pipeline, or batching-wrapped sources from the serve layer).
+// Structural selectors work when the sources unwrap to unweighted graphs.
+func NewSessionSources(src dist.Pair) (*Session, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	var pair graph.SnapshotPair
+	if g1, ok := dist.UnweightedGraph(src.S1); ok {
+		if g2, ok := dist.UnweightedGraph(src.S2); ok {
+			pair = graph.SnapshotPair{G1: g1, G2: g2}
+		}
+	}
+	return newSession(src, pair), nil
+}
+
+func newSession(src dist.Pair, pair graph.SnapshotPair) *Session {
+	return &Session{src: src, pair: pair, pengs: make(map[dist.PairedMode]*enginePool)}
+}
+
+// Sources returns the session's distance-source pair.
+func (s *Session) Sources() dist.Pair { return s.src }
+
+// NumNodes returns the shared node-universe size.
+func (s *Session) NumNodes() int { return s.src.NumNodes() }
+
+// pairedEngine returns the cached engine pool for mode, building it on first
+// use. Incremental engines compute the edge delta exactly once per session.
+func (s *Session) pairedEngine(mode dist.PairedMode) *enginePool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ep, ok := s.pengs[mode]; ok {
+		return ep
+	}
+	ep := &enginePool{eng: dist.NewPairedEngine(s.src, mode)}
+	s.pengs[mode] = ep
+	return ep
+}
+
+// checkout draws per-worker extraction state from the pool (allocating on
+// first use), bound to the pool's engine.
+func (ep *enginePool) checkout(n int) *workerState {
+	if st, _ := ep.pool.Get().(*workerState); st != nil {
+		return st
+	}
+	return &workerState{
+		d1buf: make([]int32, n),
+		d2buf: make([]int32, n),
+		ps:    ep.eng.NewSession(),
+	}
+}
+
+// TopK runs one query of Algorithm 1 on the session. It is the former
+// package-level run body, with two session-era additions: prepared state is
+// reused across calls, and ctx cancels the query between phases and between
+// extraction candidates (rows in flight finish whole; pooled scratch stays
+// reusable). Every SSSP is charged to opts.Meter (or a fresh 2M meter when
+// nil) before the traversal runs.
+func (s *Session) TopK(ctx context.Context, opts Options) (result *Result, err error) {
+	if opts.Selector == nil {
+		return nil, ErrNoSelector
+	}
+	if (opts.K > 0) == (opts.MinDelta > 0) {
+		return nil, fmt.Errorf("core: exactly one of K (%d) and MinDelta (%d) must be positive",
+			opts.K, opts.MinDelta)
+	}
+	if opts.M <= 0 {
+		return nil, fmt.Errorf("core: non-positive endpoint budget m=%d", opts.M)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rng := opts.RNG
+	if rng == nil {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
+	meter := opts.Meter
+	if meter == nil {
+		meter = budget.NewMeter(opts.M)
+	}
+	// Telemetry brackets the whole query (every path from here records one
+	// flight entry and one total-phase histogram sample).
+	//convlint:nondet phase latency is observational, not part of results
+	runStart := time.Now()
+	kernelsBefore := sssp.SnapshotMetrics()
+	var phases obs.PhaseNanos
+	defer func() { recordRun(opts, meter, kernelsBefore, runStart, phases, result, err) }()
+	tr := opts.Trace
+	if tr != nil {
+		// Every successful charge lands on the span open at that moment, so
+		// the trace's per-phase totals reproduce the meter's Report exactly.
+		meter.SetObserver(func(p budget.Phase, n int) { tr.AddSSSP(p.String(), n) })
+		defer meter.SetObserver(nil)
+	}
+	run := tr.StartSpan("algorithm1",
+		obs.Str("selector", opts.Selector.Name()),
+		obs.Int("m", opts.M), obs.Int("k", opts.K),
+		obs.Int("nodes", s.src.NumNodes()))
+	defer run.End()
+	cctx := &candidates.Context{
+		Pair:    s.pair,
+		S1:      s.src.S1,
+		S2:      s.src.S2,
+		M:       opts.M,
+		L:       opts.L,
+		RNG:     rng,
+		Meter:   meter,
+		Workers: opts.Workers,
+		Ctx:     ctx,
+	}
+	//convlint:nondet phase latency is observational, not part of results
+	selStart := time.Now()
+	selSpan := tr.StartSpan("selection", obs.Str("selector", opts.Selector.Name()))
+	cands, err := opts.Selector.Select(cctx)
+	selSpan.Set(obs.Int("candidates", len(cands)),
+		obs.Int("d1-rows-cached", len(cctx.D1Rows)), obs.Int("d2-rows-cached", len(cctx.D2Rows)))
+	selSpan.End()
+	//convlint:nondet phase latency is observational, not part of results
+	phases.Selection = time.Since(selStart).Nanoseconds()
+	selectionNS.Observe(phases.Selection)
+	if err != nil {
+		return nil, fmt.Errorf("core: candidate generation (%s): %w", opts.Selector.Name(), err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(cands) > opts.M {
+		return nil, fmt.Errorf("core: selector %s returned %d candidates for budget m=%d",
+			opts.Selector.Name(), len(cands), opts.M)
+	}
+	// Defensive dedupe: a duplicated candidate would double-charge the
+	// budget and double-count its pairs.
+	seen := make(map[int]bool, len(cands))
+	uniq := cands[:0]
+	for _, u := range cands {
+		if u < 0 || u >= s.src.NumNodes() {
+			return nil, fmt.Errorf("core: selector %s returned out-of-range candidate %d",
+				opts.Selector.Name(), u)
+		}
+		if !seen[u] {
+			seen[u] = true
+			uniq = append(uniq, u)
+		}
+	}
+	cands = uniq
+	pairs, err := s.extractPairs(ctx, cctx, cands, opts, meter, &phases)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Pairs:        pairs,
+		Candidates:   cands,
+		Budget:       meter.Report(),
+		SelectorName: opts.Selector.Name(),
+		Phases:       phases,
+	}, nil
+}
+
+// extractPairs implements lines 2-5 of Algorithm 1: compute D1 and D2 rows
+// for the candidate set (reusing rows the selector cached), form the
+// pairwise deltas, and keep the top pairs.
+func (s *Session) extractPairs(ctx context.Context, cctx *candidates.Context, cands []int, opts Options, meter *budget.Meter, phases *obs.PhaseNanos) ([]topk.Pair, error) {
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	n := s.src.NumNodes()
+	tr := opts.Trace
+
+	// Charge exactly the SSSP computations the caches cannot cover.
+	toCharge := 0
+	for _, u := range cands {
+		if _, ok := cctx.D1Rows[u]; !ok {
+			toCharge++
+		}
+		if _, ok := cctx.D2Rows[u]; !ok {
+			toCharge++
+		}
+	}
+	// The paired engine is cached on the session: first query in each mode
+	// builds it (incremental mode computes the snapshot edge delta there);
+	// later queries share it read-only.
+	ep := s.pairedEngine(opts.PairedMode)
+	//convlint:nondet phase latency is observational, not part of results
+	extStart := time.Now()
+	extSpan := tr.StartSpan("extraction",
+		obs.Int("candidates", len(cands)), obs.Int("cache-misses", toCharge),
+		obs.Str("paired", ep.eng.Mode().String()))
+	if err := meter.Charge(budget.PhaseTopK, toCharge); err != nil {
+		extSpan.End()
+		//convlint:nondet phase latency is observational, not part of results
+		phases.Extraction = time.Since(extStart).Nanoseconds()
+		extractionNS.Observe(phases.Extraction)
+		return nil, fmt.Errorf("core: extraction phase: %w", err)
+	}
+
+	inM := make(map[int]bool, len(cands))
+	for _, u := range cands {
+		inM[u] = true
+	}
+
+	floor := opts.MinDelta
+	if floor <= 0 {
+		floor = 1
+	}
+
+	workers := sssp.ClampWorkers(opts.Workers, len(cands))
+	var mu sync.Mutex
+	var all []topk.Pair
+	next := make(chan int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		// The pprof label splits CPU/goroutine profiles by subsystem, so an
+		// extraction-heavy run shows up as such in /debug/pprof.
+		go pprof.Do(context.Background(), pprof.Labels("subsystem", "core-extract"),
+			func(context.Context) {
+				defer wg.Done()
+				st := ep.checkout(n)
+				defer ep.pool.Put(st)
+				var local []topk.Pair
+				for i := range next {
+					if ctx.Err() != nil {
+						continue // drain without traversing
+					}
+					u := cands[i]
+					d1 := cctx.D1Rows[u]
+					d2 := cctx.D2Rows[u]
+					switch {
+					case d1 == nil && d2 == nil:
+						st.ps.DistancesPairInto(u, st.d1buf, st.d2buf)
+						d1, d2 = st.d1buf, st.d2buf
+					case d1 != nil && d2 == nil:
+						// The selector already paid for the t1 row; derive
+						// (or recompute, in full mode) just the t2 row.
+						st.ps.DeriveInto(u, d1, st.d2buf)
+						d2 = st.d2buf
+					case d1 == nil:
+						if st.sess1 == nil {
+							st.sess1 = dist.NewSession(s.src.S1)
+						}
+						st.sess1.DistancesInto(u, st.d1buf)
+						d1 = st.d1buf
+					}
+					for v := 0; v < n; v++ {
+						if v == u || (inM[v] && v < u) {
+							continue // the pair is found from the smaller candidate
+						}
+						if d1[v] <= 0 {
+							continue
+						}
+						delta := d1[v] - d2[v]
+						if delta < floor {
+							continue
+						}
+						p := topk.Pair{U: int32(u), V: int32(v), D1: d1[v], D2: d2[v], Delta: delta}
+						if p.U > p.V {
+							p.U, p.V = p.V, p.U
+						}
+						local = append(local, p)
+					}
+				}
+				mu.Lock()
+				all = append(all, local...) //convlint:shared per-worker batches merged under mu
+				mu.Unlock()
+			})
+	}
+	for i := range cands {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	extSpan.Set(obs.Int("raw-pairs", len(all)))
+	extSpan.End()
+	//convlint:nondet phase latency is observational, not part of results
+	phases.Extraction = time.Since(extStart).Nanoseconds()
+	extractionNS.Observe(phases.Extraction)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	//convlint:nondet phase latency is observational, not part of results
+	cutStart := time.Now()
+	cutSpan := tr.StartSpan("sort-cut", obs.Int("pairs", len(all)))
+	topk.SortPairs(all)
+	if opts.K > 0 && len(all) > opts.K {
+		all = all[:opts.K]
+	}
+	cutSpan.Set(obs.Int("kept", len(all)))
+	cutSpan.End()
+	//convlint:nondet phase latency is observational, not part of results
+	phases.SortCut = time.Since(cutStart).Nanoseconds()
+	sortCutNS.Observe(phases.SortCut)
+	return all, nil
+}

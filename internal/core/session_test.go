@@ -1,0 +1,207 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/candidates"
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// resultsEqual compares everything a served query promises to keep
+// bit-identical to a one-shot run: pairs, candidates, budget report, and
+// selector name. Phases are wall-clock and deliberately excluded.
+func resultsEqual(a, b *Result) bool {
+	return reflect.DeepEqual(a.Pairs, b.Pairs) &&
+		reflect.DeepEqual(a.Candidates, b.Candidates) &&
+		a.Budget == b.Budget &&
+		a.SelectorName == b.SelectorName
+}
+
+// TestSessionMatchesOneShot pins the session invariant across selectors and
+// paired modes: N queries on one Session return exactly what N one-shot TopK
+// calls return.
+func TestSessionMatchesOneShot(t *testing.T) {
+	sp := growingPair(t, 120, 3)
+	for _, mode := range []dist.PairedMode{dist.PairedFull, dist.PairedIncremental} {
+		sess, err := NewSession(sp, SessionConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sel := range []candidates.Selector{
+			candidates.Degree(), candidates.Random(), candidates.MaxMin(), candidates.SumDiff(),
+		} {
+			opts := Options{Selector: sel, M: 15, L: 5, K: 5, Seed: 42, PairedMode: mode}
+			want, err := TopK(sp, opts)
+			if err != nil {
+				t.Fatalf("%s one-shot: %v", sel.Name(), err)
+			}
+			// Two session queries back to back: the second exercises reused
+			// engines and pooled scratch.
+			for rep := 0; rep < 2; rep++ {
+				got, err := sess.TopK(context.Background(), opts)
+				if err != nil {
+					t.Fatalf("%s session rep %d: %v", sel.Name(), rep, err)
+				}
+				if !resultsEqual(want, got) {
+					t.Fatalf("%s (mode %v) rep %d: session result diverged from one-shot", sel.Name(), mode, rep)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionCachesPairedEngine pins the pay-setup-once claim: the paired
+// engine (and its edge delta, in incremental mode) is built on first use and
+// shared by later queries.
+func TestSessionCachesPairedEngine(t *testing.T) {
+	sp := growingPair(t, 60, 5)
+	sess, err := NewSession(sp, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Selector: candidates.Degree(), M: 4, K: 3, PairedMode: dist.PairedIncremental}
+	if _, err := sess.TopK(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	first := sess.pairedEngine(dist.PairedIncremental)
+	if _, err := sess.TopK(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if sess.pairedEngine(dist.PairedIncremental) != first {
+		t.Fatalf("paired engine rebuilt between queries")
+	}
+	if len(sess.pengs) != 1 {
+		t.Fatalf("session holds %d engines, want 1", len(sess.pengs))
+	}
+}
+
+// TestSessionConcurrentQueries runs queries with different seeds and budgets
+// concurrently on one Session and checks each against its own one-shot run —
+// the serve layer's exact usage pattern.
+func TestSessionConcurrentQueries(t *testing.T) {
+	sp := growingPair(t, 100, 7)
+	sess, err := NewSession(sp, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			opts := Options{Selector: candidates.Random(), M: 4 + i, K: 4, Seed: int64(100 + i)}
+			want, err := TopK(sp, opts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := sess.TopK(context.Background(), opts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !resultsEqual(want, got) {
+				t.Errorf("query %d diverged under concurrency", i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSessionCancellation pins ctx semantics: a pre-canceled context fails
+// before spending budget, and the session stays fully usable afterwards.
+func TestSessionCancellation(t *testing.T) {
+	sp := growingPair(t, 80, 9)
+	sess, err := NewSession(sp, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	meter := budget.NewMeter(6)
+	opts := Options{Selector: candidates.Degree(), M: 6, K: 4, Meter: meter}
+	if _, err := sess.TopK(ctx, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if spent := meter.Report().Total(); spent != 0 {
+		t.Fatalf("canceled query spent %d SSSPs", spent)
+	}
+	got, err := sess.TopK(context.Background(), Options{Selector: candidates.Degree(), M: 6, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := TopK(sp, Options{Selector: candidates.Degree(), M: 6, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(want, got) {
+		t.Fatalf("session diverged after a canceled query")
+	}
+}
+
+// TestSessionSourcesBatched pins the serve wiring end to end at the core
+// layer: a session over Batcher-wrapped sources returns bit-identical
+// results to the unbatched one-shot run, for both paired modes.
+func TestSessionSourcesBatched(t *testing.T) {
+	sp := growingPair(t, 100, 11)
+	batched := dist.Pair{
+		S1: dist.NewBatcher(dist.NewBFSPar(sp.G1, 0, 0), dist.BatcherOptions{Immediate: true}),
+		S2: dist.NewBatcher(dist.NewBFSPar(sp.G2, 0, 0), dist.BatcherOptions{Immediate: true}),
+	}
+	sess, err := NewSessionSources(batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []dist.PairedMode{dist.PairedFull, dist.PairedIncremental} {
+		// MaxMin exercises selector-side sweeps (dispersion picks) through
+		// the batcher, not just extraction.
+		opts := Options{Selector: candidates.MaxMin(), M: 6, K: 5, Seed: 13, PairedMode: mode}
+		want, err := TopK(sp, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sess.TopK(context.Background(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resultsEqual(want, got) {
+			t.Fatalf("mode %v: batched session diverged from one-shot", mode)
+		}
+	}
+}
+
+// TestSessionValidation pins constructor and per-query validation errors.
+func TestSessionValidation(t *testing.T) {
+	bad := graph.SnapshotPair{G1: graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}}), G2: graph.FromEdges(2, nil)}
+	if _, err := NewSession(bad, SessionConfig{}); err == nil {
+		t.Fatal("invalid pair accepted")
+	}
+	if _, err := NewSessionSources(dist.Pair{}); err == nil {
+		t.Fatal("nil sources accepted")
+	}
+	sp := growingPair(t, 30, 15)
+	sess, err := NewSession(sp, SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.NumNodes() != sp.G1.NumNodes() {
+		t.Fatalf("session universe %d, want %d", sess.NumNodes(), sp.G1.NumNodes())
+	}
+	if _, err := sess.TopK(context.Background(), Options{M: 5, K: 3}); err != ErrNoSelector {
+		t.Fatalf("err = %v, want ErrNoSelector", err)
+	}
+	if _, err := sess.TopK(context.Background(), Options{Selector: candidates.Degree(), M: 0, K: 3}); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	// nil ctx means background, matching the one-shot wrappers.
+	if _, err := sess.TopK(nil, Options{Selector: candidates.Degree(), M: 4, K: 3}); err != nil { //nolint:staticcheck
+		t.Fatalf("nil ctx: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/dynsssp"
@@ -77,22 +78,22 @@ func (s *BFS) NewSession() Session {
 	return &bfsSession{src: s, scratch: sssp.NewScratch(s.g.NumNodes())}
 }
 
-// Sweep drives the batched multi-source kernels (bit-parallel BFS when the
-// engine resolution picks it), amortizing traversals across sources.
-func (s *BFS) Sweep(sources []int, workers int, fn func(src int, dst []int32)) {
-	sssp.AllSourcesParEngineFunc(s.g, sources, workers, s.engine, s.par, fn)
+// SweepCtx drives the batched multi-source kernels (bit-parallel BFS when
+// the engine resolution picks it), amortizing traversals across sources;
+// once ctx is done no further source or batch starts.
+func (s *BFS) SweepCtx(ctx context.Context, sources []int, workers int, fn func(src int, dst []int32)) error {
+	return sssp.AllSourcesParEngineCtxFunc(ctx, s.g, sources, workers, s.engine, s.par, fn)
 }
 
 // pairedSweep implements the paired fast path when both snapshots are
 // BFS-backed with the same engine, reusing one traversal state for the
 // (G_t1, G_t2) row pair per source.
-func (s *BFS) pairedSweep(other Source, sources []int, workers int, fn func(src int, d1, d2 []int32)) bool {
+func (s *BFS) pairedSweep(ctx context.Context, other Source, sources []int, workers int, fn func(src int, d1, d2 []int32)) (bool, error) {
 	o, ok := other.(*BFS)
 	if !ok || o.engine != s.engine {
-		return false
+		return false, nil
 	}
-	sssp.PairedSourcesParEngineFunc(s.g, o.g, sources, workers, s.engine, s.par, fn)
-	return true
+	return true, sssp.PairedSourcesParEngineCtxFunc(ctx, s.g, o.g, sources, workers, s.engine, s.par, fn)
 }
 
 // bfsSession reuses one scratch across queries from a single goroutine.
@@ -176,10 +177,10 @@ type incrSweepState struct {
 // multi-source kernels (bit-parallel BFS when the engine resolution picks
 // it), and each emitted row is repaired into its t2 counterpart in the
 // worker that produced it.
-func (e *incrPairedEngine) sweep(sources []int, workers int, fn func(src int, d1, d2 []int32)) {
+func (e *incrPairedEngine) sweep(ctx context.Context, sources []int, workers int, fn func(src int, d1, d2 []int32)) error {
 	n := e.g1.NumNodes()
 	var pool sync.Pool
-	sssp.AllSourcesParEngineFunc(e.g1, sources, workers, e.engine, e.par, func(src int, d1 []int32) {
+	return sssp.AllSourcesParEngineCtxFunc(ctx, e.g1, sources, workers, e.engine, e.par, func(src int, d1 []int32) {
 		st, _ := pool.Get().(*incrSweepState)
 		if st == nil {
 			st = &incrSweepState{d2: make([]int32, n), repair: dynsssp.NewScratch()}
@@ -192,11 +193,18 @@ func (e *incrPairedEngine) sweep(sources []int, workers int, fn func(src int, d1
 }
 
 // UnweightedGraph unwraps a Source to its underlying *graph.Graph when it is
-// BFS-backed. Structural selectors (betweenness, embedding, incidence) use
-// this to detect — and cleanly reject — metrics they do not generalize to.
+// BFS-backed, looking through wrappers (e.g. the cross-request Batcher) that
+// expose Unwrap. Structural selectors (betweenness, embedding, incidence)
+// use this to detect — and cleanly reject — metrics they do not generalize to.
 func UnweightedGraph(s Source) (*graph.Graph, bool) {
-	if b, ok := s.(*BFS); ok {
-		return b.g, true
+	for {
+		if b, ok := s.(*BFS); ok {
+			return b.g, true
+		}
+		u, ok := s.(interface{ Unwrap() Source })
+		if !ok {
+			return nil, false
+		}
+		s = u.Unwrap()
 	}
-	return nil, false
 }

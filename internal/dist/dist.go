@@ -80,7 +80,7 @@ func NewSession(s Source) Session {
 // sweeper is the optional capability of sources with a batched multi-source
 // driver (e.g. the BFS source's bit-parallel kernel path).
 type sweeper interface {
-	Sweep(sources []int, workers int, fn func(src int, dst []int32))
+	SweepCtx(ctx context.Context, sources []int, workers int, fn func(src int, dst []int32)) error
 }
 
 // Sweep computes the distances from every source in sources, invoking
@@ -89,9 +89,18 @@ type sweeper interface {
 // themselves; others get a generic session-per-worker pool. The sweep costs
 // len(sources) budget units.
 func Sweep(s Source, sources []int, workers int, fn func(src int, dst []int32)) {
+	_ = SweepCtx(context.Background(), s, sources, workers, fn)
+}
+
+// SweepCtx is Sweep under a context: once ctx is done, no further source
+// starts traversing and the driver returns ctx's error, so an abandoned
+// request stops burning traversal work. Sources whose sweep already began
+// deliver their rows whole (fn is never interrupted mid-row), cancellation
+// never changes a delivered row, and all pooled scratch stays reusable for
+// the next sweep.
+func SweepCtx(ctx context.Context, s Source, sources []int, workers int, fn func(src int, dst []int32)) error {
 	if sw, ok := s.(sweeper); ok {
-		sw.Sweep(sources, workers, fn)
-		return
+		return sw.SweepCtx(ctx, sources, workers, fn)
 	}
 	n := s.NumNodes()
 	workers = sssp.ClampWorkers(workers, len(sources))
@@ -105,6 +114,9 @@ func Sweep(s Source, sources []int, workers int, fn func(src int, dst []int32)) 
 				sess := NewSession(s)
 				dst := make([]int32, n)
 				for i := range next {
+					if ctx.Err() != nil {
+						continue // drain without traversing
+					}
 					src := sources[i]
 					sess.DistancesInto(src, dst)
 					fn(src, dst)
@@ -116,6 +128,7 @@ func Sweep(s Source, sources []int, workers int, fn func(src int, dst []int32)) 
 	}
 	close(next)
 	wg.Wait()
+	return ctx.Err()
 }
 
 // DistanceMatrix computes the full rows-by-n distance matrix from the given
@@ -168,7 +181,7 @@ func (p Pair) NumNodes() int { return p.S1.NumNodes() }
 // pairedSweeper is the optional capability of source pairs with a shared
 // batched driver (both BFS-backed on the same engine).
 type pairedSweeper interface {
-	pairedSweep(other Source, sources []int, workers int, fn func(src int, d1, d2 []int32)) bool
+	pairedSweep(ctx context.Context, other Source, sources []int, workers int, fn func(src int, d1, d2 []int32)) (bool, error)
 }
 
 // PairedSweep computes, for every source, its distance rows on both
@@ -176,8 +189,17 @@ type pairedSweeper interface {
 // the call. BFS pairs route to sssp's paired multi-source kernels; anything
 // else runs the generic session pool. Costs 2·len(sources) budget units.
 func PairedSweep(p Pair, sources []int, workers int, fn func(src int, d1, d2 []int32)) {
-	if ps, ok := p.S1.(pairedSweeper); ok && ps.pairedSweep(p.S2, sources, workers, fn) {
-		return
+	_ = PairedSweepCtx(context.Background(), p, sources, workers, fn)
+}
+
+// PairedSweepCtx is PairedSweep under a context, with the same cancellation
+// contract as SweepCtx: no new source starts after ctx is done, in-flight row
+// pairs are delivered whole, scratch stays reusable.
+func PairedSweepCtx(ctx context.Context, p Pair, sources []int, workers int, fn func(src int, d1, d2 []int32)) error {
+	if ps, ok := p.S1.(pairedSweeper); ok {
+		if handled, err := ps.pairedSweep(ctx, p.S2, sources, workers, fn); handled {
+			return err
+		}
 	}
 	n := p.NumNodes()
 	workers = sssp.ClampWorkers(workers, len(sources))
@@ -193,6 +215,9 @@ func PairedSweep(p Pair, sources []int, workers int, fn func(src int, d1, d2 []i
 				d1 := make([]int32, n)
 				d2 := make([]int32, n)
 				for i := range next {
+					if ctx.Err() != nil {
+						continue // drain without traversing
+					}
 					src := sources[i]
 					s1.DistancesInto(src, d1)
 					s2.DistancesInto(src, d2)
@@ -205,6 +230,7 @@ func PairedSweep(p Pair, sources []int, workers int, fn func(src int, d1, d2 []i
 	}
 	close(next)
 	wg.Wait()
+	return ctx.Err()
 }
 
 // LargestComponent returns the nodes of s's largest connected component,

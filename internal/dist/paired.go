@@ -128,7 +128,7 @@ func (s *fullPairedSession) DeriveInto(src int, d1, d2 []int32) {
 // batched multi-source driver (the BFS incremental engine routes the t1 side
 // through sssp's multi-source kernels).
 type incrementalSweeper interface {
-	sweep(sources []int, workers int, fn func(src int, d1, d2 []int32))
+	sweep(ctx context.Context, sources []int, workers int, fn func(src int, d1, d2 []int32)) error
 }
 
 // IncrementalPairedSweep is PairedSweep's incremental sibling: for every
@@ -139,14 +139,20 @@ type incrementalSweeper interface {
 // the mode that actually ran. Costs 2·len(sources) budget units either way
 // (the cost model charges rows produced, not traversal work).
 func IncrementalPairedSweep(p Pair, sources []int, workers int, fn func(src int, d1, d2 []int32)) PairedMode {
+	mode, _ := IncrementalPairedSweepCtx(context.Background(), p, sources, workers, fn)
+	return mode
+}
+
+// IncrementalPairedSweepCtx is IncrementalPairedSweep under a context, with
+// the same cancellation contract as SweepCtx: no new source starts after ctx
+// is done, in-flight row pairs are delivered whole, scratch stays reusable.
+func IncrementalPairedSweepCtx(ctx context.Context, p Pair, sources []int, workers int, fn func(src int, d1, d2 []int32)) (PairedMode, error) {
 	eng := NewPairedEngine(p, PairedIncremental)
 	if eng.Mode() != PairedIncremental {
-		PairedSweep(p, sources, workers, fn)
-		return PairedFull
+		return PairedFull, PairedSweepCtx(ctx, p, sources, workers, fn)
 	}
 	if sw, ok := eng.(incrementalSweeper); ok {
-		sw.sweep(sources, workers, fn)
-		return PairedIncremental
+		return PairedIncremental, sw.sweep(ctx, sources, workers, fn)
 	}
 	// Generic pool: one incremental session per worker.
 	n := p.NumNodes()
@@ -162,6 +168,9 @@ func IncrementalPairedSweep(p Pair, sources []int, workers int, fn func(src int,
 				d1 := make([]int32, n)
 				d2 := make([]int32, n)
 				for i := range next {
+					if ctx.Err() != nil {
+						continue // drain without traversing
+					}
 					src := sources[i]
 					sess.DistancesPairInto(src, d1, d2)
 					fn(src, d1, d2)
@@ -173,5 +182,5 @@ func IncrementalPairedSweep(p Pair, sources []int, workers int, fn func(src int,
 	}
 	close(next)
 	wg.Wait()
-	return PairedIncremental
+	return PairedIncremental, ctx.Err()
 }

@@ -107,8 +107,12 @@ type PairRecord struct {
 	Delta int32 `json:"delta"`
 }
 
-// WriteJSON emits a run report as indented JSON.
-func WriteJSON(w io.Writer, selector string, m int, spent, limit int, candidates []int, pairs []topk.Pair) error {
+// NewReport assembles the canonical report of one budgeted run. Candidates
+// are copied and sorted, so two runs that found the same set produce equal
+// reports regardless of selector-internal ordering. WriteJSON and the serve
+// layer both build their output here — the byte-level comparability of a
+// served query against a one-shot run rests on sharing this constructor.
+func NewReport(selector string, m int, spent, limit int, candidates []int, pairs []topk.Pair) Report {
 	sorted := append([]int(nil), candidates...)
 	sort.Ints(sorted)
 	rep := Report{
@@ -122,6 +126,12 @@ func WriteJSON(w io.Writer, selector string, m int, spent, limit int, candidates
 	for i, p := range pairs {
 		rep.Pairs[i] = PairRecord{U: p.U, V: p.V, D1: p.D1, D2: p.D2, Delta: p.Delta}
 	}
+	return rep
+}
+
+// WriteJSON emits a run report as indented JSON.
+func WriteJSON(w io.Writer, selector string, m int, spent, limit int, candidates []int, pairs []topk.Pair) error {
+	rep := NewReport(selector, m, spent, limit, candidates, pairs)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)

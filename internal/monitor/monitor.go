@@ -67,6 +67,14 @@ type WindowReport struct {
 // Watch slices the stream at the given ascending fractions and runs the
 // budgeted converging-pairs algorithm on every consecutive pair of
 // snapshots. len(fractions) must be >= 2.
+//
+// Watch is now a replay client of the epoch substrate: the stream is fed
+// through a graph.Ingester (pinned to the stream's full node universe, so
+// selector RNG draws match a full-universe run exactly), each fraction cut
+// seals an epoch, and every consecutive epoch pair is queried through a
+// core.Session over a pinned store window — the same machinery a live
+// convserve deployment runs, exercised here in batch. Snapshots, results,
+// and budget reports are identical to materializing prefixes directly.
 func Watch(ev *graph.Evolving, fractions []float64, cfg Config) ([]WindowReport, error) {
 	if cfg.Selector == nil {
 		return nil, errors.New("monitor: no selector configured")
@@ -84,6 +92,24 @@ func Watch(ev *graph.Evolving, fractions []float64, cfg Config) ([]WindowReport,
 	if minDelta <= 0 {
 		minDelta = 2
 	}
+	// Replay the stream into the epoch store, sealing one epoch per fraction.
+	ing := graph.NewIngester(graph.IngesterOptions{Universe: ev.NumNodes()})
+	stream := ev.Stream()
+	prefix := 0
+	for _, f := range fractions {
+		cut := int(f * float64(len(stream)))
+		if cut > len(stream) {
+			cut = len(stream)
+		}
+		if cut > prefix {
+			if _, err := ing.IngestBatch(stream[prefix:cut]); err != nil {
+				return nil, fmt.Errorf("monitor: ingest to fraction %v: %w", f, err)
+			}
+			prefix = cut
+		}
+		ing.Seal()
+	}
+	store := ing.Store()
 	var reports []WindowReport
 	for i := 1; i < len(fractions); i++ {
 		f1, f2 := fractions[i-1], fractions[i]
@@ -108,18 +134,33 @@ func Watch(ev *graph.Evolving, fractions []float64, cfg Config) ([]WindowReport,
 		}
 		span := cfg.Trace.StartSpan("window",
 			obs.Int("index", i-1), obs.Float("start", f1), obs.Float("end", f2))
-		pair, err := ev.Pair(f1, f2)
-		if err != nil {
+		fail := func(err error) ([]WindowReport, error) {
 			span.End()
 			endWindow(err)
 			return nil, fmt.Errorf("monitor: window [%v, %v]: %w", f1, f2, err)
 		}
+		if !(f1 < f2) {
+			return fail(fmt.Errorf("graph: snapshot fractions must satisfy f1 < f2, got %v >= %v", f1, f2))
+		}
+		// Epoch i holds the fractions[i-1] prefix (seals are 1-based).
+		win, err := store.Window(i, i+1)
+		if err != nil {
+			return fail(err)
+		}
+		sess, err := core.NewSession(win.Pair, core.SessionConfig{})
+		if err != nil {
+			win.Close()
+			return fail(err)
+		}
 		var res *core.Result
+		// Each window pays the paper's standard 2m allowance from its own
+		// meter, exactly as the one-shot default would allocate.
+		meter := budget.NewMeter(cfg.M)
 		// The pprof label attributes each iteration's work to the monitor
 		// subsystem in profiles of long-running watches.
 		pprof.Do(context.Background(), pprof.Labels("subsystem", "monitor-window"),
 			func(context.Context) {
-				res, err = core.TopK(pair, core.Options{
+				res, err = sess.TopK(context.Background(), core.Options{
 					Selector: cfg.Selector,
 					M:        cfg.M,
 					L:        cfg.L,
@@ -127,14 +168,15 @@ func Watch(ev *graph.Evolving, fractions []float64, cfg Config) ([]WindowReport,
 					Seed:     cfg.Seed + int64(i),
 					Workers:  cfg.Workers,
 					Trace:    cfg.Trace,
+					Meter:    meter,
 				})
 			})
+		newEdges := win.Pair.G2.NumEdges() - win.Pair.G1.NumEdges()
+		win.Close()
 		if err != nil {
-			span.End()
-			endWindow(err)
-			return nil, fmt.Errorf("monitor: window [%v, %v]: %w", f1, f2, err)
+			return fail(err)
 		}
-		span.Set(obs.Int("new-edges", pair.G2.NumEdges()-pair.G1.NumEdges()),
+		span.Set(obs.Int("new-edges", newEdges),
 			obs.Int("pairs", len(res.Pairs)))
 		span.End()
 		rec.Budget = obs.BudgetSplit{Limit: res.Budget.Limit, CandidateGen: res.Budget.CandidateGen, TopK: res.Budget.TopK}
@@ -144,7 +186,7 @@ func Watch(ev *graph.Evolving, fractions []float64, cfg Config) ([]WindowReport,
 		reports = append(reports, WindowReport{
 			StartFrac: f1,
 			EndFrac:   f2,
-			NewEdges:  pair.G2.NumEdges() - pair.G1.NumEdges(),
+			NewEdges:  newEdges,
 			Pairs:     res.Pairs,
 			Budget:    res.Budget,
 		})

@@ -17,6 +17,10 @@ type CLI struct {
 	eventsOut   *string
 	hold        *time.Duration
 	srv         *Server
+	// flushedLen is how many flight records the last FlushEvents wrote, so
+	// Finish can skip a redundant rewrite when nothing new was recorded.
+	flushedLen int
+	flushed    bool
 }
 
 // BindCLIFlags registers the observability flags on fs (typically
@@ -49,26 +53,43 @@ func (c *CLI) Start() error {
 	return nil
 }
 
-// Finish dumps the flight recorder if -events was given, holds the metrics
-// server open for the -hold duration, then shuts it down. Call once after
-// the work completes.
+// Finish holds the metrics server open for the -hold duration, dumps the
+// flight recorder if -events was given, then shuts the server down. Call once
+// after the work completes. The hold runs *before* the events dump so any run
+// records appended while the server was held (a scrape triggering work, a
+// daemon draining requests) land in the file — the previous dump-then-hold
+// order silently dropped them. The dump is skipped when a FlushEvents call
+// already captured the recorder's current contents.
 func (c *CLI) Finish() error {
-	if *c.eventsOut != "" {
+	if c.srv != nil && *c.hold > 0 {
+		fmt.Printf("holding metrics server on http://%s for %v\n", c.srv.Addr(), *c.hold)
+		time.Sleep(*c.hold)
+	}
+	if *c.eventsOut != "" && !(c.flushed && c.flushedLen == Flight.Len()) {
 		if err := c.dumpEvents(); err != nil {
 			return err
 		}
 	}
 	if c.srv != nil {
-		if *c.hold > 0 {
-			fmt.Printf("holding metrics server on http://%s for %v\n", c.srv.Addr(), *c.hold)
-			time.Sleep(*c.hold)
-		}
 		if err := c.srv.Close(); err != nil {
 			return err
 		}
 		c.srv = nil
 	}
 	return nil
+}
+
+// FlushEvents writes the flight recorder to the -events target immediately
+// (a no-op without -events). Daemons call it from their graceful-shutdown
+// path — convserve flushes on SIGTERM — so a process stopped by its
+// supervisor still leaves its run records behind even if it never reaches
+// Finish. Each call rewrites the full recorder contents; Finish skips its own
+// dump when nothing was recorded since the last flush.
+func (c *CLI) FlushEvents() error {
+	if *c.eventsOut == "" {
+		return nil
+	}
+	return c.dumpEvents()
 }
 
 // dumpEvents writes the default flight recorder as JSONL to the -events
@@ -86,8 +107,10 @@ func (c *CLI) dumpEvents() error {
 	if err := Flight.WriteJSONL(w, 0); err != nil {
 		return err
 	}
+	c.flushed = true
+	c.flushedLen = Flight.Len()
 	if *c.eventsOut != "-" {
-		fmt.Printf("flight recorder events written to %s (%d records)\n", *c.eventsOut, Flight.Len())
+		fmt.Printf("flight recorder events written to %s (%d records)\n", *c.eventsOut, c.flushedLen)
 	}
 	return nil
 }

@@ -55,6 +55,78 @@ func TestCLIStartFinish(t *testing.T) {
 	}
 }
 
+// countEventLines returns the number of JSONL records in the file.
+func countEventLines(t *testing.T, path string) int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	n := 0
+	for sc.Scan() {
+		if len(sc.Bytes()) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCLIFlushEvents pins the daemon lifecycle: FlushEvents writes the
+// recorder mid-run (the convserve SIGTERM path), and Finish re-dumps only
+// when new records arrived after the flush.
+func TestCLIFlushEvents(t *testing.T) {
+	events := filepath.Join(t.TempDir(), "events.jsonl")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := BindCLIFlags(fs)
+	if err := fs.Parse([]string{"-events", events}); err != nil {
+		t.Fatal(err)
+	}
+
+	Flight.Append(RunRecord{Kind: "test-flush", Outcome: "ok"})
+	if err := c.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	n1 := countEventLines(t, events)
+	if n1 == 0 {
+		t.Fatal("FlushEvents wrote no records")
+	}
+
+	// No new records: Finish must not rewrite (the flushed state is current).
+	if err := os.Remove(events); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(events); !os.IsNotExist(err) {
+		t.Fatalf("Finish re-dumped with no new records (stat err = %v)", err)
+	}
+
+	// A record after the flush: Finish must dump again and include it.
+	Flight.Append(RunRecord{Kind: "test-finish", Outcome: "ok"})
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if n2 := countEventLines(t, events); n2 != n1+1 {
+		t.Fatalf("post-flush Finish wrote %d records, want %d", n2, n1+1)
+	}
+}
+
+// TestCLIFlushWithoutEvents pins the no-op contract of the daemon path when
+// -events was not given.
+func TestCLIFlushWithoutEvents(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := BindCLIFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCLIDisabledIsNoop(t *testing.T) {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	c := BindCLIFlags(fs)

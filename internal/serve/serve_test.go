@@ -1,0 +1,441 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/candidates"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/export"
+	"repro/internal/graph"
+	"repro/internal/sssp"
+)
+
+// mustSelector resolves a registry selector or fails the test.
+func mustSelector(t *testing.T, name string) candidates.Selector {
+	t.Helper()
+	sel, err := candidates.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+// genStream builds a random timestamped insertion stream over n nodes: a
+// connecting backbone first (so snapshots are mostly one component), then
+// random extra edges. Deterministic in seed.
+func genStream(n, extra int, seed int64) []graph.TimedEdge {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[graph.Edge]bool)
+	var stream []graph.TimedEdge
+	add := func(u, v int) {
+		if u == v {
+			return
+		}
+		c := graph.Edge{U: u, V: v}.Canon()
+		if seen[c] {
+			return
+		}
+		seen[c] = true
+		stream = append(stream, graph.TimedEdge{U: c.U, V: c.V, Time: int64(len(stream))})
+	}
+	for v := 1; v < n; v++ {
+		add(rng.Intn(v), v)
+	}
+	for len(stream) < n-1+extra {
+		add(rng.Intn(n), rng.Intn(n))
+	}
+	return stream
+}
+
+// streamText renders a stream in the "u v t" wire format /ingest consumes.
+func streamText(stream []graph.TimedEdge) string {
+	var b bytes.Buffer
+	for _, te := range stream {
+		fmt.Fprintf(&b, "%d %d %d\n", te.U, te.V, te.Time)
+	}
+	return b.String()
+}
+
+// postJSON posts v and decodes the response into out, returning the status.
+func postJSON(t *testing.T, url string, v, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// loadServer ingests the stream's 80% prefix as epoch 1 and the rest as
+// epoch 2 through the HTTP surface.
+func loadServer(t *testing.T, url string, stream []graph.TimedEdge) {
+	t.Helper()
+	cut := int(0.8 * float64(len(stream)))
+	for _, part := range [][]graph.TimedEdge{stream[:cut], stream[cut:]} {
+		resp, err := http.Post(url+"/ingest", "text/plain", bytes.NewBufferString(streamText(part)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest: status %d", resp.StatusCode)
+		}
+		if code := postJSON(t, url+"/seal", struct{}{}, nil); code != http.StatusOK {
+			t.Fatalf("seal: status %d", code)
+		}
+	}
+}
+
+// TestQueryMatchesOneShot is the tentpole's differential test: a served query
+// is bit-identical (pairs, candidates, budget report) to a one-shot TopK run
+// over the same snapshots, at every -engine / -paired / -par setting. The
+// served path runs through epoch padding, session caching, and the batching
+// layer; none of it may leak into results.
+func TestQueryMatchesOneShot(t *testing.T) {
+	stream := genStream(120, 260, 7)
+	ev, err := graph.NewEvolving(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := ev.Pair(0.8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engName := range sssp.EngineNames() {
+		eng, err := sssp.ParseEngine(engName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{1, 2} {
+			srv := New(Config{Engine: eng, Parallelism: par, Immediate: true})
+			ts := httptest.NewServer(srv.Handler())
+			loadServer(t, ts.URL, stream)
+			for _, paired := range []string{"full", "incremental"} {
+				name := fmt.Sprintf("%s/par=%d/%s", engName, par, paired)
+				mode, _ := dist.ParsePairedMode(paired)
+				want, err := core.TopK(pair, core.Options{
+					Selector: mustSelector(t, "MMSD"), M: 15, L: 5, K: 10,
+					Seed: 42, Engine: eng, Parallelism: par, PairedMode: mode,
+				})
+				if err != nil {
+					t.Fatalf("%s one-shot: %v", name, err)
+				}
+				wantRep := export.NewReport(want.SelectorName, 15,
+					want.Budget.Total(), want.Budget.Limit, want.Candidates, want.Pairs)
+				var got QueryResponse
+				code := postJSON(t, ts.URL+"/query", QueryRequest{
+					Tenant: "t", Selector: "MMSD", M: 15, L: 5, K: 10,
+					Seed: 42, T1: 1, T2: 2, Paired: paired,
+				}, &got)
+				if code != http.StatusOK {
+					t.Fatalf("%s: query status %d", name, code)
+				}
+				if !reflect.DeepEqual(got.Report, wantRep) {
+					t.Fatalf("%s: served report diverged from one-shot\n got: %+v\nwant: %+v",
+						name, got.Report, wantRep)
+				}
+			}
+			srv.Close()
+			ts.Close()
+		}
+	}
+}
+
+// scrapeHist pulls one histogram's _sum and _count from /metrics.
+func scrapeHist(t *testing.T, url, family string) (sum, count int64) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, pat := range []struct {
+		re  string
+		dst *int64
+	}{
+		{regexp.QuoteMeta(family+"_sum") + ` (\d+)`, &sum},
+		{regexp.QuoteMeta(family+"_count") + ` (\d+)`, &count},
+	} {
+		m := regexp.MustCompile(pat.re).FindStringSubmatch(buf.String())
+		if m == nil {
+			return 0, 0 // series not registered yet
+		}
+		v, err := strconv.ParseInt(m[1], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		*pat.dst = v
+	}
+	return sum, count
+}
+
+// TestConcurrentTenantsShareSweeps pins the acceptance invariant: concurrent
+// queries from different tenants coalesce their SSSP sources into shared
+// sweeps (sources_per_sweep > 1), while each tenant's meter is charged
+// exactly what a lone run would pay.
+func TestConcurrentTenantsShareSweeps(t *testing.T) {
+	stream := genStream(150, 320, 11)
+	// A real coalescing window (not Immediate): concurrent extraction rows
+	// from both tenants' queries land in the same batch.
+	srv := New(Config{BatchWindow: 20 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+	loadServer(t, ts.URL, stream)
+
+	const m, queries = 12, 3
+	tenants := []string{"alice", "bob"}
+	for _, tn := range tenants {
+		if code := postJSON(t, ts.URL+"/tenants", TenantRequest{Name: tn, Limit: 2 * m * queries}, nil); code != http.StatusOK {
+			t.Fatalf("declare %s: status %d", tn, code)
+		}
+	}
+	// Random selection spends nothing, so every SSSP is a single-source
+	// extraction row routed through the batcher; distinct seeds give each
+	// query a distinct candidate set, so concurrent queries contribute
+	// distinct sources to the shared batch windows.
+	ev, err := graph.NewEvolving(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := ev.Pair(0.8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := func(ti, q int) int64 { return int64(100*ti + q) }
+	wantRep := make(map[int64]export.Report)
+	wantSpent := make(map[string]int)
+	for ti, tn := range tenants {
+		for q := 0; q < queries; q++ {
+			res, err := core.TopK(pair, core.Options{
+				Selector: mustSelector(t, "Random"), M: m, K: 5, Seed: seed(ti, q),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRep[seed(ti, q)] = export.NewReport(res.SelectorName, m,
+				res.Budget.Total(), res.Budget.Limit, res.Candidates, res.Pairs)
+			wantSpent[tn] += res.Budget.Total()
+		}
+	}
+
+	sumBefore, countBefore := scrapeHist(t, ts.URL, "dist.sources_per_sweep")
+	var wg sync.WaitGroup
+	errs := make(chan string, len(tenants)*queries)
+	for ti, tn := range tenants {
+		for q := 0; q < queries; q++ {
+			ti, tn, q := ti, tn, q
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var got QueryResponse
+				code := postJSON(t, ts.URL+"/query", QueryRequest{
+					Tenant: tn, Selector: "Random", M: m, K: 5, Seed: seed(ti, q),
+				}, &got)
+				if code != http.StatusOK {
+					errs <- fmt.Sprintf("%s/%d: status %d", tn, q, code)
+					return
+				}
+				if !reflect.DeepEqual(got.Report, wantRep[seed(ti, q)]) {
+					errs <- fmt.Sprintf("%s/%d: shared-sweep report diverged from lone run", tn, q)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	sumAfter, countAfter := scrapeHist(t, ts.URL, "dist.sources_per_sweep")
+	if dSum, dCount := sumAfter-sumBefore, countAfter-countBefore; dSum <= dCount {
+		t.Errorf("no shared sweeps: %d sources over %d sweeps", dSum, dCount)
+	}
+	// Per-tenant admission: each tenant paid exactly what its queries would
+	// have cost run alone, despite the shared sweeps.
+	var reports map[string]TenantReport
+	resp, err := http.Get(ts.URL + "/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reports); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, tn := range tenants {
+		if got, want := reports[tn].Total, wantSpent[tn]; got != want {
+			t.Errorf("tenant %s charged %d SSSPs, want %d (sharing must not share cost)", tn, got, want)
+		}
+	}
+}
+
+// TestTenantAdmission pins the chained-meter semantics over HTTP: a tenant
+// whose allowance cannot cover the next query is rejected with 429 and spends
+// nothing on the rejected attempt.
+func TestTenantAdmission(t *testing.T) {
+	stream := genStream(80, 160, 13)
+	srv := New(Config{Immediate: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+	loadServer(t, ts.URL, stream)
+
+	const m = 10
+	// Allowance covers one query (2m) but not two.
+	if code := postJSON(t, ts.URL+"/tenants", TenantRequest{Name: "capped", Limit: 3 * m}, nil); code != http.StatusOK {
+		t.Fatalf("declare: status %d", code)
+	}
+	req := QueryRequest{Tenant: "capped", Selector: "Degree", M: m, K: 5}
+	var first QueryResponse
+	if code := postJSON(t, ts.URL+"/query", req, &first); code != http.StatusOK {
+		t.Fatalf("first query: status %d", code)
+	}
+	if first.TenantSpent != 2*m {
+		t.Fatalf("first query spent %d, want %d", first.TenantSpent, 2*m)
+	}
+	if code := postJSON(t, ts.URL+"/query", req, nil); code != http.StatusTooManyRequests {
+		t.Fatalf("second query: status %d, want 429", code)
+	}
+	tenant, ok := srv.Registry().Get("capped")
+	if !ok {
+		t.Fatal("tenant vanished")
+	}
+	if got := tenant.Report().Total(); got != 2*m {
+		t.Fatalf("rejected query changed tenant spend: %d, want %d", got, 2*m)
+	}
+}
+
+// TestServeEndpoints covers the ingest/seal/epochs plumbing and the error
+// mapping of /query.
+func TestServeEndpoints(t *testing.T) {
+	srv := New(Config{Immediate: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	// No epochs yet: defaulted window is a 409, explicit window a 404.
+	if code := postJSON(t, ts.URL+"/query", QueryRequest{Tenant: "t", Selector: "Degree", M: 4, K: 2}, nil); code != http.StatusConflict {
+		t.Fatalf("query with no epochs: status %d, want 409", code)
+	}
+
+	// Duplicate edges and self-loops are tolerated and skipped.
+	body := "0 1 0\n1 2 1\n1 2 5\n3 3 6\n2 0 7\n"
+	resp, err := http.Post(ts.URL+"/ingest", "text/plain", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ing.Accepted != 5 || ing.Added != 3 || ing.Edges != 3 {
+		t.Fatalf("ingest = %+v, want accepted 5, added 3, edges 3", ing)
+	}
+
+	var ep EpochInfo
+	if code := postJSON(t, ts.URL+"/seal", struct{}{}, &ep); code != http.StatusOK || ep.Seq != 1 {
+		t.Fatalf("seal: code %d, epoch %+v", code, ep)
+	}
+	resp, err = http.Post(ts.URL+"/ingest", "text/plain", bytes.NewBufferString("0 3 8\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	postJSON(t, ts.URL+"/seal", struct{}{}, nil)
+
+	var epochs []EpochInfo
+	resp, err = http.Get(ts.URL + "/epochs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&epochs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(epochs) != 2 || epochs[0].Seq != 1 || epochs[1].Seq != 2 || epochs[1].Edges != 4 {
+		t.Fatalf("epochs = %+v", epochs)
+	}
+
+	if code := postJSON(t, ts.URL+"/query", QueryRequest{Tenant: "t", Selector: "Degree", M: 2, K: 2, T1: 1, T2: 9}, nil); code != http.StatusNotFound {
+		t.Fatalf("missing epoch: status %d, want 404", code)
+	}
+	if code := postJSON(t, ts.URL+"/query", QueryRequest{Tenant: "t", Selector: "NoSuch", M: 2, K: 2}, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown selector: status %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/query", QueryRequest{Selector: "Degree", M: 2, K: 2}, nil); code != http.StatusBadRequest {
+		t.Fatalf("missing tenant: status %d, want 400", code)
+	}
+
+	// A defaulted window (T1 = T2 = 0) resolves to the latest pair.
+	var got QueryResponse
+	if code := postJSON(t, ts.URL+"/query", QueryRequest{Tenant: "t", Selector: "Degree", M: 2, K: 2}, &got); code != http.StatusOK {
+		t.Fatalf("defaulted window: status %d", code)
+	}
+	if got.T1 != 1 || got.T2 != 2 {
+		t.Fatalf("defaulted window = (%d, %d), want (1, 2)", got.T1, got.T2)
+	}
+}
+
+// TestSessionCacheEviction pins the pinning contract: cached window sessions
+// pin their epochs; eviction (and Close) releases them.
+func TestSessionCacheEviction(t *testing.T) {
+	stream := genStream(60, 120, 17)
+	srv := New(Config{Immediate: true, MaxSessions: 1})
+	ing := srv.Ingester()
+	cut := int(0.8 * float64(len(stream)))
+	if _, err := ing.IngestBatch(stream[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	ing.Seal()
+	if _, err := ing.IngestBatch(stream[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	ing.Seal()
+	ing.Seal() // epoch 3, same graph
+
+	if _, err := srv.session(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := ing.Store().At(1)
+	if !e1.Pinned() {
+		t.Fatal("cached session left its epochs unpinned")
+	}
+	if _, err := srv.session(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if e1.Pinned() {
+		t.Fatal("evicted session kept its pins")
+	}
+	srv.Close()
+	e2, _ := ing.Store().At(2)
+	if e2.Pinned() {
+		t.Fatal("Close left epochs pinned")
+	}
+}

@@ -52,13 +52,23 @@ func AllSourcesEngineFunc(g *graph.Graph, sources []int, workers int, e Engine, 
 // resident row blocks where workers=1 with par=cores runs one row block and
 // still uses every core.
 func AllSourcesParEngineFunc(g *graph.Graph, sources []int, workers int, e Engine, par int, fn func(src int, dist []int32)) {
+	_ = AllSourcesParEngineCtxFunc(context.Background(), g, sources, workers, e, par, fn)
+}
+
+// AllSourcesParEngineCtxFunc is AllSourcesParEngineFunc under a context: once
+// ctx is done, no further source (or wide batch) starts traversing and the
+// driver returns ctx's error; traversals already in flight finish their
+// current source, so fn is never interrupted mid-row. Cancellation changes
+// which sources got swept, never the rows delivered for the ones that did,
+// and leaves all pooled scratch reusable.
+func AllSourcesParEngineCtxFunc(ctx context.Context, g *graph.Graph, sources []int, workers int, e Engine, par int, fn func(src int, dist []int32)) error {
 	workers = ClampWorkers(workers, len(sources))
 	k := resolvePar(par)
 	eng := resolveBatch(e, len(sources))
 	if W := eng.wideWords(); W > 0 {
 		lanes := eng.Lanes()
 		scratches := make([]Scratch, workers)
-		forEachBatch(len(sources), workers, lanes, func(w, start, end int) {
+		forEachBatch(ctx, len(sources), workers, lanes, func(w, start, end int) {
 			s := &scratches[w]
 			batch := sources[start:end]
 			rows := s.ensureRows(g.NumNodes(), lanes)[:len(batch)]
@@ -71,17 +81,20 @@ func AllSourcesParEngineFunc(g *graph.Graph, sources []int, workers int, e Engin
 				fn(src, rows[i])
 			}
 		})
-		return
+		return ctx.Err()
 	}
 	n := g.NumNodes()
 	if workers <= 1 {
 		dist := make([]int32, n)
 		s := NewScratch(n)
 		for _, src := range sources {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			ParallelBFSWith(g, src, dist, eng, k, s)
 			fn(src, dist)
 		}
-		return
+		return ctx.Err()
 	}
 	var wg sync.WaitGroup
 	next := make(chan int, workers)
@@ -90,6 +103,9 @@ func AllSourcesParEngineFunc(g *graph.Graph, sources []int, workers int, e Engin
 			dist := make([]int32, n)
 			s := NewScratch(n)
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain without traversing
+				}
 				src := sources[i]
 				ParallelBFSWith(g, src, dist, eng, k, s)
 				fn(src, dist)
@@ -101,6 +117,7 @@ func AllSourcesParEngineFunc(g *graph.Graph, sources []int, workers int, e Engin
 	}
 	close(next)
 	wg.Wait()
+	return ctx.Err()
 }
 
 // PairedSourcesFunc runs BFS from each source on both snapshots and hands the
@@ -119,6 +136,14 @@ func PairedSourcesEngineFunc(g1, g2 *graph.Graph, sources []int, workers int, e 
 // intra-traversal parallelism (see AllSourcesParEngineFunc for how the two
 // knobs compose).
 func PairedSourcesParEngineFunc(g1, g2 *graph.Graph, sources []int, workers int, e Engine, par int, fn func(src int, d1, d2 []int32)) {
+	_ = PairedSourcesParEngineCtxFunc(context.Background(), g1, g2, sources, workers, e, par, fn)
+}
+
+// PairedSourcesParEngineCtxFunc is PairedSourcesParEngineFunc under a
+// context, with the same cancellation contract as
+// AllSourcesParEngineCtxFunc: no new source starts after ctx is done, rows
+// already being produced are delivered whole, scratch stays reusable.
+func PairedSourcesParEngineCtxFunc(ctx context.Context, g1, g2 *graph.Graph, sources []int, workers int, e Engine, par int, fn func(src int, d1, d2 []int32)) error {
 	workers = ClampWorkers(workers, len(sources))
 	k := resolvePar(par)
 	eng := resolveBatch(e, len(sources))
@@ -128,7 +153,7 @@ func PairedSourcesParEngineFunc(g1, g2 *graph.Graph, sources []int, workers int,
 		// graph's distance rows across the whole sweep.
 		s1 := make([]Scratch, workers)
 		s2 := make([]Scratch, workers)
-		forEachBatch(len(sources), workers, lanes, func(w, start, end int) {
+		forEachBatch(ctx, len(sources), workers, lanes, func(w, start, end int) {
 			batch := sources[start:end]
 			rows1 := s1[w].ensureRows(g1.NumNodes(), lanes)[:len(batch)]
 			rows2 := s2[w].ensureRows(g2.NumNodes(), lanes)[:len(batch)]
@@ -143,18 +168,21 @@ func PairedSourcesParEngineFunc(g1, g2 *graph.Graph, sources []int, workers int,
 				fn(src, rows1[i], rows2[i])
 			}
 		})
-		return
+		return ctx.Err()
 	}
 	if workers <= 1 {
 		d1 := make([]int32, g1.NumNodes())
 		d2 := make([]int32, g2.NumNodes())
 		s := NewScratch(g1.NumNodes())
 		for _, src := range sources {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			ParallelBFSWith(g1, src, d1, eng, k, s)
 			ParallelBFSWith(g2, src, d2, eng, k, s)
 			fn(src, d1, d2)
 		}
-		return
+		return ctx.Err()
 	}
 	var wg sync.WaitGroup
 	next := make(chan int, workers)
@@ -164,6 +192,9 @@ func PairedSourcesParEngineFunc(g1, g2 *graph.Graph, sources []int, workers int,
 			d2 := make([]int32, g2.NumNodes())
 			s := NewScratch(g1.NumNodes())
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain without traversing
+				}
 				src := sources[i]
 				ParallelBFSWith(g1, src, d1, eng, k, s)
 				ParallelBFSWith(g2, src, d2, eng, k, s)
@@ -176,6 +207,7 @@ func PairedSourcesParEngineFunc(g1, g2 *graph.Graph, sources []int, workers int,
 	}
 	close(next)
 	wg.Wait()
+	return ctx.Err()
 }
 
 // DistanceMatrix computes the full rows-by-n distance matrix from the given
@@ -213,8 +245,9 @@ func DistanceMatrix(g *graph.Graph, sources []int, workers int) [][]int32 {
 // body(workerIndex, start, end) on each, spreading chunks across workers.
 // Worker indices are dense in [0, workers), so callers can keep per-worker
 // state (scratches, row buffers) in plain slices; a sweep's allocations are
-// then per worker, not per source.
-func forEachBatch(total, workers, lanes int, body func(w, start, end int)) {
+// then per worker, not per source. Once ctx is done, remaining chunks are
+// skipped (chunks already running finish whole).
+func forEachBatch(ctx context.Context, total, workers, lanes int, body func(w, start, end int)) {
 	numBatches := (total + lanes - 1) / lanes
 	if workers > numBatches {
 		workers = numBatches
@@ -229,6 +262,9 @@ func forEachBatch(total, workers, lanes int, body func(w, start, end int)) {
 	}
 	if workers <= 1 {
 		for b := 0; b < numBatches; b++ {
+			if ctx.Err() != nil {
+				return
+			}
 			start, end := chunk(b)
 			body(0, start, end)
 		}
@@ -240,6 +276,9 @@ func forEachBatch(total, workers, lanes int, body func(w, start, end int)) {
 		w := w
 		sweepWorker(&wg, BitParallel64.String(), func() {
 			for b := range next {
+				if ctx.Err() != nil {
+					continue // drain without traversing
+				}
 				start, end := chunk(b)
 				body(w, start, end)
 			}
