@@ -53,6 +53,7 @@ func main() {
 	par := flag.Int("par", 1, "intra-traversal parallelism: cores one BFS may split its frontiers across; results and budget are identical at every setting")
 	engine := flag.String("engine", "auto", "BFS kernel: "+strings.Join(sssp.EngineNames(), "|"))
 	paired := flag.String("paired", "full", "extraction paired mode: full (re-traverse G_t2) | incremental (derive G_t2 rows from the edge delta); same results and budget either way")
+	pruneOn := flag.Bool("prune", true, "Δ-threshold pruned extraction for -k runs (bit-identical output, less traversal); -prune=false forces full traversals")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the run's phases (load at chrome://tracing or ui.perfetto.dev)")
 	ocli := obs.BindCLIFlags(flag.CommandLine)
 	flag.Parse()
@@ -141,6 +142,9 @@ func main() {
 		opts.MinDelta = int32(*delta)
 	} else {
 		opts.K = *k
+	}
+	if !*pruneOn {
+		opts.Prune = convergence.PruneOff
 	}
 	var tr *convergence.Trace
 	var kernelsBefore sssp.MetricsSnapshot

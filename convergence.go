@@ -46,6 +46,16 @@ const (
 // ParsePairedMode parses "full" / "incremental" (the -paired CLI flag).
 func ParsePairedMode(s string) (PairedMode, error) { return dist.ParsePairedMode(s) }
 
+// Prune modes, re-exported for Options.Prune.
+const (
+	// PruneAuto (default) runs top-K extraction with the Δ-threshold pruning;
+	// output is bit-identical, only traversal work drops. MinDelta queries
+	// are never pruned.
+	PruneAuto = core.PruneAuto
+	// PruneOff forces full traversals — the differential baseline.
+	PruneOff = core.PruneOff
+)
+
 // Re-exported graph substrate types. Node IDs are dense ints in
 // [0, NumNodes); snapshots from one Evolving stream share a node universe.
 type (
@@ -94,6 +104,14 @@ type (
 	// them from the G_t1 rows via the snapshot edge delta. The budget is
 	// identical either way.
 	PairedMode = dist.PairedMode
+	// PruneMode controls the Δ-threshold pruned extraction (Options.Prune):
+	// PruneAuto prunes top-K queries bit-identically, PruneOff disables.
+	PruneMode = core.PruneMode
+	// PruneStats reports what pruning did in one run (Result.Pruned).
+	PruneStats = core.PruneStats
+	// WarmCache memoizes selections and kth-Δ prune seeds across repeated
+	// queries over one snapshot pair (Options.Warm); create with NewWarmCache.
+	WarmCache = candidates.Warm
 
 	// Trace records the phases of a run as spans (set Options.Trace or
 	// MonitorConfig.Trace) and exports them as a Chrome trace_event JSON
@@ -105,6 +123,10 @@ type (
 // Options.Trace (one run) or MonitorConfig.Trace (a windowed watch), then
 // export with WriteChrome/WriteChromeFile or WriteTree.
 func NewTrace(name string) *Trace { return obs.New(name) }
+
+// NewWarmCache creates an empty warm cache for Options.Warm. Scope one cache
+// to one snapshot pair; reuse across pairs would be unsound.
+func NewWarmCache() *WarmCache { return candidates.NewWarm() }
 
 // NewBuilder creates a Builder over a node universe of size n.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }

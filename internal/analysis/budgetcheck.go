@@ -56,7 +56,10 @@ func budgetEntryPoint(name string) bool {
 		}
 	}
 	switch name {
-	case "DistanceMatrix", "Distances", "WeightedDistances":
+	case "DistanceMatrix", "Distances", "WeightedDistances",
+		// The Δ-threshold bounded second traversal: cut short for machine
+		// work, but it still produces the charged row.
+		"PrunedSecondBFS":
 		return true
 	}
 	return false
@@ -72,7 +75,10 @@ func distEntryPoint(name string) bool {
 	case "DistancesInto", "DistanceMatrix", "Sweep", "PairedSweep",
 		"DistancesPairInto", "DeriveInto", "IncrementalPairedSweep",
 		"DistancesIntoCtx", "SweepCtx", "PairedSweepCtx",
-		"IncrementalPairedSweepCtx":
+		"IncrementalPairedSweepCtx",
+		// The pruned-capability spellings cost exactly what the full
+		// variants do — the Δ-threshold cuts traversal, not charges.
+		"DistancesPairBoundedInto", "DeriveBoundedInto":
 		return true
 	}
 	return false
@@ -96,7 +102,10 @@ func sessionEntryPoint(fn *types.Func) bool {
 // the per-edge insertion they generalize.
 func dynssspEntryPoint(name string) bool {
 	switch name {
-	case "ApplyAll", "ApplyBatch", "ApplyStream", "InsertEdge":
+	case "ApplyAll", "ApplyBatch", "ApplyStream", "InsertEdge",
+		// The bounded repair re-derives the same charged row; a cut changes
+		// machine work only.
+		"ApplyAllBounded":
 		return true
 	}
 	return false

@@ -11,6 +11,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/dynsssp"
 	"repro/internal/graph"
+	"repro/internal/prune"
 	"repro/internal/sssp"
 )
 
@@ -176,6 +177,42 @@ func meteredBatcherSweep(ctx context.Context, src dist.Source, m *budget.Meter) 
 	}
 	b := dist.NewBatcher(src, dist.BatcherOptions{Immediate: true})
 	return b.SweepCtx(ctx, []int{0}, 1, func(s int, d []int32) {})
+}
+
+// The Δ-threshold pruned spellings cost exactly what the full variants do:
+// the bound cuts traversal work, never charges. A cut-short row was still
+// produced (valid for delta extraction), so it is still one unit.
+
+func unmeteredPrunedBFS(g2 *graph.Graph, d1, d2 []int32, ps *sssp.PrunedScratch) {
+	sssp.PrunedSecondBFS(g2, 0, d1, d2, func() int32 { return 1 }, ps) // want `call to sssp.PrunedSecondBFS without`
+}
+
+func unmeteredPrunedPair(pps dist.PrunedPairSession, d1, d2 []int32) {
+	pps.DistancesPairBoundedInto(0, d1, d2, func() int32 { return 1 }) // want `call to dist.DistancesPairBoundedInto without`
+	pps.DeriveBoundedInto(0, d1, d2, func() int32 { return 1 })        // want `call to dist.DeriveBoundedInto without`
+}
+
+func unmeteredBoundedRepair(s *dynsssp.Scratch, g2 *graph.Graph, delta []graph.Edge, d2, d1 []int32) {
+	_, _ = s.ApplyAllBounded(g2, delta, d2, d1, func() int32 { return 1 }) // want `call to dynsssp.ApplyAllBounded without`
+}
+
+// meteredThresholdLoop is the pruned-extraction idiom: charge every row up
+// front, compute bounded rows through the pruned capability with the shared
+// threshold as the bound, and offer each emitted delta back to the
+// threshold. Threshold reads and offers cost nothing — only the row
+// computations are budget-relevant.
+func meteredThresholdLoop(p dist.Pair, m *budget.Meter, th *prune.Threshold, d1, d2 []int32) error {
+	if err := m.Charge(budget.PhaseTopK, 2); err != nil {
+		return err
+	}
+	pps := dist.AsPruned(dist.NewPairedEngine(p, dist.PairedFull).NewSession())
+	pps.DistancesPairBoundedInto(0, d1, d2, th.Load)
+	for v := range d1 {
+		if d1[v] > 0 && d1[v]-d2[v] > 0 {
+			th.Offer(d1[v] - d2[v])
+		}
+	}
+	return nil
 }
 
 // A held core.Session is the serving idiom: its TopK charges the meter it

@@ -68,6 +68,14 @@ type Context struct {
 	// makes the overall cost land exactly on the paper's 2m.
 	D1Rows map[int][]int32
 	D2Rows map[int][]int32
+
+	// LandmarkNodes records the landmark set whose full (d1, d2) row pairs
+	// the selector cached in D1Rows/D2Rows (the landmark and hybrid
+	// selectors). The pruned extraction uses those rows to upper-bound each
+	// candidate's best achievable Δ before traversing it; selectors that
+	// cache no d2 rows leave it empty and extraction simply cannot skip
+	// whole candidates.
+	LandmarkNodes []int
 }
 
 // Landmarks returns the effective landmark count.
@@ -348,11 +356,13 @@ func (s landmarkSelector) Select(ctx *Context) ([]int, error) {
 		return nil, fmt.Errorf("%s: %w", s.Name(), err)
 	}
 	// Cache the landmark rows: if a landmark happens to rank into the
-	// candidate set, the extraction phase reuses them for free.
+	// candidate set, the extraction phase reuses them for free — and the
+	// pruned extraction bounds every candidate's Δ with them.
 	for i, u := range set.Nodes {
 		ctx.CacheD1(u, d1[i])
 		ctx.CacheD2(u, d2[i])
 	}
+	ctx.LandmarkNodes = append([]int(nil), set.Nodes...)
 	m := ctx.M - len(set.Nodes)
 	if s.useL1 {
 		return landmark.TopByScore(norms.L1, m, nil), nil
@@ -414,6 +424,7 @@ func (s hybridSelector) Select(ctx *Context) ([]int, error) {
 		ctx.CacheD1(u, d1[i])
 		ctx.CacheD2(u, d2[i])
 	}
+	ctx.LandmarkNodes = append([]int(nil), set.Nodes...)
 	// The dispersed landmarks join the candidate set (their SSSPs are paid
 	// for already), topped up with the best-ranked remaining nodes.
 	exclude := make(map[int]bool, len(set.Nodes))

@@ -69,6 +69,24 @@ type Options struct {
 	// (2 units per uncached candidate — the meter counts rows produced, not
 	// traversal work), so Table-1 accounting never depends on this knob.
 	PairedMode dist.PairedMode
+	// Prune controls the Δ-threshold pruned extraction. The zero value
+	// PruneAuto prunes top-K queries (output stays bit-identical; only
+	// traversal work and wall time drop) and never prunes MinDelta queries,
+	// which must return every qualifying pair. PruneOff forces full
+	// traversals everywhere — the differential baseline.
+	Prune PruneMode
+	// PruneSeed pre-loads the kth-Δ threshold. SOUND ONLY when it is a
+	// lower bound on this query's final kth Δ (e.g. the final kth Δ of a
+	// previous run of the identical query); anything larger silently drops
+	// pairs. Leave 0 unless you can prove that.
+	PruneSeed int32
+	// Warm, when non-nil, is a per-snapshot-pair warm cache: selection
+	// results are memoized (with their budget charges replayed on hits) and
+	// completed top-K queries seed the prune threshold of identical later
+	// queries. The caller must scope one Warm to one snapshot pair — the
+	// serve layer keeps one per epoch window. Ignored when RNG is set (an
+	// externally-advanced RNG makes the query shape unkeyable).
+	Warm *candidates.Warm
 	// Meter overrides the default budget meter of 2M SSSPs. Useful for
 	// tests; normal callers leave it nil.
 	Meter *budget.Meter
@@ -94,6 +112,34 @@ type Result struct {
 	// observational only (never part of result comparisons); serve layers
 	// re-observe it into per-tenant latency histograms.
 	Phases obs.PhaseNanos
+	// Pruned reports what the Δ-threshold pruning did. Observational only:
+	// worker timing changes how early the threshold tightens, so skip
+	// counts vary run to run while Pairs/Candidates/Budget never do.
+	Pruned PruneStats
+}
+
+// PruneMode controls the Δ-threshold pruned extraction (Options.Prune).
+type PruneMode int
+
+const (
+	// PruneAuto prunes exactly the queries where it is sound: top-K
+	// queries, where pairs provably below the kth-best Δ cannot change the
+	// output. MinDelta queries are never pruned.
+	PruneAuto PruneMode = iota
+	// PruneOff disables pruning everywhere.
+	PruneOff
+)
+
+// PruneStats summarizes the pruned extraction of one query.
+type PruneStats struct {
+	// Enabled reports whether extraction ran with the Δ-threshold.
+	Enabled bool
+	// CandidatesSkipped counts candidates whose landmark upper bound proved
+	// no pair of theirs can reach the top-k; their rows were charged but
+	// never traversed.
+	CandidatesSkipped int
+	// FinalThreshold is the kth-Δ threshold when extraction finished.
+	FinalThreshold int32
 }
 
 // CandidateSet returns the candidate endpoints as a set, the form the

@@ -3,9 +3,12 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime/pprof"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/budget"
@@ -13,6 +16,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/prune"
 	"repro/internal/sssp"
 	"repro/internal/topk"
 )
@@ -59,6 +63,10 @@ type enginePool struct {
 type workerState struct {
 	d1buf, d2buf []int32
 	ps           dist.PairedSession
+	// pps is ps seen through the Δ-threshold capability (ps itself when it
+	// implements it, a full-computation fallback otherwise); pruned
+	// extraction routes row computation through it.
+	pps dist.PrunedPairSession
 	// sess1 serves the rare only-d2-cached case; created lazily because most
 	// queries never hit it.
 	sess1 dist.Session
@@ -118,11 +126,13 @@ func (ep *enginePool) checkout(n int) *workerState {
 	if st, _ := ep.pool.Get().(*workerState); st != nil {
 		return st
 	}
-	return &workerState{
+	st := &workerState{
 		d1buf: make([]int32, n),
 		d2buf: make([]int32, n),
 		ps:    ep.eng.NewSession(),
 	}
+	st.pps = dist.AsPruned(st.ps)
+	return st
 }
 
 // TopK runs one query of Algorithm 1 on the session. It is the former
@@ -161,13 +171,33 @@ func (s *Session) TopK(ctx context.Context, opts Options) (result *Result, err e
 	//convlint:nondet phase latency is observational, not part of results
 	runStart := time.Now()
 	kernelsBefore := sssp.SnapshotMetrics()
+	prunedBefore := sssp.SnapshotPrunedWork()
 	var phases obs.PhaseNanos
-	defer func() { recordRun(opts, meter, kernelsBefore, runStart, phases, result, err) }()
+	defer func() { recordRun(opts, meter, kernelsBefore, prunedBefore, runStart, phases, result, err) }()
 	tr := opts.Trace
-	if tr != nil {
+	// warmKey is the query's result-determining selection shape; empty when
+	// warm caching is off or unkeyable (external RNG). The same key (plus k)
+	// also scopes the kth-Δ seed.
+	warmKey := ""
+	if opts.Warm != nil && opts.RNG == nil {
+		warmKey = fmt.Sprintf("%s|m%d|l%d|s%d", opts.Selector.Name(), opts.M, opts.L, opts.Seed)
+	}
+	var warmCharges []candidates.WarmCharge
+	recordWarm := false
+	if tr != nil || warmKey != "" {
 		// Every successful charge lands on the span open at that moment, so
 		// the trace's per-phase totals reproduce the meter's Report exactly.
-		meter.SetObserver(func(p budget.Phase, n int) { tr.AddSSSP(p.String(), n) })
+		// The same hook records a cold selection's charges for warm replay
+		// (recordWarm is toggled around the selector call only, on this
+		// goroutine — extraction charges happen after it is off again).
+		meter.SetObserver(func(p budget.Phase, n int) {
+			if tr != nil {
+				tr.AddSSSP(p.String(), n)
+			}
+			if recordWarm {
+				warmCharges = append(warmCharges, candidates.WarmCharge{Phase: p, N: n})
+			}
+		})
 		defer meter.SetObserver(nil)
 	}
 	run := tr.StartSpan("algorithm1",
@@ -189,15 +219,36 @@ func (s *Session) TopK(ctx context.Context, opts Options) (result *Result, err e
 	//convlint:nondet phase latency is observational, not part of results
 	selStart := time.Now()
 	selSpan := tr.StartSpan("selection", obs.Str("selector", opts.Selector.Name()))
-	cands, err := opts.Selector.Select(cctx)
-	selSpan.Set(obs.Int("candidates", len(cands)),
+	var cands []int
+	var selErr error
+	warmSel := false
+	if warmKey != "" {
+		if wcands, charges, ok := opts.Warm.LookupSelection(warmKey, cctx); ok {
+			// Replay the cold run's charges so the meter (and the trace's
+			// per-phase attribution) report the identical spending — a warm
+			// hit changes machine work, never cost.
+			warmSel = true
+			cands = wcands
+			for _, c := range charges {
+				if selErr = meter.Charge(c.Phase, c.N); selErr != nil {
+					break
+				}
+			}
+		}
+	}
+	if !warmSel {
+		recordWarm = warmKey != ""
+		cands, selErr = opts.Selector.Select(cctx)
+		recordWarm = false
+	}
+	selSpan.Set(obs.Int("candidates", len(cands)), obs.Int("warm-hit", boolInt(warmSel)),
 		obs.Int("d1-rows-cached", len(cctx.D1Rows)), obs.Int("d2-rows-cached", len(cctx.D2Rows)))
 	selSpan.End()
 	//convlint:nondet phase latency is observational, not part of results
 	phases.Selection = time.Since(selStart).Nanoseconds()
 	selectionNS.Observe(phases.Selection)
-	if err != nil {
-		return nil, fmt.Errorf("core: candidate generation (%s): %w", opts.Selector.Name(), err)
+	if selErr != nil {
+		return nil, fmt.Errorf("core: candidate generation (%s): %w", opts.Selector.Name(), selErr)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -205,6 +256,12 @@ func (s *Session) TopK(ctx context.Context, opts Options) (result *Result, err e
 	if len(cands) > opts.M {
 		return nil, fmt.Errorf("core: selector %s returned %d candidates for budget m=%d",
 			opts.Selector.Name(), len(cands), opts.M)
+	}
+	if !warmSel && warmKey != "" {
+		// Memoize only selections that validated cleanly; LookupSelection
+		// and StoreSelection both copy, so the dedupe below (which reuses
+		// the cands backing array) can never corrupt the cache.
+		opts.Warm.StoreSelection(warmKey, cands, cctx, warmCharges)
 	}
 	// Defensive dedupe: a duplicated candidate would double-charge the
 	// budget and double-count its pairs.
@@ -221,9 +278,14 @@ func (s *Session) TopK(ctx context.Context, opts Options) (result *Result, err e
 		}
 	}
 	cands = uniq
-	pairs, err := s.extractPairs(ctx, cctx, cands, opts, meter, &phases)
+	pairs, pstats, err := s.extractPairs(ctx, cctx, cands, opts, meter, &phases, warmKey)
 	if err != nil {
 		return nil, err
+	}
+	if warmKey != "" && opts.K > 0 && len(pairs) == opts.K {
+		// A full-length top-k result pins its kth Δ — a sound prune seed for
+		// the identical query on this window (it recomputes the same pairs).
+		opts.Warm.StoreKthDelta(warmKey, opts.K, pairs[opts.K-1].Delta)
 	}
 	return &Result{
 		Pairs:        pairs,
@@ -231,15 +293,34 @@ func (s *Session) TopK(ctx context.Context, opts Options) (result *Result, err e
 		Budget:       meter.Report(),
 		SelectorName: opts.Selector.Name(),
 		Phases:       phases,
+		Pruned:       pstats,
 	}, nil
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // extractPairs implements lines 2-5 of Algorithm 1: compute D1 and D2 rows
 // for the candidate set (reusing rows the selector cached), form the
 // pairwise deltas, and keep the top pairs.
-func (s *Session) extractPairs(ctx context.Context, cctx *candidates.Context, cands []int, opts Options, meter *budget.Meter, phases *obs.PhaseNanos) ([]topk.Pair, error) {
+//
+// For top-K queries (unless Options.Prune says otherwise) extraction runs
+// Δ-threshold pruned: a shared monotone threshold T tracks the kth-best Δ
+// offered so far, second-snapshot traversals stop once no undiscovered node
+// can still yield delta >= T (sssp.PrunedSecondBFS / dynsssp.ApplyAllBounded),
+// and candidates whose landmark upper bound proves every one of their pairs
+// is strictly below T are skipped whole. All of it is output-invariant: only
+// pairs with delta strictly below T <= the final kth Δ are ever dropped, and
+// those cannot survive the sort-cut. Budget charges are identical — the
+// charge above counts rows produced, and a skipped candidate's rows were
+// still charged.
+func (s *Session) extractPairs(ctx context.Context, cctx *candidates.Context, cands []int, opts Options, meter *budget.Meter, phases *obs.PhaseNanos, warmKey string) ([]topk.Pair, PruneStats, error) {
 	if len(cands) == 0 {
-		return nil, nil
+		return nil, PruneStats{}, nil
 	}
 	n := s.src.NumNodes()
 	tr := opts.Trace
@@ -268,7 +349,7 @@ func (s *Session) extractPairs(ctx context.Context, cctx *candidates.Context, ca
 		//convlint:nondet phase latency is observational, not part of results
 		phases.Extraction = time.Since(extStart).Nanoseconds()
 		extractionNS.Observe(phases.Extraction)
-		return nil, fmt.Errorf("core: extraction phase: %w", err)
+		return nil, PruneStats{}, fmt.Errorf("core: extraction phase: %w", err)
 	}
 
 	inM := make(map[int]bool, len(cands))
@@ -279,6 +360,41 @@ func (s *Session) extractPairs(ctx context.Context, cctx *candidates.Context, ca
 	floor := opts.MinDelta
 	if floor <= 0 {
 		floor = 1
+	}
+
+	// Δ-threshold setup. Pruning is sound only for top-K (a MinDelta query
+	// must return every qualifying pair, so PruneAuto never prunes it).
+	pruneOn := opts.K > 0 && opts.Prune != PruneOff
+	var th *prune.Threshold
+	var boundFn func() int32
+	var ubounds []int32
+	//convlint:shared lock-free skip tally; workers only Add, read after Wait
+	var skipped atomic.Int64
+	if pruneOn {
+		th = prune.NewThreshold(opts.K)
+		if opts.PruneSeed > 0 {
+			th.Seed(opts.PruneSeed)
+		}
+		if warmKey != "" {
+			if d, ok := opts.Warm.KthDelta(warmKey, opts.K); ok {
+				// The final kth Δ of the identical prior query lower-bounds
+				// this one's (same pair set), so seeding it is sound.
+				th.Seed(d)
+			}
+		}
+		boundFn = th.Load
+		ubounds = landmarkBounds(cctx, cands)
+	}
+	// Processing order: largest upper bound first, so the candidates most
+	// likely to hold top pairs tighten the threshold before the hopeless tail
+	// is even dequeued. The order permutation leaves cands itself untouched —
+	// Result.Candidates must stay in selector order.
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	if ubounds != nil {
+		sort.SliceStable(order, func(a, b int) bool { return ubounds[order[a]] > ubounds[order[b]] })
 	}
 
 	workers := sssp.ClampWorkers(opts.Workers, len(cands))
@@ -300,17 +416,40 @@ func (s *Session) extractPairs(ctx context.Context, cctx *candidates.Context, ca
 					if ctx.Err() != nil {
 						continue // drain without traversing
 					}
+					if ubounds != nil {
+						// Whole-candidate skip: the landmark bound caps every
+						// pair involving this candidate (including pairs it
+						// would have found for larger candidates), so a bound
+						// strictly below max(1, T) proves none can reach the
+						// top-k. Ties at T are kept.
+						t := th.Load()
+						if t < 1 {
+							t = 1
+						}
+						if ubounds[i] < t {
+							skipped.Add(1)
+							continue
+						}
+					}
 					u := cands[i]
 					d1 := cctx.D1Rows[u]
 					d2 := cctx.D2Rows[u]
 					switch {
 					case d1 == nil && d2 == nil:
-						st.ps.DistancesPairInto(u, st.d1buf, st.d2buf)
+						if pruneOn {
+							st.pps.DistancesPairBoundedInto(u, st.d1buf, st.d2buf, boundFn)
+						} else {
+							st.ps.DistancesPairInto(u, st.d1buf, st.d2buf)
+						}
 						d1, d2 = st.d1buf, st.d2buf
 					case d1 != nil && d2 == nil:
 						// The selector already paid for the t1 row; derive
 						// (or recompute, in full mode) just the t2 row.
-						st.ps.DeriveInto(u, d1, st.d2buf)
+						if pruneOn {
+							st.pps.DeriveBoundedInto(u, d1, st.d2buf, boundFn)
+						} else {
+							st.ps.DeriveInto(u, d1, st.d2buf)
+						}
 						d2 = st.d2buf
 					case d1 == nil:
 						if st.sess1 == nil {
@@ -330,6 +469,9 @@ func (s *Session) extractPairs(ctx context.Context, cctx *candidates.Context, ca
 						if delta < floor {
 							continue
 						}
+						if pruneOn {
+							th.Offer(delta)
+						}
 						p := topk.Pair{U: int32(u), V: int32(v), D1: d1[v], D2: d2[v], Delta: delta}
 						if p.U > p.V {
 							p.U, p.V = p.V, p.U
@@ -342,18 +484,24 @@ func (s *Session) extractPairs(ctx context.Context, cctx *candidates.Context, ca
 				mu.Unlock()
 			})
 	}
-	for i := range cands {
+	for _, i := range order {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
-	extSpan.Set(obs.Int("raw-pairs", len(all)))
+	pstats := PruneStats{Enabled: pruneOn}
+	if pruneOn {
+		pstats.CandidatesSkipped = int(skipped.Load())
+		pstats.FinalThreshold = th.Load()
+		prune.SkipCandidates(pstats.CandidatesSkipped)
+	}
+	extSpan.Set(obs.Int("raw-pairs", len(all)), obs.Int("pruned-skipped", pstats.CandidatesSkipped))
 	extSpan.End()
 	//convlint:nondet phase latency is observational, not part of results
 	phases.Extraction = time.Since(extStart).Nanoseconds()
 	extractionNS.Observe(phases.Extraction)
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, pstats, err
 	}
 
 	//convlint:nondet phase latency is observational, not part of results
@@ -368,5 +516,64 @@ func (s *Session) extractPairs(ctx context.Context, cctx *candidates.Context, ca
 	//convlint:nondet phase latency is observational, not part of results
 	phases.SortCut = time.Since(cutStart).Nanoseconds()
 	sortCutNS.Observe(phases.SortCut)
-	return all, nil
+	return all, pstats, nil
+}
+
+// landmarkBounds computes, per candidate, a cheap upper bound on the Δ of
+// any pair involving it, from the landmark rows a landmark-using selector
+// left in the context. For a landmark w and nodes u, v all reachable from w
+// in G1 (G1 ⊆ G2 keeps them reachable in G2):
+//
+//	d1(u,v) <= ld1[w][u] + ld1[w][v]        (triangle in G1)
+//	d2(u,v) >= ld2[w][v] - ld2[w][u]        (triangle in G2)
+//	Δ(u,v)  <= (ld1[w][u] + ld2[w][u]) + (ld1[w][v] - ld2[w][v])
+//	        <= (ld1[w][u] + ld2[w][u]) + maxΛ(w)
+//
+// where maxΛ(w) = max over reachable v of (ld1[w][v] - ld2[w][v]) — computed
+// once per landmark, O(l·n) total, then O(l) per candidate. Pairs whose far
+// endpoint is unreachable from w in G1 are either d1-infinite (never emitted)
+// or in a component not containing w, in which case u is also unreachable
+// from w and w contributes no bound (MaxInt32 = never skip). Returns nil when
+// no landmark has both rows cached (non-landmark selectors).
+func landmarkBounds(cctx *candidates.Context, cands []int) []int32 {
+	if len(cctx.LandmarkNodes) == 0 {
+		return nil
+	}
+	type lmBound struct {
+		d1, d2 []int32
+		maxL   int32
+	}
+	var lms []lmBound
+	for _, w := range cctx.LandmarkNodes {
+		ld1, ld2 := cctx.D1Rows[w], cctx.D2Rows[w]
+		if ld1 == nil || ld2 == nil {
+			continue
+		}
+		var maxL int32 // >= 0: v == w contributes 0 - 0
+		for v := range ld1 {
+			if ld1[v] >= 0 && ld2[v] >= 0 {
+				if d := ld1[v] - ld2[v]; d > maxL {
+					maxL = d
+				}
+			}
+		}
+		lms = append(lms, lmBound{d1: ld1, d2: ld2, maxL: maxL})
+	}
+	if len(lms) == 0 {
+		return nil
+	}
+	bounds := make([]int32, len(cands))
+	for i, u := range cands {
+		b := int32(math.MaxInt32)
+		for _, lm := range lms {
+			if lm.d1[u] < 0 || lm.d2[u] < 0 {
+				continue
+			}
+			if v := lm.d1[u] + lm.d2[u] + lm.maxL; v < b {
+				b = v
+			}
+		}
+		bounds[i] = b
+	}
+	return bounds
 }

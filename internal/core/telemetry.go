@@ -51,11 +51,12 @@ func fingerprint(opts Options) string {
 // kernel counters are process-global, so under concurrent runs the delta
 // attributes overlapping traversal work to whichever run reads it — an
 // accepted imprecision, same as SnapshotMetrics region attribution.
-func recordRun(opts Options, meter *budget.Meter, before sssp.MetricsSnapshot, start time.Time, phases obs.PhaseNanos, res *Result, err error) {
+func recordRun(opts Options, meter *budget.Meter, before sssp.MetricsSnapshot, prunedBefore sssp.PrunedWork, start time.Time, phases obs.PhaseNanos, res *Result, err error) {
 	//convlint:nondet phase latency is observational, not part of results
 	phases.Total = time.Since(start).Nanoseconds()
 	totalNS.Observe(phases.Total)
 	d := sssp.SnapshotMetrics().Sub(before)
+	pd := sssp.SnapshotPrunedWork().Sub(prunedBefore)
 	t := d.Total()
 	rep := meter.Report()
 	rec := obs.RunRecord{
@@ -64,19 +65,27 @@ func recordRun(opts Options, meter *budget.Meter, before sssp.MetricsSnapshot, s
 		Phases:      phases,
 		Budget:      obs.BudgetSplit{Limit: rep.Limit, CandidateGen: rep.CandidateGen, TopK: rep.TopK},
 		Kernels: obs.KernelDelta{
-			Calls:       t.Calls - d.Repair.Calls,
-			Sources:     t.Sources - d.Repair.Sources,
-			Nodes:       t.Nodes - d.Repair.Nodes,
-			Edges:       t.Edges - d.Repair.Edges,
+			Calls:       t.Calls - d.Repair.Calls - d.PrunedBFS.Calls,
+			Sources:     t.Sources - d.Repair.Sources - d.PrunedBFS.Sources,
+			Nodes:       t.Nodes - d.Repair.Nodes - d.PrunedBFS.Nodes,
+			Edges:       t.Edges - d.Repair.Edges - d.PrunedBFS.Edges,
 			RepairCalls: d.Repair.Calls,
 			RepairNodes: d.Repair.Nodes,
 			RepairEdges: d.Repair.Edges,
+			// The pruned-extraction split: bounded t2 traversals are broken
+			// out like repairs, plus the work the Δ-threshold cuts avoided.
+			PrunedBFSCalls:     d.PrunedBFS.Calls,
+			PrunedBFSEdges:     d.PrunedBFS.Edges,
+			PrunedCutoffs:      pd.Cutoffs,
+			PrunedSkippedNodes: pd.Nodes,
+			PrunedSkippedEdges: pd.Edges,
 		},
 		Outcome: "ok",
 	}
 	if res != nil {
 		rec.Candidates = len(res.Candidates)
 		rec.Pairs = len(res.Pairs)
+		rec.PrunedCandidates = res.Pruned.CandidatesSkipped
 	}
 	if err != nil {
 		rec.Outcome = err.Error()

@@ -6,6 +6,7 @@ import (
 	"runtime/pprof"
 	"sync"
 
+	"repro/internal/graph"
 	"repro/internal/sssp"
 )
 
@@ -107,11 +108,22 @@ type fullPairedEngine struct {
 func (e fullPairedEngine) Mode() PairedMode { return PairedFull }
 
 func (e fullPairedEngine) NewSession() PairedSession {
-	return &fullPairedSession{s1: NewSession(e.p.S1), s2: NewSession(e.p.S2)}
+	s := &fullPairedSession{s1: NewSession(e.p.S1), s2: NewSession(e.p.S2)}
+	// When the second snapshot unwraps to an unweighted graph, the session
+	// also offers the Δ-threshold bounded traversal (see pruned.go).
+	if g2, ok := UnweightedGraph(e.p.S2); ok {
+		s.g2 = g2
+	}
+	return s
 }
 
 type fullPairedSession struct {
 	s1, s2 Session
+	// g2 and pruned back the PrunedPairSession capability; g2 is nil when
+	// the second source is not BFS-backed and bounded calls fall back to
+	// full traversals.
+	g2     *graph.Graph
+	pruned *sssp.PrunedScratch
 }
 
 func (s *fullPairedSession) DistancesPairInto(src int, d1, d2 []int32) {

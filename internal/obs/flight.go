@@ -44,6 +44,15 @@ type KernelDelta struct {
 	RepairCalls int64 `json:"repair_calls,omitempty"`
 	RepairNodes int64 `json:"repair_nodes,omitempty"`
 	RepairEdges int64 `json:"repair_edges,omitempty"`
+	// The pruned-extraction split: how many bounded second-snapshot
+	// traversals ran (and the edges they still scanned), how many were cut
+	// short by the Δ-threshold, and the node visits / edge scans the cuts
+	// provably avoided.
+	PrunedBFSCalls     int64 `json:"prunedbfs_calls,omitempty"`
+	PrunedBFSEdges     int64 `json:"prunedbfs_edges,omitempty"`
+	PrunedCutoffs      int64 `json:"pruned_cutoffs,omitempty"`
+	PrunedSkippedNodes int64 `json:"pruned_skipped_nodes,omitempty"`
+	PrunedSkippedEdges int64 `json:"pruned_skipped_edges,omitempty"`
 }
 
 // RunRecord is one flight-recorder entry.
@@ -66,6 +75,9 @@ type RunRecord struct {
 	// Candidates and Pairs summarize the outcome size.
 	Candidates int `json:"candidates"`
 	Pairs      int `json:"pairs"`
+	// PrunedCandidates counts candidates skipped whole by the landmark
+	// upper bound (their charged rows were never traversed).
+	PrunedCandidates int `json:"pruned_candidates,omitempty"`
 	// Outcome is "ok" or the error text of a failed run.
 	Outcome string `json:"outcome"`
 }

@@ -90,6 +90,10 @@ type winKey struct{ T1, T2 int }
 type winSession struct {
 	win  *graph.Window
 	sess *core.Session
+	// warm is the window's warm cache: memoized selections and kth-Δ prune
+	// seeds, both scoped to this (t1, t2) pair. Evicting the session drops
+	// the cache with it, so warm state can never leak across windows.
+	warm *candidates.Warm
 }
 
 // New creates a Server.
@@ -152,7 +156,7 @@ func (s *Server) session(t1, t2 int) (*winSession, error) {
 		win.Close()
 		return nil, err
 	}
-	ws := &winSession{win: win, sess: sess}
+	ws := &winSession{win: win, sess: sess, warm: candidates.NewWarm()}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -448,6 +452,7 @@ func (s *Server) Query(r *http.Request, req *QueryRequest) (*QueryResponse, int,
 		Seed:       req.Seed,
 		Workers:    orInt(req.Workers, s.cfg.Workers),
 		PairedMode: mode,
+		Warm:       ws.warm,
 		Meter:      meter,
 	}
 	ctx := context.Background()

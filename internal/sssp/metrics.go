@@ -30,7 +30,8 @@ const (
 	kBitParallel512 // 8-word wide MS-BFS (512 lanes)
 	kEnvelope       // MultiSourceBFS lower-envelope sweep
 	kDijkstra
-	kRepair // dynsssp decrease-only batch repair (incremental paired sweep)
+	kRepair    // dynsssp decrease-only batch repair (incremental paired sweep)
+	kPrunedBFS // Δ-threshold bounded second-snapshot BFS (pruned extraction)
 	numKernels
 )
 
@@ -197,6 +198,49 @@ type MetricsSnapshot struct {
 	// edge delta. Nodes/Edges here are traversal the incremental paired
 	// sweep performed instead of a full second BFS.
 	Repair KernelCounters
+	// PrunedBFS counts the Δ-threshold bounded second-snapshot traversals of
+	// pruned extraction: Nodes/Edges are work actually done before the cut.
+	// The companion PrunedWork counters say what the cut avoided.
+	PrunedBFS KernelCounters
+}
+
+// PrunedWork aggregates what the Δ-threshold cutoffs skipped, alongside the
+// PrunedBFS kernel counters that say what still ran. Cutoffs and
+// Nodes/Edges are exact (abandoned nodes and their adjacency are counted
+// when the traversal stops); Levels is the remaining-depth estimate at the
+// cut, an upper bound on levels the full traversal would have expanded.
+type PrunedWork struct {
+	Cutoffs int64
+	Nodes   int64
+	Edges   int64
+	Levels  int64
+}
+
+// Sub diffs two PrunedWork readings.
+func (p PrunedWork) Sub(prev PrunedWork) PrunedWork {
+	return PrunedWork{
+		Cutoffs: p.Cutoffs - prev.Cutoffs,
+		Nodes:   p.Nodes - prev.Nodes,
+		Edges:   p.Edges - prev.Edges,
+		Levels:  p.Levels - prev.Levels,
+	}
+}
+
+var prunedWork struct {
+	cutoffs atomic.Int64
+	nodes   atomic.Int64
+	edges   atomic.Int64
+	levels  atomic.Int64
+}
+
+// SnapshotPrunedWork reads the cumulative skipped-work counters.
+func SnapshotPrunedWork() PrunedWork {
+	return PrunedWork{
+		Cutoffs: prunedWork.cutoffs.Load(),
+		Nodes:   prunedWork.nodes.Load(),
+		Edges:   prunedWork.edges.Load(),
+		Levels:  prunedWork.levels.Load(),
+	}
 }
 
 // SnapshotMetrics reads the live kernel counters.
@@ -225,6 +269,7 @@ func SnapshotMetrics() MetricsSnapshot {
 		Envelope:       read(kEnvelope),
 		Dijkstra:       read(kDijkstra),
 		Repair:         read(kRepair),
+		PrunedBFS:      read(kPrunedBFS),
 	}
 }
 
@@ -240,13 +285,15 @@ func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
 		Envelope:       s.Envelope.sub(prev.Envelope),
 		Dijkstra:       s.Dijkstra.sub(prev.Dijkstra),
 		Repair:         s.Repair.sub(prev.Repair),
+		PrunedBFS:      s.PrunedBFS.sub(prev.PrunedBFS),
 	}
 }
 
 // Total sums the kernels (FrontierPeak takes the max across kernels).
 func (s MetricsSnapshot) Total() KernelCounters {
 	return s.TopDown.add(s.DirectionOpt).add(s.BitParallel64).add(s.BitParallel256).
-		add(s.BitParallel512).add(s.Envelope).add(s.Dijkstra).add(s.Repair)
+		add(s.BitParallel512).add(s.Envelope).add(s.Dijkstra).add(s.Repair).
+		add(s.PrunedBFS)
 }
 
 // RecordRepair flushes one dynsssp batch-repair run into the repair kernel
@@ -266,6 +313,36 @@ func RecordRepair(nodes, edges, frontierPeak int64, start time.Time) {
 	observeSweep(kRepair, start, 1, nodes, edges)
 }
 
+// RecordRepairCut notes one bounded repair wave (dynsssp.ApplyAllBounded)
+// stopped early by the Δ-threshold; restoredSeeds pending relaxations were
+// rolled back, a lower bound on the node visits the cut avoided.
+func RecordRepairCut(restoredSeeds int64) {
+	prunedWork.cutoffs.Add(1)
+	prunedWork.nodes.Add(restoredSeeds)
+}
+
+// RecordPrunedBFS flushes one bounded second-snapshot BFS into the
+// prunedbfs kernel counters: the nodes/edges it actually traversed, plus —
+// when the Δ-threshold cut fired (cut=true) — the work it avoided:
+// skippedNodes/skippedEdges count the abandoned undiscovered nodes and their
+// adjacency exactly, and remLevels is the remaining-depth estimate at the
+// cut point. Called once per traversal, never per edge.
+func RecordPrunedBFS(nodes, edges, frontierPeak int64, cut bool, skippedNodes, skippedEdges, remLevels int64, start time.Time) {
+	c := &kernelMetrics[kPrunedBFS]
+	c.calls.Add(1)
+	c.sources.Add(1)
+	c.nodes.Add(nodes)
+	c.edges.Add(edges)
+	peakMax(&c.frontierPeak, frontierPeak)
+	if cut {
+		prunedWork.cutoffs.Add(1)
+		prunedWork.nodes.Add(skippedNodes)
+		prunedWork.edges.Add(skippedEdges)
+		prunedWork.levels.Add(remLevels)
+	}
+	observeSweep(kPrunedBFS, start, 1, nodes, edges)
+}
+
 // init publishes the kernel counters to the obs metrics registry so
 // `convpairs -metricsaddr` (and anything else serving obs.WriteMetrics)
 // exposes them without further wiring.
@@ -279,6 +356,7 @@ func init() {
 		kEnvelope:       "envelope",
 		kDijkstra:       "dijkstra",
 		kRepair:         "repair",
+		kPrunedBFS:      "prunedbfs",
 	}
 	for i := kernelIndex(0); i < numKernels; i++ {
 		kernelHist[i] = kernelHists{
@@ -286,8 +364,8 @@ func init() {
 			nodesPerSource: obs.NewHistogram("sssp.nodes_per_source", obs.L("kernel", names[i])),
 			edgesPerSource: obs.NewHistogram("sssp.edges_per_source", obs.L("kernel", names[i])),
 		}
-		if i == kRepair {
-			continue // counters registered under flat repair_* names below
+		if i == kRepair || i == kPrunedBFS {
+			continue // counters registered under flat repair_*/pruned_* names below
 		}
 		c := &kernelMetrics[i]
 		prefix := "sssp." + names[i] + "."
@@ -311,4 +389,12 @@ func init() {
 	obs.RegisterMetric("sssp.repair_nodes", rep.nodes.Load)
 	obs.RegisterMetric("sssp.repair_edges", rep.edges.Load)
 	obs.RegisterMetric("sssp.repair_frontier_peak", rep.frontierPeak.Load)
+	pb := &kernelMetrics[kPrunedBFS]
+	obs.RegisterMetric("sssp.prunedbfs_calls", pb.calls.Load)
+	obs.RegisterMetric("sssp.prunedbfs_nodes", pb.nodes.Load)
+	obs.RegisterMetric("sssp.prunedbfs_edges", pb.edges.Load)
+	obs.RegisterMetric("sssp.pruned_cutoffs", prunedWork.cutoffs.Load)
+	obs.RegisterMetric("sssp.pruned_nodes", prunedWork.nodes.Load)
+	obs.RegisterMetric("sssp.pruned_edges", prunedWork.edges.Load)
+	obs.RegisterMetric("sssp.pruned_levels", prunedWork.levels.Load)
 }
